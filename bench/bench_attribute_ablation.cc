@@ -1,0 +1,50 @@
+// Reproduces Figure 6: Hits@1 of the attribute-using approaches with and
+// without their attribute-embedding component, on D-W (V1) and D-Y (V1).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/core/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace openea;
+  const auto args = bench::ParseArgs(argc, argv, 1, 150);
+
+  const char* kAttributeApproaches[] = {"JAPE",  "GCNAlign", "KDCoE",
+                                        "AttrE", "IMUSE",    "MultiKE",
+                                        "RDGCN"};
+
+  for (const auto& profile : {datagen::HeterogeneityProfile::DbpWd(),
+                              datagen::HeterogeneityProfile::DbpYg()}) {
+    const auto dataset = core::BuildBenchmarkDataset(profile, args.scale,
+                                                     false, args.seed);
+    std::printf("== Figure 6: attribute ablation on %s ==\n",
+                dataset.name.c_str());
+    TablePrinter table({"Approach", "Hits@1 w/ attr", "Hits@1 w/o attr",
+                        "Delta"});
+    for (const char* name : kAttributeApproaches) {
+      core::TrainConfig with_attr = bench::MakeTrainConfig(args);
+      core::TrainConfig without_attr = with_attr;
+      without_attr.use_attributes = false;
+      const auto r_with =
+          core::RunCrossValidation(name, dataset, with_attr, args.folds);
+      const auto r_without =
+          core::RunCrossValidation(name, dataset, without_attr, args.folds);
+      table.AddRow({name, bench::Cell(r_with.hits1),
+                    bench::Cell(r_without.hits1),
+                    FormatDouble(r_with.hits1.mean - r_without.hits1.mean,
+                                 3)});
+      std::fflush(stdout);
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf(
+      "Shape check (paper Fig. 6): literal embedding brings large gains on\n"
+      "D-Y (similar literals); on D-W the symbolic heterogeneity of\n"
+      "Wikidata attributes shrinks or erases the gains; the\n"
+      "attribute-correlation signal of JAPE/GCNAlign helps least.\n");
+  return 0;
+}

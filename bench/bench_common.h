@@ -1,0 +1,71 @@
+#ifndef OPENEA_BENCH_BENCH_COMMON_H_
+#define OPENEA_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the per-table/figure benchmark binaries. Each binary
+// accepts:
+//   --scale=small|large   dataset scale preset (default small)
+//   --folds=N             cross-validation folds to run (default varies)
+//   --epochs=N            training epoch budget (default varies)
+//   --seed=N              master seed (default 7)
+// Every binary prints the rows of its paper table/figure and finishes with
+// a short "shape check" note restating the paper's qualitative claim.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/core/benchmark.h"
+
+namespace openea::bench {
+
+struct BenchArgs {
+  core::ScalePreset scale = core::ScalePreset::Small();
+  int folds = 2;
+  int epochs = 200;
+  uint64_t seed = 7;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv, int default_folds,
+                           int default_epochs) {
+  BenchArgs args;
+  args.folds = default_folds;
+  args.epochs = default_epochs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale=large") {
+      args.scale = core::ScalePreset::Large();
+    } else if (arg == "--scale=small") {
+      args.scale = core::ScalePreset::Small();
+    } else if (StartsWith(arg, "--folds=")) {
+      args.folds = std::atoi(arg.c_str() + 8);
+    } else if (StartsWith(arg, "--epochs=")) {
+      args.epochs = std::atoi(arg.c_str() + 9);
+    } else if (StartsWith(arg, "--seed=")) {
+      args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline core::TrainConfig MakeTrainConfig(const BenchArgs& args) {
+  core::TrainConfig config;
+  config.dim = 32;
+  config.max_epochs = args.epochs;
+  config.seed = args.seed;
+  return config;
+}
+
+/// "0.507±0.010"-style cell.
+inline std::string Cell(const eval::MeanStd& ms, int precision = 3) {
+  return FormatDouble(ms.mean, precision) + "±" +
+         FormatDouble(ms.std, precision);
+}
+
+}  // namespace openea::bench
+
+#endif  // OPENEA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,79 @@
+// Reproduces Figures 2 and 3: degree distributions of the source KG, of a
+// biased dense sample (the DBP15K/WK3L style of previous datasets), and of
+// IDS samples at two scales — printed as text histograms plus average
+// degrees and JS divergences.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/kg/graph_stats.h"
+#include "src/sampling/samplers.h"
+
+namespace {
+
+void PrintHistogram(const char* label, const openea::kg::KnowledgeGraph& g,
+                    double js) {
+  const auto dist = openea::kg::ComputeDegreeDistribution(g);
+  std::printf("%-28s deg=%.2f  JS=%.1f%%\n", label, g.AverageDegree(),
+              js * 100);
+  for (size_t d = 1; d <= 12 && d < dist.proportion.size(); ++d) {
+    const int bars = static_cast<int>(dist.proportion[d] * 120);
+    std::printf("  deg %2zu | %5.1f%% %s\n", d, dist.proportion[d] * 100,
+                std::string(static_cast<size_t>(bars), '#').c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace openea;
+  const auto args = bench::ParseArgs(argc, argv, 1, 0);
+
+  datagen::SyntheticKgConfig config;
+  config.num_entities = args.scale.source_entities;
+  config.avg_degree = 5.8;
+  config.num_relations = 30;
+  config.num_attributes = 18;
+  config.vocabulary_size = 400;
+  config.seed = args.seed;
+  const datagen::DatasetPair source = GenerateDatasetPair(
+      config, datagen::HeterogeneityProfile::EnFr(), args.seed);
+  const auto source_dist = kg::ComputeDegreeDistribution(source.kg1);
+
+  std::printf("== Figures 2 & 3: degree distributions (EN side) ==\n\n");
+  PrintHistogram("Source KG (DBpedia stand-in)", source.kg1, 0.0);
+
+  // Previous-dataset style: dense biased sample (like DBP15K/WK3L, built by
+  // preferring popular entities — here PRS, which over-selects hubs).
+  {
+    const auto prs = sampling::PageRankSampling(
+        source, args.scale.sample_entities, args.seed);
+    const double js = kg::JensenShannonDivergence(
+        source_dist, kg::ComputeDegreeDistribution(prs.kg1));
+    std::printf("\n");
+    PrintHistogram("PRS sample (DBP15K/WK3L-like bias)", prs.kg1, js);
+  }
+
+  // IDS at two sizes.
+  for (const size_t target : {args.scale.sample_entities,
+                              args.scale.sample_entities / 2}) {
+    sampling::IdsOptions ids;
+    ids.target_size = target;
+    ids.mu = args.scale.ids_mu;
+    ids.seed = args.seed;
+    const auto sample = sampling::IterativeDegreeSampling(source, ids);
+    const double js = kg::JensenShannonDivergence(
+        source_dist, kg::ComputeDegreeDistribution(sample.kg1));
+    std::printf("\n");
+    PrintHistogram(
+        ("IDS sample (" + std::to_string(target) + " entities)").c_str(),
+        sample.kg1, js);
+  }
+
+  std::printf(
+      "\nShape check (paper Fig. 2/3): biased samples shift mass to high\n"
+      "degrees and inflate the average degree; IDS samples track the source\n"
+      "distribution closely (JS of a few percent) at both sizes.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 10: proportions of target entities appearing 0, 1,
+// [2,4], and >= 5 times as the nearest neighbour of source entities on
+// D-Y (V1), per approach.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/core/registry.h"
+#include "src/eval/geometry.h"
+#include "src/eval/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace openea;
+  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const core::TrainConfig config = bench::MakeTrainConfig(args);
+
+  const auto dataset = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::DbpYg(), args.scale, false, args.seed);
+  const auto folds = eval::MakeFolds(dataset.pair.reference, 5, 0.1,
+                                     config.seed ^ 0xF01D);
+  const core::AlignmentTask task = core::MakeTask(dataset.pair, folds[0]);
+
+  std::printf("== Figure 10: hubness & isolation on %s ==\n",
+              dataset.name.c_str());
+  TablePrinter table(
+      {"Approach", "0 (isolated)", "1", "[2,4] (hubs)", ">=5", "Hits@1"});
+  for (const auto& name : core::ApproachNames()) {
+    auto approach = core::CreateApproach(name, config);
+    const core::AlignmentModel model = approach->Train(task);
+    const auto stats = eval::AnalyzeHubness(model, task.test,
+                                            align::DistanceMetric::kCosine);
+    const double hits1 = eval::EvaluateRanking(
+                             model, task.test,
+                             align::DistanceMetric::kCosine)
+                             .hits1;
+    table.AddRow({name, FormatDouble(stats.zero * 100, 1) + "%",
+                  FormatDouble(stats.one * 100, 1) + "%",
+                  FormatDouble(stats.two_to_four * 100, 1) + "%",
+                  FormatDouble(stats.five_plus * 100, 1) + "%",
+                  FormatDouble(hits1, 3)});
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "Shape check (paper Fig. 10): every approach leaves a sizable\n"
+      "fraction of targets that are never a nearest neighbour (isolation),\n"
+      "and a considerable fraction claimed by multiple sources (hubness);\n"
+      "the approaches with fewer isolated/hub entities achieve the higher\n"
+      "Hits@1.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table 6: Hits@1 of each approach under the four alignment
+// inference strategies — Greedy, Greedy+CSLS, Stable Marriage, SM+CSLS —
+// plus the collective Kuhn-Munkres optimum, on D-Y (V1).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/core/registry.h"
+#include "src/eval/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace openea;
+  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const core::TrainConfig config = bench::MakeTrainConfig(args);
+
+  const auto dataset = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::DbpYg(), args.scale, false, args.seed);
+  const auto folds = eval::MakeFolds(dataset.pair.reference, 5, 0.1,
+                                     config.seed ^ 0xF01D);
+  const core::AlignmentTask task = core::MakeTask(dataset.pair, folds[0]);
+
+  std::printf("== Table 6: Hits@1 by inference strategy on %s ==\n",
+              dataset.name.c_str());
+  TablePrinter table({"Approach", "Greedy", "Greedy+CSLS", "SM", "SM+CSLS",
+                      "Kuhn-Munkres"});
+  double gain_csls = 0.0, gain_sm = 0.0;
+  for (const auto& name : core::ApproachNames()) {
+    auto approach = core::CreateApproach(name, config);
+    const core::AlignmentModel model = approach->Train(task);
+    const auto accuracy = [&](align::InferenceStrategy strategy) {
+      return eval::MatchAccuracy(model, task.test,
+                                 align::DistanceMetric::kCosine, strategy);
+    };
+    const double greedy = accuracy(align::InferenceStrategy::kGreedy);
+    const double greedy_csls =
+        accuracy(align::InferenceStrategy::kGreedyCsls);
+    const double sm = accuracy(align::InferenceStrategy::kStableMarriage);
+    const double sm_csls =
+        accuracy(align::InferenceStrategy::kStableMarriageCsls);
+    const double km = accuracy(align::InferenceStrategy::kKuhnMunkres);
+    gain_csls += greedy_csls - greedy;
+    gain_sm += sm - greedy;
+    table.AddRow({name, FormatDouble(greedy, 3),
+                  FormatDouble(greedy_csls, 3), FormatDouble(sm, 3),
+                  FormatDouble(sm_csls, 3), FormatDouble(km, 3)});
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  std::printf("Mean gain: CSLS %+.3f, stable marriage %+.3f\n",
+              gain_csls / 12.0, gain_sm / 12.0);
+
+  std::printf(
+      "Shape check (paper Table 6): CSLS improves the greedy strategy for\n"
+      "nearly every approach (hubness mitigation); stable matching brings a\n"
+      "further, larger improvement (isolated entities get considered); CSLS\n"
+      "on top of SM changes little.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figure 5: recall of each approach w.r.t. alignment degree
+// buckets on the EN-FR (V1) dataset — the long-tail entity analysis.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/core/registry.h"
+#include "src/eval/geometry.h"
+
+int main(int argc, char** argv) {
+  using namespace openea;
+  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const core::TrainConfig config = bench::MakeTrainConfig(args);
+
+  const auto dataset = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::EnFr(), args.scale, false, args.seed);
+  const auto folds = eval::MakeFolds(dataset.pair.reference, 5, 0.1,
+                                     config.seed ^ 0xF01D);
+  const core::AlignmentTask task = core::MakeTask(dataset.pair, folds[0]);
+
+  std::printf("== Figure 5: recall by alignment degree on %s ==\n",
+              dataset.name.c_str());
+  TablePrinter table({"Approach", "[1,6)", "[6,11)", "[11,16)", "[16,inf)"});
+  eval::DegreeBucketRecall counts;
+  for (const auto& name : core::ApproachNames()) {
+    auto approach = core::CreateApproach(name, config);
+    const core::AlignmentModel model = approach->Train(task);
+    const auto buckets = eval::RecallByAlignmentDegree(
+        model, task, align::DistanceMetric::kCosine);
+    counts = buckets;
+    table.AddRow({name, FormatDouble(buckets.recall[0], 3),
+                  FormatDouble(buckets.recall[1], 3),
+                  FormatDouble(buckets.recall[2], 3),
+                  FormatDouble(buckets.recall[3], 3)});
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  std::printf("Test pairs per bucket: %zu / %zu / %zu / %zu\n",
+              counts.count[0], counts.count[1], counts.count[2],
+              counts.count[3]);
+
+  std::printf(
+      "Shape check (paper Fig. 5): most test pairs fall in the lowest\n"
+      "bucket (long-tail entities); relation-based approaches recall far\n"
+      "more high-degree pairs than long-tail ones, while the literal-using\n"
+      "approaches (KDCoE, AttrE, IMUSE, MultiKE, RDGCN) are flatter.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Table 3: quality of samples produced by RAS, PRS, and IDS
+// (average degree, JS divergence to the source, isolated-entity ratio,
+// clustering coefficient) on the EN-FR source pair.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/kg/graph_stats.h"
+#include "src/sampling/samplers.h"
+
+int main(int argc, char** argv) {
+  using namespace openea;
+  const auto args = bench::ParseArgs(argc, argv, 1, 0);
+
+  datagen::SyntheticKgConfig config;
+  config.num_entities = args.scale.source_entities;
+  config.avg_degree = 5.8;
+  config.num_relations = 30;
+  config.num_attributes = 18;
+  config.vocabulary_size = 400;
+  config.seed = args.seed;
+  const datagen::DatasetPair source = GenerateDatasetPair(
+      config, datagen::HeterogeneityProfile::EnFr(), args.seed);
+  const size_t target = args.scale.sample_entities;
+
+  std::printf("== Table 3: EN-FR sample quality, target %zu entities ==\n",
+              target);
+  TablePrinter table({"Sampler", "KG", "#Align.", "Deg.", "JS", "Isolates",
+                      "Cluster coef."});
+
+  auto add = [&](const char* name, const datagen::DatasetPair& sample) {
+    const auto q = sampling::EvaluateSampleQuality(sample, source);
+    table.AddRow({name, "KG1", std::to_string(q.alignment_size),
+                  FormatDouble(q.avg_degree1, 2),
+                  FormatDouble(q.js1 * 100, 1) + "%",
+                  FormatDouble(q.isolated1 * 100, 1) + "%",
+                  FormatDouble(q.clustering1, 3)});
+    table.AddRow({"", "KG2", "", FormatDouble(q.avg_degree2, 2),
+                  FormatDouble(q.js2 * 100, 1) + "%",
+                  FormatDouble(q.isolated2 * 100, 1) + "%",
+                  FormatDouble(q.clustering2, 3)});
+    table.AddSeparator();
+  };
+
+  // Source row for reference.
+  table.AddRow({"Source", "KG1", std::to_string(source.reference.size()),
+                FormatDouble(source.kg1.AverageDegree(), 2), "-",
+                FormatDouble(kg::IsolatedEntityRatio(source.kg1) * 100, 1) +
+                    "%",
+                FormatDouble(kg::AverageClusteringCoefficient(source.kg1),
+                             3)});
+  table.AddRow({"", "KG2", "", FormatDouble(source.kg2.AverageDegree(), 2),
+                "-",
+                FormatDouble(kg::IsolatedEntityRatio(source.kg2) * 100, 1) +
+                    "%",
+                FormatDouble(kg::AverageClusteringCoefficient(source.kg2),
+                             3)});
+  table.AddSeparator();
+
+  add("RAS", sampling::RandomAlignmentSampling(source, target, args.seed));
+  add("PRS", sampling::PageRankSampling(source, target, args.seed));
+  sampling::IdsOptions ids;
+  ids.target_size = target;
+  ids.mu = args.scale.ids_mu;
+  ids.seed = args.seed;
+  add("IDS", sampling::IterativeDegreeSampling(source, ids));
+  table.Print(std::cout);
+
+  std::printf(
+      "Shape check (paper Table 3): RAS destroys connectivity (low degree,\n"
+      "many isolates); PRS is better but still sparse with high JS; IDS\n"
+      "matches the source degree distribution with (near-)zero isolates.\n");
+  return 0;
+}

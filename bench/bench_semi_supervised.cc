@@ -1,0 +1,71 @@
+// Reproduces Figure 7: precision / recall / F1 of the augmented seed
+// alignment across semi-supervised iterations for IPTransE, BootEA, and
+// KDCoE, plus the BootEA bootstrapping ablation mentioned in Sect. 5.2.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/approaches/bootea.h"
+#include "src/common/table_printer.h"
+#include "src/core/registry.h"
+#include "src/eval/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace openea;
+  const auto args = bench::ParseArgs(argc, argv, 1, 300);
+  const core::TrainConfig config = bench::MakeTrainConfig(args);
+
+  const auto dataset = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::EnFr(), args.scale, false, args.seed);
+  const auto folds = eval::MakeFolds(dataset.pair.reference, 5, 0.1,
+                                     config.seed ^ 0xF01D);
+  const core::AlignmentTask task = core::MakeTask(dataset.pair, folds[0]);
+
+  std::printf("== Figure 7: augmented-alignment quality on %s ==\n",
+              dataset.name.c_str());
+  for (const char* name : {"IPTransE", "BootEA", "KDCoE"}) {
+    auto approach = core::CreateApproach(name, config);
+    const core::AlignmentModel model = approach->Train(task);
+    std::printf("\n%s (final test Hits@1 = %.3f):\n", name,
+                eval::EvaluateRanking(model, task.test,
+                                      align::DistanceMetric::kCosine)
+                    .hits1);
+    TablePrinter table({"Iteration", "Precision", "Recall", "F1"});
+    for (const auto& stat : model.semi_supervised_trace) {
+      table.AddRow({std::to_string(stat.iteration),
+                    FormatDouble(stat.precision, 3),
+                    FormatDouble(stat.recall, 3),
+                    FormatDouble(stat.f1, 3)});
+    }
+    table.Print(std::cout);
+    std::fflush(stdout);
+  }
+
+  // BootEA ablation: bootstrapping on/off (paper: > 0.086 Hits@1 gap).
+  {
+    approaches::BootEa with_boot(config, /*enable_bootstrapping=*/true);
+    approaches::BootEa without_boot(config, /*enable_bootstrapping=*/false);
+    const double h_with =
+        eval::EvaluateRanking(with_boot.Train(task), task.test,
+                              align::DistanceMetric::kCosine)
+            .hits1;
+    const double h_without =
+        eval::EvaluateRanking(without_boot.Train(task), task.test,
+                              align::DistanceMetric::kCosine)
+            .hits1;
+    std::printf(
+        "\nBootEA ablation: Hits@1 with bootstrapping %.3f, without %.3f "
+        "(gain %.3f)\n",
+        h_with, h_without, h_with - h_without);
+  }
+
+  std::printf(
+      "\nShape check (paper Fig. 7 & Sect. 5.2): IPTransE's naive\n"
+      "self-training accumulates errors (precision decays, little gain);\n"
+      "KDCoE's description co-training adds few pairs (limited coverage);\n"
+      "BootEA's editable bootstrapping keeps precision stable while recall\n"
+      "grows, yielding a clear Hits@1 boost over the no-bootstrapping\n"
+      "variant.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Figure 9: average cosine similarity between source entities
+// and their top-5 nearest cross-KG neighbours on D-Y (V1), per approach.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/core/registry.h"
+#include "src/eval/geometry.h"
+
+int main(int argc, char** argv) {
+  using namespace openea;
+  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const core::TrainConfig config = bench::MakeTrainConfig(args);
+
+  const auto dataset = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::DbpYg(), args.scale, false, args.seed);
+  const auto folds = eval::MakeFolds(dataset.pair.reference, 5, 0.1,
+                                     config.seed ^ 0xF01D);
+  const core::AlignmentTask task = core::MakeTask(dataset.pair, folds[0]);
+
+  std::printf("== Figure 9: top-5 neighbour similarities on %s ==\n",
+              dataset.name.c_str());
+  TablePrinter table({"Approach", "1st", "2nd", "3rd", "4th", "5th",
+                      "Top1-Top5 gap"});
+  for (const auto& name : core::ApproachNames()) {
+    auto approach = core::CreateApproach(name, config);
+    const core::AlignmentModel model = approach->Train(task);
+    const auto dist = eval::AnalyzeSimilarityDistribution(model, task.test);
+    table.AddRow({name, FormatDouble(dist.mean_topk[0], 3),
+                  FormatDouble(dist.mean_topk[1], 3),
+                  FormatDouble(dist.mean_topk[2], 3),
+                  FormatDouble(dist.mean_topk[3], 3),
+                  FormatDouble(dist.mean_topk[4], 3),
+                  FormatDouble(dist.Top1Top5Gap(), 3)});
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "Shape check (paper Fig. 9): the strong approaches (BootEA, KDCoE,\n"
+      "MultiKE, RDGCN) pair a high top-1 similarity with a large gap to the\n"
+      "5th neighbour (discriminative embeddings); MTransE/IPTransE/JAPE\n"
+      "show flat, non-discriminative neighbour similarities.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: vector
+// kernels, similarity matrices, CSLS, inference strategies, PageRank, and
+// negative sampling.
+
+#include <benchmark/benchmark.h>
+
+#include "src/align/inference.h"
+#include "src/align/similarity.h"
+#include "src/common/rng.h"
+#include "src/datagen/synthetic_kg.h"
+#include "src/embedding/negative_sampling.h"
+#include "src/kg/graph_stats.h"
+#include "src/math/embedding_table.h"
+#include "src/math/matrix.h"
+#include "src/math/vec.h"
+
+namespace openea {
+namespace {
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.NextFloat(-1, 1);
+  return v;
+}
+
+void BM_Dot(benchmark::State& state) {
+  const auto a = RandomVec(static_cast<size_t>(state.range(0)), 1);
+  const auto b = RandomVec(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::Dot(a, b));
+  }
+}
+BENCHMARK(BM_Dot)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  const auto a = RandomVec(static_cast<size_t>(state.range(0)), 1);
+  const auto b = RandomVec(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::CosineSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_CosineSimilarity)->Arg(32)->Arg(128);
+
+void BM_Gemm(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  math::Matrix a(n, n), b(n, n), c;
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  for (auto _ : state) {
+    Gemm(a, b, c);
+    benchmark::DoNotOptimize(c.Data().data());
+  }
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+math::Matrix RandomSim(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  math::Matrix sim(n, n);
+  sim.FillUniform(rng, 1.0f);
+  return sim;
+}
+
+void BM_SimilarityMatrix(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  math::Matrix emb1(n, 32), emb2(n, 32);
+  emb1.FillUniform(rng, 1.0f);
+  emb2.FillUniform(rng, 1.0f);
+  for (auto _ : state) {
+    auto sim = align::SimilarityMatrix(emb1, emb2,
+                                       align::DistanceMetric::kCosine);
+    benchmark::DoNotOptimize(sim.Data().data());
+  }
+}
+BENCHMARK(BM_SimilarityMatrix)->Arg(100)->Arg(400);
+
+void BM_ApplyCsls(benchmark::State& state) {
+  const auto base = RandomSim(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    math::Matrix sim = base;
+    align::ApplyCsls(sim, 10);
+    benchmark::DoNotOptimize(sim.Data().data());
+  }
+}
+BENCHMARK(BM_ApplyCsls)->Arg(100)->Arg(400);
+
+void BM_GreedyMatch(benchmark::State& state) {
+  const auto sim = RandomSim(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::GreedyMatch(sim));
+  }
+}
+BENCHMARK(BM_GreedyMatch)->Arg(100)->Arg(400);
+
+void BM_StableMarriage(benchmark::State& state) {
+  const auto sim = RandomSim(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::StableMarriage(sim));
+  }
+}
+BENCHMARK(BM_StableMarriage)->Arg(100)->Arg(400);
+
+void BM_KuhnMunkres(benchmark::State& state) {
+  const auto sim = RandomSim(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::KuhnMunkres(sim));
+  }
+}
+BENCHMARK(BM_KuhnMunkres)->Arg(50)->Arg(150);
+
+void BM_PageRank(benchmark::State& state) {
+  datagen::SyntheticKgConfig config;
+  config.num_entities = static_cast<size_t>(state.range(0));
+  config.seed = 5;
+  const auto gen = datagen::GenerateSyntheticKg(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kg::PageRank(gen.graph));
+  }
+}
+BENCHMARK(BM_PageRank)->Arg(500)->Arg(2000);
+
+void BM_UniformNegativeSampling(benchmark::State& state) {
+  Rng rng(3);
+  const kg::Triple pos{10, 2, 20};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedding::CorruptUniform(pos, 10000, rng));
+  }
+}
+BENCHMARK(BM_UniformNegativeSampling);
+
+void BM_TruncatedSamplerRefresh(benchmark::State& state) {
+  Rng rng(3);
+  math::EmbeddingTable table(static_cast<size_t>(state.range(0)), 32,
+                             math::InitScheme::kUnit, rng);
+  embedding::TruncatedNegativeSampler sampler(16);
+  for (auto _ : state) {
+    sampler.Refresh(table);
+  }
+}
+BENCHMARK(BM_TruncatedSamplerRefresh)->Arg(200)->Arg(500);
+
+}  // namespace
+}  // namespace openea

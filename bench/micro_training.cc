@@ -1,0 +1,129 @@
+// Micro-benchmarks for the training hot paths: one TrainOnPair step per
+// embedding model, a full GCN forward+backward pass, one RSN chain step,
+// and a calibration epoch — the numbers behind Figure 8's running-time
+// differences.
+
+#include <benchmark/benchmark.h>
+
+#include "src/approaches/common.h"
+#include "src/common/rng.h"
+#include "src/embedding/gcn.h"
+#include "src/embedding/path_rnn.h"
+#include "src/embedding/triple_model.h"
+#include "src/interaction/trainer.h"
+
+namespace openea {
+namespace {
+
+constexpr size_t kEntities = 500;
+constexpr size_t kRelations = 20;
+
+std::vector<kg::Triple> MakeTriples(size_t count) {
+  Rng rng(3);
+  std::vector<kg::Triple> triples;
+  triples.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    triples.push_back(
+        {static_cast<kg::EntityId>(rng.NextBounded(kEntities)),
+         static_cast<kg::RelationId>(rng.NextBounded(kRelations)),
+         static_cast<kg::EntityId>(rng.NextBounded(kEntities))});
+  }
+  return triples;
+}
+
+void BM_TrainOnPair(benchmark::State& state) {
+  const auto kind = static_cast<embedding::TripleModelKind>(state.range(0));
+  Rng rng(7);
+  embedding::TripleModelOptions options;
+  options.dim = 32;
+  auto model =
+      CreateTripleModel(kind, kEntities, kRelations, options, rng);
+  const auto triples = MakeTriples(1024);
+  state.SetLabel(model->name());
+  size_t i = 0;
+  Rng neg_rng(5);
+  for (auto _ : state) {
+    const kg::Triple& pos = triples[i++ & 1023];
+    const kg::Triple neg =
+        embedding::CorruptUniform(pos, kEntities, neg_rng);
+    benchmark::DoNotOptimize(model->TrainOnPair(pos, neg));
+  }
+}
+BENCHMARK(BM_TrainOnPair)
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kTransE))
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kTransH))
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kTransR))
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kTransD))
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kHolE))
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kSimplE))
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kComplEx))
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kRotatE))
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kDistMult))
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kProjE))
+    ->Arg(static_cast<int>(embedding::TripleModelKind::kConvE));
+
+void BM_GcnForwardBackward(benchmark::State& state) {
+  Rng rng(7);
+  embedding::GcnOptions options;
+  options.dim = 32;
+  std::vector<embedding::GcnEdge> edges;
+  const auto triples = MakeTriples(static_cast<size_t>(state.range(0)));
+  for (const auto& t : triples) {
+    if (t.head != t.tail) edges.push_back({t.head, t.tail, 1.0f});
+  }
+  embedding::GcnEncoder gcn(kEntities, edges, options, rng);
+  math::Matrix grad(kEntities, 32, 0.01f);
+  for (auto _ : state) {
+    gcn.Forward();
+    gcn.Backward(grad);
+  }
+}
+BENCHMARK(BM_GcnForwardBackward)->Arg(1500)->Arg(3000);
+
+void BM_RsnChainStep(benchmark::State& state) {
+  Rng rng(7);
+  embedding::RsnOptions options;
+  options.dim = 32;
+  embedding::RsnModel model(kEntities, kRelations, options, rng);
+  const auto triples = MakeTriples(2000);
+  std::vector<std::vector<int>> out_index(kEntities);
+  for (size_t i = 0; i < triples.size(); ++i) {
+    out_index[triples[i].head].push_back(static_cast<int>(i));
+  }
+  Rng walk_rng(5);
+  for (auto _ : state) {
+    const auto chain =
+        embedding::RsnModel::SampleChain(triples, out_index, walk_rng, 2);
+    benchmark::DoNotOptimize(model.TrainOnChain(chain, walk_rng));
+  }
+}
+BENCHMARK(BM_RsnChainStep);
+
+void BM_CalibrateEpoch(benchmark::State& state) {
+  Rng rng(7);
+  math::EmbeddingTable table(kEntities, 32, math::InitScheme::kUnit, rng);
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> pairs;
+  for (int i = 0; i < 100; ++i) pairs.emplace_back(i, 400 + i % 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        interaction::CalibrateEpoch(table, pairs, 0.05f, 1.5f, 5, rng));
+  }
+}
+BENCHMARK(BM_CalibrateEpoch);
+
+void BM_AlignmentLossGrad(benchmark::State& state) {
+  Rng rng(7);
+  math::Matrix emb(kEntities, 32);
+  emb.FillUniform(rng, 1.0f);
+  std::vector<std::pair<kg::EntityId, kg::EntityId>> pairs;
+  for (int i = 0; i < 100; ++i) pairs.emplace_back(i, 400 + i % 100);
+  math::Matrix grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        approaches::AlignmentLossGrad(emb, pairs, 1.5f, 15, rng, grad));
+  }
+}
+BENCHMARK(BM_AlignmentLossGrad);
+
+}  // namespace
+}  // namespace openea

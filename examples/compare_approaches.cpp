@@ -1,0 +1,66 @@
+// Domain scenario 1 — choosing an approach for your resources.
+//
+// The paper's Table 9 stresses that approaches differ in what inputs they
+// need. This example mimics a practitioner comparing candidate approaches
+// on two very different dataset profiles:
+//   * D-W: opaque Wikidata-style identifiers, noisy values (hard for
+//     literal matching), and
+//   * D-Y: near-identical literals but a tiny YAGO-style schema.
+// It trains a representative approach from each family and prints a
+// decision table, together with each approach's declared requirements.
+//
+//   ./build/examples/example_compare_approaches
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/strings.h"
+#include "src/common/table_printer.h"
+#include "src/core/benchmark.h"
+#include "src/core/registry.h"
+
+int main() {
+  using namespace openea;
+
+  const char* kCandidates[] = {"MTransE", "BootEA", "GCNAlign", "IMUSE",
+                               "RDGCN"};
+  core::TrainConfig config;
+  config.dim = 32;
+  config.max_epochs = 150;
+
+  TablePrinter table({"Approach", "D-W Hits@1", "D-Y Hits@1",
+                      "Needs attributes?", "Needs word emb.?"});
+  for (const auto& profile : {datagen::HeterogeneityProfile::DbpWd(),
+                              datagen::HeterogeneityProfile::DbpYg()}) {
+    (void)profile;  // Datasets built below, one per column.
+  }
+  const auto dw = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::DbpWd(), core::ScalePreset::Small(),
+      false, 7);
+  const auto dy = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::DbpYg(), core::ScalePreset::Small(),
+      false, 7);
+
+  for (const char* name : kCandidates) {
+    const auto r_dw = core::RunCrossValidation(name, dw, config, 1);
+    const auto r_dy = core::RunCrossValidation(name, dy, config, 1);
+    const auto req = core::CreateApproach(name, config)->requirements();
+    auto needs = [](core::Requirement r) {
+      return r == core::Requirement::kMandatory
+                 ? "mandatory"
+                 : r == core::Requirement::kOptional ? "optional" : "no";
+    };
+    table.AddRow({name, FormatDouble(r_dw.hits1.mean, 3),
+                  FormatDouble(r_dy.hits1.mean, 3),
+                  needs(req.attribute_triples),
+                  needs(req.word_embeddings)});
+    std::fflush(stdout);
+  }
+  std::printf("Approach comparison across heterogeneity profiles:\n");
+  table.Print(std::cout);
+  std::printf(
+      "Reading: literal-hungry approaches shine on D-Y but lose their edge\n"
+      "on D-W, where only the relation structure is reliable — pick by the\n"
+      "resources your KGs actually offer (paper Table 9).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Domain scenario 3 — building your own benchmark dataset with IDS.
+//
+// The paper's other main contribution besides the library is the dataset
+// pipeline:
+// sample a small benchmark out of big KGs while preserving the degree
+// distribution. This example walks the full pipeline on a synthetic
+// "DBpedia/Wikidata" pair and contrasts IDS with the naive samplers,
+// ending with a 5-fold split ready for training.
+//
+//   ./build/examples/example_dataset_builder
+
+#include <cstdio>
+
+#include "src/datagen/kg_pair.h"
+#include "src/eval/folds.h"
+#include "src/kg/graph_stats.h"
+#include "src/sampling/samplers.h"
+
+int main() {
+  using namespace openea;
+
+  // 1. A source pair: DBpedia-like KG1 and Wikidata-like KG2.
+  datagen::SyntheticKgConfig config;
+  config.num_entities = 1500;
+  config.avg_degree = 6.0;
+  config.seed = 42;
+  const datagen::DatasetPair source = GenerateDatasetPair(
+      config, datagen::HeterogeneityProfile::DbpWd(), 42);
+  std::printf("Source: |E1|=%zu (deg %.2f), |E2|=%zu (deg %.2f), %zu "
+              "reference pairs\n",
+              source.kg1.NumEntities(), source.kg1.AverageDegree(),
+              source.kg2.NumEntities(), source.kg2.AverageDegree(),
+              source.reference.size());
+
+  // 2. Sample 600 entities per KG with each sampler and compare quality.
+  const auto q_source_dist = kg::ComputeDegreeDistribution(source.kg1);
+  auto report = [&](const char* name, const datagen::DatasetPair& sample) {
+    const auto quality = sampling::EvaluateSampleQuality(sample, source);
+    std::printf("%-4s |E|=%4zu  deg=%.2f  JS=%4.1f%%  isolates=%4.1f%%\n",
+                name, sample.kg1.NumEntities(), quality.avg_degree1,
+                quality.js1 * 100, quality.isolated1 * 100);
+  };
+  report("RAS", sampling::RandomAlignmentSampling(source, 600, 1));
+  report("PRS", sampling::PageRankSampling(source, 600, 1));
+  sampling::IdsOptions ids;
+  ids.target_size = 600;
+  ids.mu = 50;
+  ids.seed = 1;
+  const auto sample = sampling::IterativeDegreeSampling(source, ids);
+  report("IDS", sample);
+
+  // 3. Split the sampled reference alignment into the 20/10/70 protocol.
+  const auto folds = eval::MakeFolds(sample.reference);
+  std::printf("\n5-fold split of %zu pairs: train=%zu valid=%zu test=%zu\n",
+              sample.reference.size(), folds[0].train.size(),
+              folds[0].valid.size(), folds[0].test.size());
+  std::printf("The sampled dataset is ready for core::MakeTask / training.\n");
+  (void)q_source_dist;
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "src/align/blocking.h"
+
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/math/vec.h"
+
+namespace openea::align {
+
+LshBlocker::LshBlocker(size_t dim, int bits, int num_tables, uint64_t seed)
+    : dim_(dim), bits_(bits), num_tables_(num_tables) {
+  OPENEA_CHECK_GT(dim, 0u);
+  OPENEA_CHECK_GT(bits, 0);
+  OPENEA_CHECK_LE(bits, 63);
+  OPENEA_CHECK_GT(num_tables, 0);
+  Rng rng(seed);
+  planes_.resize(static_cast<size_t>(num_tables) * bits * dim);
+  for (float& v : planes_) v = static_cast<float>(rng.NextGaussian());
+  tables_.resize(num_tables);
+}
+
+uint64_t LshBlocker::Signature(std::span<const float> vec, int table) const {
+  uint64_t sig = 0;
+  const float* base =
+      planes_.data() + static_cast<size_t>(table) * bits_ * dim_;
+  for (int b = 0; b < bits_; ++b) {
+    const float* plane = base + static_cast<size_t>(b) * dim_;
+    float dot = 0.0f;
+    for (size_t i = 0; i < dim_; ++i) dot += plane[i] * vec[i];
+    if (dot >= 0.0f) sig |= uint64_t{1} << b;
+  }
+  return sig;
+}
+
+void LshBlocker::Index(const math::Matrix& targets) {
+  OPENEA_CHECK_EQ(targets.cols(), dim_);
+  for (auto& table : tables_) table.clear();
+  for (size_t row = 0; row < targets.rows(); ++row) {
+    for (int t = 0; t < num_tables_; ++t) {
+      tables_[t][Signature(targets.Row(row), t)].push_back(
+          static_cast<int>(row));
+    }
+  }
+}
+
+std::vector<int> LshBlocker::Candidates(std::span<const float> query) const {
+  std::unordered_set<int> unique;
+  for (int t = 0; t < num_tables_; ++t) {
+    auto it = tables_[t].find(Signature(query, t));
+    if (it == tables_[t].end()) continue;
+    unique.insert(it->second.begin(), it->second.end());
+  }
+  return std::vector<int>(unique.begin(), unique.end());
+}
+
+std::vector<int> BlockedGreedyMatch(const math::Matrix& src,
+                                    const math::Matrix& tgt, int bits,
+                                    int num_tables, uint64_t seed) {
+  LshBlocker blocker(src.cols(), bits, num_tables, seed);
+  blocker.Index(tgt);
+  std::vector<int> match(src.rows(), -1);
+  for (size_t i = 0; i < src.rows(); ++i) {
+    const auto query = src.Row(i);
+    float best = -2.0f;
+    for (int cand : blocker.Candidates(query)) {
+      const float sim = math::CosineSimilarity(query, tgt.Row(cand));
+      if (sim > best) {
+        best = sim;
+        match[i] = cand;
+      }
+    }
+  }
+  return match;
+}
+
+}  // namespace openea::align

@@ -1,0 +1,164 @@
+#include "src/align/inference.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "src/align/similarity.h"
+
+namespace openea::align {
+
+const char* InferenceStrategyName(InferenceStrategy strategy) {
+  switch (strategy) {
+    case InferenceStrategy::kGreedy: return "greedy";
+    case InferenceStrategy::kGreedyCsls: return "greedy+csls";
+    case InferenceStrategy::kStableMarriage: return "stable-marriage";
+    case InferenceStrategy::kStableMarriageCsls: return "stable-marriage+csls";
+    case InferenceStrategy::kKuhnMunkres: return "kuhn-munkres";
+  }
+  return "?";
+}
+
+std::vector<int> GreedyMatch(const math::Matrix& sim) {
+  std::vector<int> match(sim.rows(), -1);
+  for (size_t i = 0; i < sim.rows(); ++i) {
+    const auto row = sim.Row(i);
+    if (row.empty()) continue;
+    match[i] = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return match;
+}
+
+std::vector<int> StableMarriage(const math::Matrix& sim) {
+  const size_t rows = sim.rows();
+  const size_t cols = sim.cols();
+  std::vector<int> row_match(rows, -1);
+  if (rows == 0 || cols == 0) return row_match;
+
+  // Preference lists of sources, best-first.
+  std::vector<std::vector<int>> prefs(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    prefs[i].resize(cols);
+    for (size_t j = 0; j < cols; ++j) prefs[i][j] = static_cast<int>(j);
+    const auto row = sim.Row(i);
+    std::sort(prefs[i].begin(), prefs[i].end(),
+              [&](int a, int b) { return row[a] > row[b]; });
+  }
+  std::vector<size_t> next_proposal(rows, 0);
+  std::vector<int> col_match(cols, -1);
+  std::queue<int> free_rows;
+  for (size_t i = 0; i < rows; ++i) free_rows.push(static_cast<int>(i));
+
+  while (!free_rows.empty()) {
+    const int i = free_rows.front();
+    free_rows.pop();
+    if (next_proposal[i] >= cols) continue;  // Exhausted; stays unmatched.
+    const int j = prefs[i][next_proposal[i]++];
+    const int current = col_match[j];
+    if (current == -1) {
+      col_match[j] = i;
+      row_match[i] = j;
+    } else if (sim.At(i, j) > sim.At(current, j)) {
+      col_match[j] = i;
+      row_match[i] = j;
+      row_match[current] = -1;
+      free_rows.push(current);
+    } else {
+      free_rows.push(i);
+    }
+  }
+  return row_match;
+}
+
+std::vector<int> KuhnMunkres(const math::Matrix& sim) {
+  const size_t rows = sim.rows();
+  const size_t cols = sim.cols();
+  std::vector<int> match(rows, -1);
+  if (rows == 0 || cols == 0) return match;
+
+  // Convert to a minimization problem on an n x m matrix with n <= m by
+  // padding columns; the classical potentials algorithm (O(n^2 m)).
+  float max_sim = sim.Data()[0];
+  for (float v : sim.Data()) max_sim = std::max(max_sim, v);
+  const size_t n = rows;
+  const size_t m = std::max(rows, cols);
+  auto cost = [&](size_t i, size_t j) -> double {
+    if (j >= cols) return static_cast<double>(max_sim) + 1.0;  // Padding.
+    return static_cast<double>(max_sim) - static_cast<double>(sim.At(i, j));
+  };
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0);      // p[j]: row matched to column j (1-based).
+  std::vector<int> way(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = static_cast<int>(i);
+    size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = static_cast<size_t>(p[j0]);
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = static_cast<int>(j0);
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[static_cast<size_t>(p[j])] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const size_t j1 = static_cast<size_t>(way[j0]);
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  for (size_t j = 1; j <= m; ++j) {
+    if (p[j] > 0 && j <= cols) match[static_cast<size_t>(p[j]) - 1] =
+        static_cast<int>(j) - 1;
+  }
+  return match;
+}
+
+std::vector<int> InferAlignment(const math::Matrix& sim,
+                                InferenceStrategy strategy, int csls_k) {
+  switch (strategy) {
+    case InferenceStrategy::kGreedy:
+      return GreedyMatch(sim);
+    case InferenceStrategy::kGreedyCsls: {
+      math::Matrix adjusted = sim;
+      ApplyCsls(adjusted, csls_k);
+      return GreedyMatch(adjusted);
+    }
+    case InferenceStrategy::kStableMarriage:
+      return StableMarriage(sim);
+    case InferenceStrategy::kStableMarriageCsls: {
+      math::Matrix adjusted = sim;
+      ApplyCsls(adjusted, csls_k);
+      return StableMarriage(adjusted);
+    }
+    case InferenceStrategy::kKuhnMunkres:
+      return KuhnMunkres(sim);
+  }
+  return GreedyMatch(sim);
+}
+
+}  // namespace openea::align

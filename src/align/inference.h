@@ -1,0 +1,38 @@
+#ifndef OPENEA_ALIGN_INFERENCE_H_
+#define OPENEA_ALIGN_INFERENCE_H_
+
+#include <vector>
+
+#include "src/math/matrix.h"
+
+namespace openea::align {
+
+/// Alignment inference strategies (paper Sect. 2.2.2 and Table 6).
+enum class InferenceStrategy {
+  kGreedy,            // Independent nearest neighbour per source entity.
+  kGreedyCsls,        // Greedy over CSLS-adjusted similarities.
+  kStableMarriage,    // Gale–Shapley stable matching.
+  kStableMarriageCsls,
+  kKuhnMunkres,       // Collective optimum (maximum-weight matching).
+};
+
+const char* InferenceStrategyName(InferenceStrategy strategy);
+
+/// Greedy search: match[i] = argmax_j sim(i, j). Never returns -1.
+std::vector<int> GreedyMatch(const math::Matrix& sim);
+
+/// Gale–Shapley stable marriage over the similarity matrix (sources
+/// propose). When rows != cols, surplus parties stay unmatched (-1).
+std::vector<int> StableMarriage(const math::Matrix& sim);
+
+/// Kuhn–Munkres (Hungarian) maximum-weight bipartite matching; O(n^3).
+/// When rows > cols, surplus rows get -1.
+std::vector<int> KuhnMunkres(const math::Matrix& sim);
+
+/// Dispatches to the strategy; CSLS variants copy and adjust `sim`.
+std::vector<int> InferAlignment(const math::Matrix& sim,
+                                InferenceStrategy strategy, int csls_k = 10);
+
+}  // namespace openea::align
+
+#endif  // OPENEA_ALIGN_INFERENCE_H_

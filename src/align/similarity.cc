@@ -1,0 +1,90 @@
+#include "src/align/similarity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/math/vec.h"
+
+namespace openea::align {
+
+const char* DistanceMetricName(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kCosine: return "cosine";
+    case DistanceMetric::kEuclidean: return "euclidean";
+    case DistanceMetric::kManhattan: return "manhattan";
+    case DistanceMetric::kInner: return "inner";
+  }
+  return "?";
+}
+
+math::Matrix SimilarityMatrix(const math::Matrix& src,
+                              const math::Matrix& tgt,
+                              DistanceMetric metric) {
+  OPENEA_CHECK_EQ(src.cols(), tgt.cols());
+  math::Matrix sim(src.rows(), tgt.rows());
+  for (size_t i = 0; i < src.rows(); ++i) {
+    const auto a = src.Row(i);
+    auto out = sim.Row(i);
+    for (size_t j = 0; j < tgt.rows(); ++j) {
+      const auto b = tgt.Row(j);
+      switch (metric) {
+        case DistanceMetric::kCosine:
+          out[j] = math::CosineSimilarity(a, b);
+          break;
+        case DistanceMetric::kEuclidean:
+          out[j] = -math::EuclideanDistance(a, b);
+          break;
+        case DistanceMetric::kManhattan:
+          out[j] = -math::ManhattanDistance(a, b);
+          break;
+        case DistanceMetric::kInner:
+          out[j] = math::Dot(a, b);
+          break;
+      }
+    }
+  }
+  return sim;
+}
+
+void ApplyCsls(math::Matrix& sim, int k) {
+  const size_t rows = sim.rows();
+  const size_t cols = sim.cols();
+  if (rows == 0 || cols == 0) return;
+  const size_t kk = std::min<size_t>(std::max(k, 1), std::max(rows, cols));
+
+  auto mean_topk = [&](std::vector<float>& values, size_t limit) -> float {
+    const size_t take = std::min(limit, values.size());
+    std::partial_sort(values.begin(),
+                      values.begin() + static_cast<long>(take), values.end(),
+                      std::greater<float>());
+    float sum = 0.0f;
+    for (size_t i = 0; i < take; ++i) sum += values[i];
+    return take > 0 ? sum / static_cast<float>(take) : 0.0f;
+  };
+
+  // psi_t(s): mean similarity of source row s to its k nearest targets.
+  std::vector<float> psi_src(rows, 0.0f);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<float> row(sim.Row(i).begin(), sim.Row(i).end());
+    psi_src[i] = mean_topk(row, kk);
+  }
+  // psi_s(t): mean similarity of target column t to its k nearest sources.
+  std::vector<float> psi_tgt(cols, 0.0f);
+  {
+    std::vector<float> column(rows);
+    for (size_t j = 0; j < cols; ++j) {
+      for (size_t i = 0; i < rows; ++i) column[i] = sim.At(i, j);
+      std::vector<float> copy = column;
+      psi_tgt[j] = mean_topk(copy, kk);
+    }
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    auto row = sim.Row(i);
+    for (size_t j = 0; j < cols; ++j) {
+      row[j] = 2.0f * row[j] - psi_src[i] - psi_tgt[j];
+    }
+  }
+}
+
+}  // namespace openea::align

@@ -1,0 +1,30 @@
+#ifndef OPENEA_ALIGN_SIMILARITY_H_
+#define OPENEA_ALIGN_SIMILARITY_H_
+
+#include "src/math/matrix.h"
+
+namespace openea::align {
+
+/// Distance metrics offered by the alignment module (paper Sect. 2.2.2).
+/// All are exposed as *similarities* (greater = closer) so that inference
+/// strategies can maximize uniformly: cosine is used as-is; Euclidean and
+/// Manhattan distances are negated.
+enum class DistanceMetric { kCosine, kEuclidean, kManhattan, kInner };
+
+/// Returns the human-readable metric name ("cosine", ...).
+const char* DistanceMetricName(DistanceMetric metric);
+
+/// Computes the (src.rows() x tgt.rows()) similarity matrix between row
+/// embeddings under `metric`.
+math::Matrix SimilarityMatrix(const math::Matrix& src, const math::Matrix& tgt,
+                              DistanceMetric metric);
+
+/// Applies cross-domain similarity local scaling (CSLS, paper Eq. 7) in
+/// place: sim'(s, t) = 2 sim(s, t) - avg_topk_t(sim(s, .)) -
+/// avg_topk_s(sim(., t)). Mitigates hubness by penalizing entities that are
+/// near-neighbours of many counterparts.
+void ApplyCsls(math::Matrix& sim, int k = 10);
+
+}  // namespace openea::align
+
+#endif  // OPENEA_ALIGN_SIMILARITY_H_

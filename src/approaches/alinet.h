@@ -1,0 +1,30 @@
+#ifndef OPENEA_APPROACHES_ALINET_H_
+#define OPENEA_APPROACHES_ALINET_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+
+namespace openea::approaches {
+
+/// AliNet (Sun et al., AAAI 2020) — the contemporaneous approach the paper
+/// promises to add to future OpenEA releases (Sect. 5.1). Its core idea is
+/// gated multi-hop neighbourhood aggregation: distant (two-hop) neighbours
+/// often carry the alignment evidence that heterogeneous one-hop
+/// neighbourhoods miss. Realized here as a highway-gated GCN over an edge
+/// set augmented with down-weighted two-hop edges (the gate plays the
+/// paper's aggregation-gating role); purely relation-based, supervised via
+/// seed calibration.
+class AliNet : public core::EntityAlignmentApproach {
+ public:
+  explicit AliNet(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "AliNet"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_ALINET_H_

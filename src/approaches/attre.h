@@ -1,0 +1,29 @@
+#ifndef OPENEA_APPROACHES_ATTRE_H_
+#define OPENEA_APPROACHES_ATTRE_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+
+namespace openea::approaches {
+
+/// AttrE (Trsedya et al. 2019): relation triples train a shared-parameter
+/// TransE; attribute triples train character-level literal representations
+/// (paper Eq. 5 — here hashed n-gram encodings, which likewise handle
+/// unseen values); a consistency objective pulls each entity's structure
+/// embedding toward its literal representation, unifying the two spaces.
+/// Character-level encoding is language-agnostic but not translation-aware,
+/// so cross-lingual pairs suffer — the weakness the paper points out.
+class AttrE : public core::EntityAlignmentApproach {
+ public:
+  explicit AttrE(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "AttrE"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_ATTRE_H_

@@ -1,0 +1,90 @@
+#ifndef OPENEA_APPROACHES_COMMON_H_
+#define OPENEA_APPROACHES_COMMON_H_
+
+#include <vector>
+
+#include "src/core/task.h"
+#include "src/embedding/gcn.h"
+#include "src/interaction/unified_kg.h"
+#include "src/math/embedding_table.h"
+#include "src/math/matrix.h"
+#include "src/text/word_embeddings.h"
+
+namespace openea::approaches {
+
+/// Extracts per-KG embedding matrices from a merged-space entity table.
+core::AlignmentModel GatherUnifiedModel(const interaction::UnifiedKg& unified,
+                                        const math::EmbeddingTable& entities);
+
+/// Extracts per-KG embedding matrices from a merged-space dense matrix
+/// (GCN outputs).
+core::AlignmentModel GatherUnifiedModel(const interaction::UnifiedKg& unified,
+                                        const math::Matrix& embeddings);
+
+/// Row-wise concatenation [normalize(a) | weight * normalize(b)] — the
+/// library's view-combination primitive (JAPE's attribute refinement,
+/// MultiKE's views, GCNAlign's structure+attribute channels). Rows of `b`
+/// may be all-zero (missing view) and stay zero.
+math::Matrix ConcatViews(const math::Matrix& a, const math::Matrix& b,
+                         float weight);
+
+/// Early-stopping tracker implementing the paper's Table 4 policy: check
+/// validation Hits@1 periodically and stop when it begins to drop.
+class EarlyStopper {
+ public:
+  explicit EarlyStopper(int patience = 2) : patience_(patience) {}
+
+  /// Feeds a new validation score. Returns true when training should stop.
+  bool ShouldStop(double hits1) {
+    if (hits1 > best_ + 1e-6) {
+      best_ = hits1;
+      bad_checks_ = 0;
+      improved_ = true;
+    } else {
+      ++bad_checks_;
+      improved_ = false;
+    }
+    return bad_checks_ >= patience_;
+  }
+
+  /// True when the last ShouldStop call improved the best score (snapshot
+  /// the model then).
+  bool improved() const { return improved_; }
+  double best() const { return best_; }
+
+ private:
+  int patience_;
+  int bad_checks_ = 0;
+  double best_ = -1.0;
+  bool improved_ = false;
+};
+
+/// Undirected, deduplicated GCN edges from both KGs in merged ids. When
+/// `relation_aware` is set, edge weights follow RDGCN's intuition: edges of
+/// rare (more discriminative) relations weigh more, w = 1/log(2 + freq).
+std::vector<embedding::GcnEdge> BuildGcnEdges(
+    const interaction::UnifiedKg& unified, bool relation_aware);
+
+/// Word-embedding space for the task (dictionary-aware on cross-lingual
+/// pairs), seeded deterministically.
+text::PseudoWordEmbeddings MakeWordEmbeddings(const core::AlignmentTask& task,
+                                              size_t dim, uint64_t seed);
+
+/// Merged-id literal/description feature matrix covering kg1 rows then kg2
+/// rows, built by `builder` per KG and stacked.
+math::Matrix StackKgFeatures(const math::Matrix& features1,
+                             const math::Matrix& features2);
+
+/// Margin-based alignment loss over a dense embedding matrix (the GCN
+/// training objective): for each merged seed pair (a, b), pulls the rows
+/// together and pushes `negatives` sampled rows outside the margin.
+/// Accumulates d(loss)/d(embeddings) into `grad` (resized to match) and
+/// returns the mean pair loss.
+float AlignmentLossGrad(
+    const math::Matrix& embeddings,
+    const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs,
+    float margin, int negatives, Rng& rng, math::Matrix& grad);
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_COMMON_H_

@@ -1,0 +1,29 @@
+#ifndef OPENEA_APPROACHES_GCN_ALIGN_H_
+#define OPENEA_APPROACHES_GCN_ALIGN_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+
+namespace openea::approaches {
+
+/// GCNAlign (Wang et al. 2018): a two-layer GCN over the merged relation
+/// graph learns structure embeddings (trainable input features) with a
+/// margin-based calibration loss on the seed alignment; a second, static
+/// channel propagates bag-of-attribute features (attributes matched across
+/// KGs by name/value similarity) through the same graph. The final
+/// representation concatenates the two channels — the paper's beta-weighted
+/// combination.
+class GcnAlign : public core::EntityAlignmentApproach {
+ public:
+  explicit GcnAlign(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "GCNAlign"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_GCN_ALIGN_H_

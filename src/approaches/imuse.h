@@ -1,0 +1,34 @@
+#ifndef OPENEA_APPROACHES_IMUSE_H_
+#define OPENEA_APPROACHES_IMUSE_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+#include "src/kg/types.h"
+
+namespace openea::approaches {
+
+/// IMUSE (He et al. 2019): a preprocessing step harvests high-confidence
+/// alignment from exact literal-value overlap (the "unsupervised" seed
+/// collection the paper notes still feeds a supervised embedding module),
+/// which augments the training seeds for a parameter-sharing TransE; the
+/// final similarity blends the embeddings with char-level literal features.
+/// Errors in the harvested pairs degrade training — the Figure 6 finding.
+class Imuse : public core::EntityAlignmentApproach {
+ public:
+  explicit Imuse(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "IMUSE"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+
+  /// The literal-overlap harvesting step, exposed for tests: greedy 1-to-1
+  /// pairs of entities sharing at least `min_shared` exact literal values.
+  static kg::Alignment HarvestLiteralPairs(const core::AlignmentTask& task,
+                                           size_t min_shared = 2);
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_IMUSE_H_

@@ -1,0 +1,27 @@
+#ifndef OPENEA_APPROACHES_IPTRANSE_H_
+#define OPENEA_APPROACHES_IPTRANSE_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+
+namespace openea::approaches {
+
+/// IPTransE (Zhu et al. 2017): TransE with parameter sharing over the seed
+/// alignment, a relation-path composition constraint (paper Eq. 2, sum
+/// composition), and naive self-training that permanently accepts every
+/// proposal above a threshold — the error-accumulation behaviour the paper
+/// analyzes in Figure 7.
+class IpTransE : public core::EntityAlignmentApproach {
+ public:
+  explicit IpTransE(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "IPTransE"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_IPTRANSE_H_

@@ -1,0 +1,68 @@
+#include "src/approaches/jape.h"
+
+#include "src/approaches/common.h"
+#include "src/embedding/attribute.h"
+#include "src/embedding/translational.h"
+#include "src/eval/metrics.h"
+#include "src/interaction/trainer.h"
+#include "src/interaction/unified_kg.h"
+
+namespace openea::approaches {
+
+core::ApproachRequirements Jape::requirements() const {
+  core::ApproachRequirements req;
+  req.relation_triples = core::Requirement::kMandatory;
+  req.attribute_triples = core::Requirement::kOptional;
+  req.pre_aligned_entities = core::Requirement::kMandatory;
+  return req;
+}
+
+core::AlignmentModel Jape::Train(const core::AlignmentTask& task) {
+  Rng rng(config_.seed);
+  const interaction::UnifiedKg unified = interaction::BuildUnifiedKg(
+      task, interaction::CombinationMode::kSharing, task.train);
+
+  embedding::TripleModelOptions model_options;
+  model_options.dim = config_.dim;
+  model_options.learning_rate = config_.learning_rate;
+  model_options.margin = config_.margin;
+  embedding::TransEModel model(unified.num_entities, unified.num_relations,
+                               model_options, rng);
+
+  // Attribute-correlation vectors (computed once; the skip-gram does not
+  // depend on the structure embedding).
+  math::Matrix attr1, attr2;
+  if (config_.use_attributes) {
+    embedding::AttributeCorrelationEmbedding attr_embedding(
+        *task.kg1, *task.kg2, config_.dim, rng);
+    attr_embedding.Train(/*epochs=*/5, config_.learning_rate, rng);
+    attr1 = attr_embedding.EntityAttributeVectors(*task.kg1, false);
+    attr2 = attr_embedding.EntityAttributeVectors(*task.kg2, true);
+  }
+  constexpr float kAttributeWeight = 0.4f;
+
+  EarlyStopper stopper;
+  core::AlignmentModel best;
+  for (int epoch = 1; epoch <= config_.max_epochs; ++epoch) {
+    interaction::TrainEpoch(model, unified.triples,
+                            config_.negatives_per_positive, rng);
+    if (epoch % config_.eval_every != 0) continue;
+
+    core::AlignmentModel current =
+        GatherUnifiedModel(unified, model.entity_table());
+    if (config_.use_attributes) {
+      current.emb1 = ConcatViews(current.emb1, attr1, kAttributeWeight);
+      current.emb2 = ConcatViews(current.emb2, attr2, kAttributeWeight);
+    }
+    const double hits1 =
+        eval::Hits1(current, task.valid, align::DistanceMetric::kCosine);
+    const bool stop = stopper.ShouldStop(hits1);
+    if (stopper.improved() || best.emb1.rows() == 0) {
+      best = std::move(current);
+    }
+    if (stop) break;
+  }
+  return best;
+}
+
+}  // namespace openea::approaches

@@ -1,0 +1,28 @@
+#ifndef OPENEA_APPROACHES_JAPE_H_
+#define OPENEA_APPROACHES_JAPE_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+
+namespace openea::approaches {
+
+/// JAPE (Sun et al. 2017): structure embedding = TransE with parameter
+/// sharing; attribute embedding = attribute-correlation skip-gram (paper
+/// Eq. 4) refined through cross-KG attribute alignment. The final entity
+/// representation concatenates the structure embedding with the (weighted)
+/// attribute-correlation vector — the attribute signal the paper finds too
+/// coarse-grained to help much (Figure 6).
+class Jape : public core::EntityAlignmentApproach {
+ public:
+  explicit Jape(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "JAPE"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_JAPE_H_

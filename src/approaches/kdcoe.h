@@ -1,0 +1,28 @@
+#ifndef OPENEA_APPROACHES_KDCOE_H_
+#define OPENEA_APPROACHES_KDCOE_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+
+namespace openea::approaches {
+
+/// KDCoE (Chen et al. 2018): co-training of two orthogonal views — a
+/// relation-triple embedding (TransE + seed calibration) and an entity-
+/// description embedding (pseudo cross-lingual word vectors; DESIGN.md) —
+/// that alternately propose new alignment for each other. Entities without
+/// descriptions cannot be proposed by the description view, which limits
+/// augmentation exactly as the paper observes (Figure 7).
+class KdCoE : public core::EntityAlignmentApproach {
+ public:
+  explicit KdCoE(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "KDCoE"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_KDCOE_H_

@@ -1,0 +1,59 @@
+#ifndef OPENEA_APPROACHES_MTRANSE_H_
+#define OPENEA_APPROACHES_MTRANSE_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+#include "src/embedding/triple_model.h"
+
+namespace openea::approaches {
+
+/// MTransE (Chen et al. 2017): each KG is embedded in its own space by a
+/// triple model (TransE in the original, trained on positive triples only —
+/// the paper traces MTransE's overfitting to this); a linear transformation
+/// learned from the seed alignment maps space 1 into space 2.
+///
+/// The same chassis powers the paper's Sect. 6.2 "unexplored KG embedding
+/// models" experiment (Figure 11): `Options::model_kind` swaps TransE for
+/// TransH/R/D, HolE, SimplE, RotatE, ProjE, or ConvE (those train with
+/// their native negative-sampling losses).
+class MTransE : public core::EntityAlignmentApproach {
+ public:
+  struct Options {
+    embedding::TripleModelKind model_kind =
+        embedding::TripleModelKind::kTransE;
+    /// TransE only: enable margin-based negative sampling (the paper's
+    /// Sect. 5.2 ablation that lifts MTransE's Hits@1).
+    bool use_negative_sampling = false;
+  };
+
+  explicit MTransE(const core::TrainConfig& config)
+      : MTransE(config, Options()) {}
+  MTransE(const core::TrainConfig& config, const Options& options);
+
+  std::string name() const override;
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+
+ private:
+  Options options_;
+};
+
+/// SEA (Pei et al. 2019): transformation-based like MTransE, but with
+/// negative-sampled TransE training and *bidirectional* mappings between
+/// the spaces; the final representation concatenates both directions
+/// (our stand-in for SEA's cycle/reconstruction objectives — the
+/// degree-aware adversarial regularizer is omitted, see DESIGN.md).
+class Sea : public core::EntityAlignmentApproach {
+ public:
+  explicit Sea(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "SEA"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_MTRANSE_H_

@@ -1,0 +1,30 @@
+#ifndef OPENEA_APPROACHES_MULTIKE_H_
+#define OPENEA_APPROACHES_MULTIKE_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+
+namespace openea::approaches {
+
+/// MultiKE (Zhang et al. 2019): multi-view embedding combining (i) a
+/// literal/name view (character-level plus word-level features of attribute
+/// values), (ii) a relation view (TransE with parameter swapping), and
+/// (iii) an attribute view (attribute-correlation vectors). The views'
+/// normalized embeddings are concatenated — our stand-in for MultiKE's
+/// view-combination strategies — which makes the approach robust when any
+/// single view weakens (the paper's "insensitive to relation changes"
+/// observation) and fast to converge (Figure 8).
+class MultiKe : public core::EntityAlignmentApproach {
+ public:
+  explicit MultiKe(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "MultiKE"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_MULTIKE_H_

@@ -1,0 +1,27 @@
+#ifndef OPENEA_APPROACHES_RSN4EA_H_
+#define OPENEA_APPROACHES_RSN4EA_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+
+namespace openea::approaches {
+
+/// RSN4EA (Guo et al. 2019): random walks over the merged (parameter-
+/// sharing) KG are encoded by a recurrent skipping network that predicts
+/// each next entity from the RNN state plus a skip connection from the
+/// current subject entity. Paths cross KG boundaries through shared seed
+/// entities, propagating alignment signal along multi-hop chains.
+class Rsn4Ea : public core::EntityAlignmentApproach {
+ public:
+  explicit Rsn4Ea(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "RSN4EA"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_RSN4EA_H_

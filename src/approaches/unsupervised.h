@@ -1,0 +1,29 @@
+#ifndef OPENEA_APPROACHES_UNSUPERVISED_H_
+#define OPENEA_APPROACHES_UNSUPERVISED_H_
+
+#include <string>
+
+#include "src/core/approach.h"
+
+namespace openea::approaches {
+
+/// Exploration of the paper's first future direction (Sect. 7.2,
+/// "Unsupervised entity alignment"): no seed alignment is used. Distant
+/// supervision is distilled from discriminative features — high-confidence
+/// literal-overlap pairs (the IMUSE harvest) serve as pseudo-seeds — and a
+/// parameter-sharing TransE with literal-feature concatenation plus
+/// self-training refines from there. The provided task's `train` pairs are
+/// deliberately ignored.
+class UnsupervisedEa : public core::EntityAlignmentApproach {
+ public:
+  explicit UnsupervisedEa(const core::TrainConfig& config)
+      : core::EntityAlignmentApproach(config) {}
+
+  std::string name() const override { return "UnsupervisedEA"; }
+  core::ApproachRequirements requirements() const override;
+  core::AlignmentModel Train(const core::AlignmentTask& task) override;
+};
+
+}  // namespace openea::approaches
+
+#endif  // OPENEA_APPROACHES_UNSUPERVISED_H_

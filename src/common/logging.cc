@@ -1,0 +1,62 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+
+namespace openea {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= GetLogLevel()) {
+    std::cerr << stream_.str() << std::endl;
+  }
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  stream_ << "[F " << Basename(file) << ":" << line << "] ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace openea

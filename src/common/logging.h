@@ -1,0 +1,77 @@
+#ifndef OPENEA_COMMON_LOGGING_H_
+#define OPENEA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace openea {
+
+/// Log severity levels, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity that will be printed. Defaults to kInfo.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum severity.
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log message that emits on destruction. Used via the LOG()
+/// macro; not part of the public API.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Fatal variant: prints and aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace openea
+
+#define OPENEA_LOG(level)                                           \
+  ::openea::internal_logging::LogMessage(::openea::LogLevel::level, \
+                                         __FILE__, __LINE__)        \
+      .stream()
+
+/// CHECK aborts with a message when `cond` is false. Used for programmer
+/// errors (precondition violations), not for recoverable failures.
+#define OPENEA_CHECK(cond)                                               \
+  if (!(cond))                                                           \
+  ::openea::internal_logging::FatalLogMessage(__FILE__, __LINE__)        \
+      .stream()                                                          \
+      << "Check failed: " #cond " "
+
+#define OPENEA_CHECK_GT(a, b) OPENEA_CHECK((a) > (b))
+#define OPENEA_CHECK_GE(a, b) OPENEA_CHECK((a) >= (b))
+#define OPENEA_CHECK_LT(a, b) OPENEA_CHECK((a) < (b))
+#define OPENEA_CHECK_LE(a, b) OPENEA_CHECK((a) <= (b))
+#define OPENEA_CHECK_EQ(a, b) OPENEA_CHECK((a) == (b))
+#define OPENEA_CHECK_NE(a, b) OPENEA_CHECK((a) != (b))
+
+#endif  // OPENEA_COMMON_LOGGING_H_

@@ -1,0 +1,142 @@
+#ifndef OPENEA_COMMON_RNG_H_
+#define OPENEA_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace openea {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// SplitMix64). All randomness in the library flows through explicit Rng
+/// instances so that datasets, training runs, and benchmarks are exactly
+/// reproducible from a single seed.
+class Rng {
+ public:
+  /// Creates a generator whose full state is derived from `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Reseed(seed); }
+
+  /// Resets the generator state from `seed`.
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+  /// Returns a uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns a uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// Returns true with probability `p`.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Returns a standard normal sample (Box–Muller).
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0;
+    do {
+      u = NextDouble();
+    } while (u <= 1e-12);
+    const double v = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u));
+    const double theta = 2.0 * 3.14159265358979323846 * v;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Returns an index sampled from a power-law (Zipf-like) distribution over
+  /// [0, n) with exponent `alpha` (> 0). Smaller indices are more likely.
+  /// Uses inverse-CDF sampling of the continuous Pareto approximation.
+  size_t NextZipf(size_t n, double alpha) {
+    if (n <= 1) return 0;
+    // Continuous approximation: x = (n^{1-a} u + (1-u))^{1/(1-a)} for a != 1.
+    const double u = NextDouble();
+    double x = 0.0;
+    if (std::fabs(alpha - 1.0) < 1e-9) {
+      x = std::pow(static_cast<double>(n), u);
+    } else {
+      const double one_minus = 1.0 - alpha;
+      x = std::pow(std::pow(static_cast<double>(n), one_minus) * u +
+                       (1.0 - u),
+                   1.0 / one_minus);
+    }
+    size_t idx = static_cast<size_t>(x) - (x >= 1.0 ? 1 : 0);
+    if (idx >= n) idx = n - 1;
+    return idx;
+  }
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      const size_t j = NextBounded(i + 1);
+      std::swap(items[i], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct items from `items` (k may exceed items.size(), in
+  /// which case all items are returned, shuffled).
+  template <typename T>
+  std::vector<T> SampleWithoutReplacement(const std::vector<T>& items,
+                                          size_t k) {
+    std::vector<T> pool = items;
+    Shuffle(pool);
+    if (k < pool.size()) pool.resize(k);
+    return pool;
+  }
+
+  /// Forks a child generator whose stream is independent of (but determined
+  /// by) this generator's state. Useful to give submodules their own streams.
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {0, 0, 0, 0};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace openea
+
+#endif  // OPENEA_COMMON_RNG_H_

@@ -1,0 +1,31 @@
+#ifndef OPENEA_COMMON_STOPWATCH_H_
+#define OPENEA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace openea {
+
+/// Wall-clock stopwatch used for the running-time experiments (Figure 8).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace openea
+
+#endif  // OPENEA_COMMON_STOPWATCH_H_

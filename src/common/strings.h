@@ -1,0 +1,45 @@
+#ifndef OPENEA_COMMON_STRINGS_H_
+#define OPENEA_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace openea {
+
+/// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Splits `text` on runs of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True when `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+/// Formats an integer with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(long long value);
+
+/// Levenshtein edit distance between `a` and `b`.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Normalized edit similarity: 1 - dist/max(|a|,|b|); 1.0 for two empties.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of character trigram sets (with boundary padding).
+double TrigramJaccard(std::string_view a, std::string_view b);
+
+}  // namespace openea
+
+#endif  // OPENEA_COMMON_STRINGS_H_

@@ -1,0 +1,107 @@
+#include "src/common/table_printer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace openea {
+namespace {
+constexpr char kSeparatorMarker[] = "\x01";
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back({kSeparatorMarker});
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) continue;
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_line = [&]() {
+    os << '+';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      const size_t pad = widths[c] - cell.size();
+      if (c == 0) {
+        os << ' ' << cell << std::string(pad, ' ') << " |";
+      } else {
+        os << ' ' << std::string(pad, ' ') << cell << " |";
+      }
+    }
+    os << '\n';
+  };
+
+  print_line();
+  print_row(header_);
+  print_line();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) {
+      print_line();
+    } else {
+      print_row(row);
+    }
+  }
+  print_line();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < header_.size(); ++c) {
+      if (c > 0) oss << ',';
+      oss << quote(c < row.size() ? row[c] : "");
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) continue;
+    emit(row);
+  }
+  return oss.str();
+}
+
+bool TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToCsv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace openea

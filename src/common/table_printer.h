@@ -1,0 +1,47 @@
+#ifndef OPENEA_COMMON_TABLE_PRINTER_H_
+#define OPENEA_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace openea {
+
+/// Console table renderer used by the benchmark binaries to print rows in
+/// the same layout as the paper's tables. Columns are auto-sized; the first
+/// column is left-aligned, the rest right-aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given header row.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; it may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Renders the table as CSV (header + data rows; separators skipped),
+  /// quoting cells that contain commas or quotes. The paper releases all
+  /// experimental results in CSV format; benches can do the same via
+  /// WriteCsv.
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are represented by a single cell containing "\x01".
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace openea
+
+#endif  // OPENEA_COMMON_TABLE_PRINTER_H_

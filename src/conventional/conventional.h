@@ -1,0 +1,45 @@
+#ifndef OPENEA_CONVENTIONAL_CONVENTIONAL_H_
+#define OPENEA_CONVENTIONAL_CONVENTIONAL_H_
+
+#include "src/kg/knowledge_graph.h"
+#include "src/kg/types.h"
+#include "src/text/translation.h"
+
+namespace openea::conventional {
+
+/// Options shared by the conventional (non-embedding) baselines. The
+/// feature switches drive the paper's Table 8 study; `translator`
+/// substitutes Google Translate on cross-lingual pairs (DESIGN.md): KG2
+/// literals and names are back-translated before matching.
+struct ConventionalOptions {
+  bool use_relations = true;
+  bool use_attributes = true;
+  const text::TranslationDictionary* translator = nullptr;
+  /// Acceptance threshold on the final match score/probability.
+  double threshold = 0.5;
+  /// Fixpoint iterations (PARIS) / propagation rounds (LogMap).
+  int iterations = 4;
+};
+
+/// PARIS (Suchanek et al. 2012): probabilistic alignment of instances.
+/// Literal-value overlap (weighted by value rarity) seeds equivalence
+/// probabilities; relation functionalities and iteratively-estimated
+/// relation alignment propagate them through relational evidence to a
+/// fixpoint. Without attribute triples there is no seed evidence and PARIS
+/// outputs nothing — the paper's Table 8 observation.
+kg::Alignment RunParis(const kg::KnowledgeGraph& kg1,
+                       const kg::KnowledgeGraph& kg2,
+                       const ConventionalOptions& options);
+
+/// LogMap-style matcher (Jimenez-Ruiz & Cuenca Grau 2011): a lexical index
+/// over entity local names and literal values anchors candidate mappings;
+/// structural propagation rewards anchors with matching neighbourhoods;
+/// a repair step enforces 1-to-1 consistency. Depends on meaningful local
+/// names, so Wikidata-style numeric IRIs defeat it (paper Sect. 6.3).
+kg::Alignment RunLogMap(const kg::KnowledgeGraph& kg1,
+                        const kg::KnowledgeGraph& kg2,
+                        const ConventionalOptions& options);
+
+}  // namespace openea::conventional
+
+#endif  // OPENEA_CONVENTIONAL_CONVENTIONAL_H_

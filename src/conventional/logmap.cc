@@ -1,0 +1,180 @@
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/strings.h"
+#include "src/conventional/conventional.h"
+
+namespace openea::conventional {
+namespace {
+
+using kg::EntityId;
+using kg::KnowledgeGraph;
+
+int64_t PairKey(EntityId a, EntityId b) {
+  return (static_cast<int64_t>(a) << 32) ^ static_cast<int64_t>(b);
+}
+
+/// Local name of an entity, tokenized on '_' with the numeric uniquifier
+/// kept (it never matches, which is fine), optionally back-translated.
+std::string NormalizedLocalName(const std::string& iri,
+                                const text::TranslationDictionary* dict) {
+  const size_t colon = iri.find(':');
+  std::string local = colon == std::string::npos ? iri : iri.substr(colon + 1);
+  for (char& c : local) {
+    if (c == '_') c = ' ';
+  }
+  if (dict != nullptr) local = dict->UntranslateText(local);
+  return local;
+}
+
+/// Entity literal-value sets (back-translated for KG2).
+std::vector<std::unordered_set<std::string>> EntityValues(
+    const KnowledgeGraph& kg, const text::TranslationDictionary* dict) {
+  std::vector<std::unordered_set<std::string>> values(kg.NumEntities());
+  for (const kg::AttributeTriple& t : kg.attribute_triples()) {
+    std::string value = kg.literals().Name(t.value);
+    if (dict != nullptr) value = dict->UntranslateText(value);
+    values[t.entity].insert(std::move(value));
+  }
+  return values;
+}
+
+double ValueJaccard(const std::unordered_set<std::string>& a,
+                    const std::unordered_set<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  size_t inter = 0;
+  const auto& small = a.size() < b.size() ? a : b;
+  const auto& large = a.size() < b.size() ? b : a;
+  for (const auto& v : small) {
+    if (large.count(v) > 0) ++inter;
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size() - inter);
+}
+
+}  // namespace
+
+kg::Alignment RunLogMap(const KnowledgeGraph& kg1, const KnowledgeGraph& kg2,
+                        const ConventionalOptions& options) {
+  // LogMap's matching is lexical at its core; with attribute/lexical
+  // features disabled it produces no anchors (paper Table 8 reports no
+  // output for the relations-only setting).
+  if (!options.use_attributes) return {};
+
+  // ---- Lexical index over name tokens and literal values --------------------
+  std::vector<std::string> names1(kg1.NumEntities()), names2(kg2.NumEntities());
+  for (size_t e = 0; e < kg1.NumEntities(); ++e) {
+    names1[e] = NormalizedLocalName(
+        kg1.entities().Name(static_cast<int>(e)), nullptr);
+  }
+  for (size_t e = 0; e < kg2.NumEntities(); ++e) {
+    names2[e] = NormalizedLocalName(
+        kg2.entities().Name(static_cast<int>(e)), options.translator);
+  }
+  const auto values1 = EntityValues(kg1, nullptr);
+  const auto values2 = EntityValues(kg2, options.translator);
+
+  // Inverted index: token or value -> KG2 entities.
+  std::unordered_map<std::string, std::vector<EntityId>> index2;
+  auto add_key = [&](const std::string& key, EntityId e) {
+    auto& list = index2[key];
+    if (list.size() < 50) list.push_back(e);
+  };
+  for (size_t e = 0; e < kg2.NumEntities(); ++e) {
+    for (const auto& tok : openea::SplitWhitespace(names2[e])) {
+      add_key(tok, static_cast<EntityId>(e));
+    }
+    for (const auto& v : values2[e]) add_key(v, static_cast<EntityId>(e));
+  }
+
+  // ---- Anchor scoring ---------------------------------------------------------
+  std::unordered_map<int64_t, double> score;
+  for (size_t e1 = 0; e1 < kg1.NumEntities(); ++e1) {
+    std::unordered_set<EntityId> candidates;
+    for (const auto& tok : openea::SplitWhitespace(names1[e1])) {
+      auto it = index2.find(tok);
+      if (it == index2.end()) continue;
+      candidates.insert(it->second.begin(), it->second.end());
+    }
+    for (const auto& v : values1[e1]) {
+      auto it = index2.find(v);
+      if (it == index2.end()) continue;
+      candidates.insert(it->second.begin(), it->second.end());
+    }
+    for (EntityId e2 : candidates) {
+      const double name_sim = openea::TrigramJaccard(names1[e1], names2[e2]);
+      const double value_sim = ValueJaccard(values1[e1], values2[e2]);
+      const double s = 0.6 * name_sim + 0.4 * value_sim;
+      if (s > 0.15) {
+        score[PairKey(static_cast<EntityId>(e1), e2)] = s;
+      }
+    }
+  }
+
+  // ---- Structural propagation --------------------------------------------------
+  if (options.use_relations) {
+    for (int iter = 0; iter < options.iterations; ++iter) {
+      // Current provisional best match per KG1 entity.
+      std::unordered_map<EntityId, std::pair<EntityId, double>> best;
+      for (const auto& [key, s] : score) {
+        const EntityId l = static_cast<EntityId>(key >> 32);
+        auto [it, inserted] = best.emplace(
+            l, std::make_pair(static_cast<EntityId>(key & 0xffffffff), s));
+        if (!inserted && s > it->second.second) {
+          it->second = {static_cast<EntityId>(key & 0xffffffff), s};
+        }
+      }
+      std::unordered_map<int64_t, double> bonus;
+      for (const auto& [key, s] : score) {
+        if (s < 0.3) continue;
+        const EntityId l = static_cast<EntityId>(key >> 32);
+        const EntityId r = static_cast<EntityId>(key & 0xffffffff);
+        // Count neighbours of l whose best match is a neighbour of r.
+        std::unordered_set<EntityId> r_neighbors;
+        for (const kg::NeighborEdge& e : kg2.Neighbors(r)) {
+          r_neighbors.insert(e.neighbor);
+        }
+        size_t matched = 0, total = 0;
+        for (const kg::NeighborEdge& e : kg1.Neighbors(l)) {
+          ++total;
+          auto it = best.find(e.neighbor);
+          if (it != best.end() && it->second.second > 0.3 &&
+              r_neighbors.count(it->second.first) > 0) {
+            ++matched;
+          }
+        }
+        if (total > 0) {
+          bonus[key] = 0.2 * static_cast<double>(matched) /
+                       static_cast<double>(total);
+        }
+      }
+      for (const auto& [key, b] : bonus) score[key] += b;
+    }
+  }
+
+  // ---- Repair: greedy 1-to-1 with threshold -----------------------------------
+  struct Scored {
+    double s;
+    EntityId left, right;
+  };
+  std::vector<Scored> scored;
+  for (const auto& [key, s] : score) {
+    if (s < options.threshold) continue;
+    scored.push_back({s, static_cast<EntityId>(key >> 32),
+                      static_cast<EntityId>(key & 0xffffffff)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.s > b.s; });
+  kg::Alignment out;
+  std::unordered_set<EntityId> taken1, taken2;
+  for (const Scored& s : scored) {
+    if (taken1.count(s.left) > 0 || taken2.count(s.right) > 0) continue;
+    taken1.insert(s.left);
+    taken2.insert(s.right);
+    out.push_back({s.left, s.right});
+  }
+  return out;
+}
+
+}  // namespace openea::conventional

@@ -1,0 +1,189 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/conventional/conventional.h"
+
+namespace openea::conventional {
+namespace {
+
+using kg::EntityId;
+using kg::KnowledgeGraph;
+using kg::RelationId;
+
+int64_t PairKey(EntityId a, EntityId b) {
+  return (static_cast<int64_t>(a) << 32) ^ static_cast<int64_t>(b);
+}
+
+/// Relation functionality: #distinct heads / #triples (PARIS Sect. 4).
+std::vector<double> Functionalities(const KnowledgeGraph& kg) {
+  std::vector<std::unordered_set<EntityId>> heads(kg.NumRelations());
+  std::vector<size_t> counts(kg.NumRelations(), 0);
+  for (const kg::Triple& t : kg.triples()) {
+    heads[t.relation].insert(t.head);
+    ++counts[t.relation];
+  }
+  std::vector<double> fun(kg.NumRelations(), 0.0);
+  for (size_t r = 0; r < fun.size(); ++r) {
+    if (counts[r] > 0) {
+      fun[r] = static_cast<double>(heads[r].size()) /
+               static_cast<double>(counts[r]);
+    }
+  }
+  return fun;
+}
+
+struct Edge {
+  EntityId neighbor;
+  RelationId relation;  // Incoming edges use relation + NumRelations().
+};
+
+std::vector<std::vector<Edge>> BuildEdges(const KnowledgeGraph& kg,
+                                          size_t cap) {
+  std::vector<std::vector<Edge>> edges(kg.NumEntities());
+  const RelationId offset = static_cast<RelationId>(kg.NumRelations());
+  for (const kg::Triple& t : kg.triples()) {
+    if (edges[t.head].size() < cap) {
+      edges[t.head].push_back({t.tail, t.relation});
+    }
+    if (edges[t.tail].size() < cap) {
+      edges[t.tail].push_back(
+          {t.head, static_cast<RelationId>(t.relation + offset)});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+kg::Alignment RunParis(const KnowledgeGraph& kg1, const KnowledgeGraph& kg2,
+                       const ConventionalOptions& options) {
+  // PARIS bootstraps from literal evidence; without attribute triples it
+  // has no seed probabilities and outputs nothing (Table 8).
+  if (!options.use_attributes) return {};
+
+  // ---- Seed probabilities from shared literal values ------------------------
+  std::unordered_map<std::string, std::vector<EntityId>> values1, values2;
+  for (const kg::AttributeTriple& t : kg1.attribute_triples()) {
+    values1[kg1.literals().Name(t.value)].push_back(t.entity);
+  }
+  for (const kg::AttributeTriple& t : kg2.attribute_triples()) {
+    std::string value = kg2.literals().Name(t.value);
+    if (options.translator != nullptr) {
+      value = options.translator->UntranslateText(value);
+    }
+    values2[value].push_back(t.entity);
+  }
+  // P(e1 = e2) = 1 - prod over shared values v of (1 - rarity(v)).
+  std::unordered_map<int64_t, double> not_equal;  // Product form.
+  for (const auto& [value, ents1] : values1) {
+    auto it = values2.find(value);
+    if (it == values2.end()) continue;
+    const auto& ents2 = it->second;
+    if (ents1.size() * ents2.size() > 400) continue;  // Stop-value.
+    const double rarity =
+        1.0 / static_cast<double>(ents1.size() * ents2.size());
+    for (EntityId e1 : ents1) {
+      for (EntityId e2 : ents2) {
+        auto [slot, inserted] = not_equal.emplace(PairKey(e1, e2), 1.0);
+        slot->second *= 1.0 - rarity;
+      }
+    }
+  }
+  std::unordered_map<int64_t, double> prob;
+  prob.reserve(not_equal.size());
+  for (const auto& [key, ne] : not_equal) prob[key] = 1.0 - ne;
+
+  // ---- Relational fixpoint ---------------------------------------------------
+  if (options.use_relations) {
+    const std::vector<double> fun1 = Functionalities(kg1);
+    const auto edges1 = BuildEdges(kg1, 30);
+    const auto edges2 = BuildEdges(kg2, 30);
+    const size_t num_rel2 = 2 * kg2.NumRelations();
+
+    for (int iter = 0; iter < options.iterations; ++iter) {
+      // Relation alignment: evidence that r2 maps to r1, normalized by the
+      // number of r2 edges seen with any aligned endpoints.
+      std::unordered_map<int64_t, double> rel_evidence;
+      for (const auto& [key, p] : prob) {
+        if (p < 0.1) continue;
+        const EntityId x = static_cast<EntityId>(key >> 32);
+        const EntityId y = static_cast<EntityId>(key & 0xffffffff);
+        for (const Edge& f : edges1[x]) {
+          for (const Edge& g : edges2[y]) {
+            auto nk = PairKey(f.neighbor, g.neighbor);
+            auto it = prob.find(nk);
+            if (it == prob.end()) continue;
+            rel_evidence[(static_cast<int64_t>(f.relation) << 32) ^
+                         g.relation] += p * it->second;
+          }
+        }
+      }
+      // Normalize per r2 by its total evidence mass plus smoothing.
+      std::vector<double> totals(num_rel2, 1e-9);
+      for (const auto& [key, ev] : rel_evidence) {
+        totals[key & 0xffffffff] += ev;
+      }
+      auto rel_align = [&](RelationId r1, RelationId r2) -> double {
+        auto it = rel_evidence.find((static_cast<int64_t>(r1) << 32) ^ r2);
+        if (it == rel_evidence.end()) return 0.0;
+        return it->second / totals[r2];
+      };
+
+      // Propagate: candidates are pairs whose neighbours look aligned.
+      std::unordered_map<int64_t, double> next_not_equal;
+      for (const auto& [key, p] : prob) {
+        if (p < 0.1) continue;
+        const EntityId x = static_cast<EntityId>(key >> 32);
+        const EntityId y = static_cast<EntityId>(key & 0xffffffff);
+        for (const Edge& f : edges1[x]) {
+          const double base_fun =
+              f.relation < static_cast<RelationId>(kg1.NumRelations())
+                  ? fun1[f.relation]
+                  : fun1[f.relation - kg1.NumRelations()];
+          for (const Edge& g : edges2[y]) {
+            const double ra = rel_align(f.relation, g.relation);
+            if (ra < 0.05) continue;
+            const double evidence = base_fun * ra * p;
+            if (evidence < 1e-4) continue;
+            auto [slot, inserted] = next_not_equal.emplace(
+                PairKey(f.neighbor, g.neighbor), 1.0);
+            slot->second *= 1.0 - std::min(evidence, 0.99);
+          }
+        }
+      }
+      // Combine attribute seeds with relational evidence.
+      for (const auto& [key, ne] : next_not_equal) {
+        auto [slot, inserted] = prob.emplace(key, 0.0);
+        slot->second = 1.0 - (1.0 - slot->second) * ne;
+      }
+    }
+  }
+
+  // ---- Greedy 1-to-1 extraction ----------------------------------------------
+  struct Scored {
+    double p;
+    EntityId left, right;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(prob.size());
+  for (const auto& [key, p] : prob) {
+    if (p < options.threshold) continue;
+    scored.push_back({p, static_cast<EntityId>(key >> 32),
+                      static_cast<EntityId>(key & 0xffffffff)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.p > b.p; });
+  kg::Alignment out;
+  std::unordered_set<EntityId> taken1, taken2;
+  for (const Scored& s : scored) {
+    if (taken1.count(s.left) > 0 || taken2.count(s.right) > 0) continue;
+    taken1.insert(s.left);
+    taken2.insert(s.right);
+    out.push_back({s.left, s.right});
+  }
+  return out;
+}
+
+}  // namespace openea::conventional

@@ -1,0 +1,126 @@
+#include "src/core/benchmark.h"
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/core/registry.h"
+#include "src/sampling/samplers.h"
+
+namespace openea::core {
+
+ScalePreset ScalePreset::Small() {
+  return {"15K-scale", /*source_entities=*/1200, /*sample_entities=*/500,
+          /*ids_mu=*/40.0};
+}
+
+ScalePreset ScalePreset::Large() {
+  return {"100K-scale", /*source_entities=*/2400, /*sample_entities=*/1000,
+          /*ids_mu=*/80.0};
+}
+
+BenchmarkDataset BuildBenchmarkDataset(
+    const datagen::HeterogeneityProfile& profile, const ScalePreset& scale,
+    bool dense_v2, uint64_t seed) {
+  datagen::SyntheticKgConfig config;
+  config.num_entities = scale.source_entities;
+  config.avg_degree = 5.8;
+  config.num_relations = 30;
+  config.num_attributes = 18;
+  config.vocabulary_size = 400;
+  config.seed = seed;
+  if (dense_v2) {
+    // V2 targets twice the V1 density (paper Sect. 3.2). At paper scale the
+    // density comes purely from deleting low-degree entities in a huge
+    // source; our sources are small, so most of the density comes from a
+    // denser generator and the paper's low-degree deletion supplies the
+    // rest without exhausting the entity pool.
+    config.num_entities = scale.source_entities * 2;
+    config.avg_degree *= 1.6;
+  }
+  datagen::DatasetPair source = GenerateDatasetPair(config, profile, seed);
+  if (dense_v2) {
+    source = sampling::DensifyPair(source, 1.25, seed ^ 0xD2);
+  }
+  sampling::IdsOptions ids;
+  ids.target_size = scale.sample_entities;
+  ids.mu = scale.ids_mu;
+  ids.seed = seed ^ 0x1D5;
+  BenchmarkDataset out;
+  out.pair = sampling::IterativeDegreeSampling(source, ids);
+  out.pair.name = profile.name;
+  out.name = profile.name + "-" + scale.label + (dense_v2 ? " (V2)" : " (V1)");
+  return out;
+}
+
+std::vector<BenchmarkDataset> BuildBenchmarkSuite(const ScalePreset& scale,
+                                                  bool include_v2,
+                                                  uint64_t seed) {
+  std::vector<BenchmarkDataset> out;
+  const datagen::HeterogeneityProfile profiles[] = {
+      datagen::HeterogeneityProfile::EnFr(),
+      datagen::HeterogeneityProfile::EnDe(),
+      datagen::HeterogeneityProfile::DbpWd(),
+      datagen::HeterogeneityProfile::DbpYg(),
+  };
+  for (const auto& profile : profiles) {
+    out.push_back(BuildBenchmarkDataset(profile, scale, false, seed));
+    if (include_v2) {
+      out.push_back(BuildBenchmarkDataset(profile, scale, true, seed));
+    }
+  }
+  return out;
+}
+
+AlignmentTask MakeTask(const datagen::DatasetPair& pair,
+                       const eval::FoldSplit& fold) {
+  AlignmentTask task;
+  task.kg1 = &pair.kg1;
+  task.kg2 = &pair.kg2;
+  task.train = fold.train;
+  task.valid = fold.valid;
+  task.test = fold.test;
+  task.dictionary = pair.dictionary.size() > 0 ? &pair.dictionary : nullptr;
+  return task;
+}
+
+CrossValidationResult RunCrossValidation(const std::string& approach_name,
+                                         const BenchmarkDataset& dataset,
+                                         const TrainConfig& config,
+                                         int num_folds) {
+  CrossValidationResult result;
+  result.approach = approach_name;
+  result.dataset = dataset.name;
+
+  const auto folds = eval::MakeFolds(dataset.pair.reference, 5, 0.1,
+                                     config.seed ^ 0xF01D);
+  OPENEA_CHECK_LE(static_cast<size_t>(num_folds), folds.size());
+
+  std::vector<double> hits1, hits5, mr, mrr;
+  double total_seconds = 0.0;
+  for (int f = 0; f < num_folds; ++f) {
+    auto approach = CreateApproach(approach_name, config);
+    OPENEA_CHECK(approach != nullptr) << approach_name;
+    const AlignmentTask task = MakeTask(dataset.pair, folds[f]);
+    Stopwatch watch;
+    AlignmentModel model = approach->Train(task);
+    total_seconds += watch.ElapsedSeconds();
+    const eval::RankingMetrics metrics = eval::EvaluateRanking(
+        model, task.test, align::DistanceMetric::kCosine);
+    hits1.push_back(metrics.hits1);
+    hits5.push_back(metrics.hits5);
+    mr.push_back(metrics.mr);
+    mrr.push_back(metrics.mrr);
+    if (f == 0) {
+      result.trace = model.semi_supervised_trace;
+      result.first_fold_model = std::move(model);
+      result.first_fold_test = task.test;
+    }
+  }
+  result.hits1 = eval::Aggregate(hits1);
+  result.hits5 = eval::Aggregate(hits5);
+  result.mr = eval::Aggregate(mr);
+  result.mrr = eval::Aggregate(mrr);
+  result.mean_seconds = total_seconds / std::max(num_folds, 1);
+  return result;
+}
+
+}  // namespace openea::core

@@ -1,0 +1,74 @@
+#ifndef OPENEA_CORE_BENCHMARK_H_
+#define OPENEA_CORE_BENCHMARK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/approach.h"
+#include "src/core/task.h"
+#include "src/datagen/kg_pair.h"
+#include "src/eval/folds.h"
+#include "src/eval/metrics.h"
+
+namespace openea::core {
+
+/// Scale preset for the benchmark datasets. The paper's 15K / 100K scales
+/// map to proportionally smaller CPU-friendly sizes (DESIGN.md, "Scaled
+/// protocol"); relative comparisons are preserved.
+struct ScalePreset {
+  std::string label;        // e.g. "15K-scale".
+  size_t source_entities;   // Synthetic source KG size fed to IDS.
+  size_t sample_entities;   // IDS target size.
+  double ids_mu;
+
+  static ScalePreset Small();  // The 15K analogue.
+  static ScalePreset Large();  // The 100K analogue.
+};
+
+/// One benchmark dataset: a sampled pair plus its provenance.
+struct BenchmarkDataset {
+  std::string name;  // e.g. "EN-FR-15K-scale (V1)".
+  datagen::DatasetPair pair;
+};
+
+/// Builds one dataset family member: generates the synthetic source pair
+/// for `profile`, densifies it for V2 (paper Sect. 3.2), and samples with
+/// IDS.
+BenchmarkDataset BuildBenchmarkDataset(
+    const datagen::HeterogeneityProfile& profile, const ScalePreset& scale,
+    bool dense_v2, uint64_t seed);
+
+/// All four dataset families (EN-FR, EN-DE, D-W, D-Y) at one scale;
+/// `include_v2` adds the dense variants.
+std::vector<BenchmarkDataset> BuildBenchmarkSuite(const ScalePreset& scale,
+                                                  bool include_v2,
+                                                  uint64_t seed);
+
+/// Builds the AlignmentTask for one fold of a dataset.
+AlignmentTask MakeTask(const datagen::DatasetPair& pair,
+                       const eval::FoldSplit& fold);
+
+/// Aggregated cross-validation result of one approach on one dataset
+/// (means and standard deviations over folds, as in Table 5).
+struct CrossValidationResult {
+  std::string approach;
+  std::string dataset;
+  eval::MeanStd hits1, hits5, mr, mrr;
+  double mean_seconds = 0.0;
+  /// Semi-supervised traces of the first fold (Figure 7).
+  std::vector<IterationStat> trace;
+  /// First-fold artifacts for the geometric analyses.
+  AlignmentModel first_fold_model;
+  kg::Alignment first_fold_test;
+};
+
+/// Trains and evaluates the named approach over `num_folds` folds of
+/// `dataset` (paper protocol: train 20% / valid 10% / test 70%).
+CrossValidationResult RunCrossValidation(const std::string& approach_name,
+                                         const BenchmarkDataset& dataset,
+                                         const TrainConfig& config,
+                                         int num_folds);
+
+}  // namespace openea::core
+
+#endif  // OPENEA_CORE_BENCHMARK_H_

@@ -1,0 +1,74 @@
+#include "src/core/registry.h"
+
+#include "src/approaches/alinet.h"
+#include "src/approaches/attre.h"
+#include "src/approaches/bootea.h"
+#include "src/approaches/gcn_align.h"
+#include "src/approaches/imuse.h"
+#include "src/approaches/iptranse.h"
+#include "src/approaches/jape.h"
+#include "src/approaches/kdcoe.h"
+#include "src/approaches/mtranse.h"
+#include "src/approaches/multike.h"
+#include "src/approaches/rdgcn.h"
+#include "src/approaches/rsn4ea.h"
+#include "src/approaches/unsupervised.h"
+#include "src/common/strings.h"
+
+namespace openea::core {
+
+const std::vector<std::string>& ApproachNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "MTransE", "IPTransE", "JAPE",   "KDCoE",  "BootEA",  "GCNAlign",
+      "AttrE",   "IMUSE",    "SEA",    "RSN4EA", "MultiKE", "RDGCN",
+  };
+  return *names;
+}
+
+std::unique_ptr<EntityAlignmentApproach> CreateApproach(
+    const std::string& name, const TrainConfig& config) {
+  using namespace openea::approaches;  // NOLINT: local factory scope.
+  if (name == "MTransE") return std::make_unique<MTransE>(config);
+  if (name == "IPTransE") return std::make_unique<IpTransE>(config);
+  if (name == "JAPE") return std::make_unique<Jape>(config);
+  if (name == "KDCoE") return std::make_unique<KdCoE>(config);
+  if (name == "BootEA") return std::make_unique<BootEa>(config);
+  if (name == "GCNAlign") return std::make_unique<GcnAlign>(config);
+  if (name == "AttrE") return std::make_unique<AttrE>(config);
+  if (name == "IMUSE") return std::make_unique<Imuse>(config);
+  if (name == "SEA") return std::make_unique<Sea>(config);
+  if (name == "RSN4EA") return std::make_unique<Rsn4Ea>(config);
+  if (name == "MultiKE") return std::make_unique<MultiKe>(config);
+  if (name == "RDGCN") return std::make_unique<Rdgcn>(config);
+  // Extensions beyond the paper's 12 (see DESIGN.md): the AliNet approach
+  // the paper slates for future OpenEA releases, and the unsupervised
+  // exploration of Sect. 7.2.
+  if (name == "AliNet") return std::make_unique<AliNet>(config);
+  if (name == "UnsupervisedEA") return std::make_unique<UnsupervisedEa>(config);
+
+  // Unexplored-model chassis: "MTransE-<ModelName>".
+  if (StartsWith(name, "MTransE-")) {
+    const std::string model_name = name.substr(8);
+    static const std::pair<const char*, embedding::TripleModelKind> kKinds[] =
+        {{"TransH", embedding::TripleModelKind::kTransH},
+         {"TransR", embedding::TripleModelKind::kTransR},
+         {"TransD", embedding::TripleModelKind::kTransD},
+         {"HolE", embedding::TripleModelKind::kHolE},
+         {"SimplE", embedding::TripleModelKind::kSimplE},
+         {"ComplEx", embedding::TripleModelKind::kComplEx},
+         {"RotatE", embedding::TripleModelKind::kRotatE},
+         {"DistMult", embedding::TripleModelKind::kDistMult},
+         {"ProjE", embedding::TripleModelKind::kProjE},
+         {"ConvE", embedding::TripleModelKind::kConvE}};
+    for (const auto& [kind_name, kind] : kKinds) {
+      if (model_name == kind_name) {
+        MTransE::Options options;
+        options.model_kind = kind;
+        return std::make_unique<MTransE>(config, options);
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace openea::core

@@ -1,0 +1,24 @@
+#ifndef OPENEA_CORE_REGISTRY_H_
+#define OPENEA_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/approach.h"
+
+namespace openea::core {
+
+/// Names of the 12 representative approaches integrated by the library, in
+/// the paper's Table 5 order.
+const std::vector<std::string>& ApproachNames();
+
+/// Creates an approach by its paper name (e.g. "BootEA"); also accepts
+/// "MTransE-<Model>" for the unexplored-model chassis (Figure 11), e.g.
+/// "MTransE-RotatE". Returns nullptr for unknown names.
+std::unique_ptr<EntityAlignmentApproach> CreateApproach(
+    const std::string& name, const TrainConfig& config);
+
+}  // namespace openea::core
+
+#endif  // OPENEA_CORE_REGISTRY_H_

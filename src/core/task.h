@@ -1,0 +1,49 @@
+#ifndef OPENEA_CORE_TASK_H_
+#define OPENEA_CORE_TASK_H_
+
+#include <vector>
+
+#include "src/kg/knowledge_graph.h"
+#include "src/kg/types.h"
+#include "src/math/matrix.h"
+#include "src/text/translation.h"
+
+namespace openea::core {
+
+/// One entity-alignment problem instance: two KGs plus the seed (train),
+/// validation, and test partitions of the reference alignment (paper
+/// Sect. 5.1: 20% / 10% / 70%).
+struct AlignmentTask {
+  const kg::KnowledgeGraph* kg1 = nullptr;
+  const kg::KnowledgeGraph* kg2 = nullptr;
+  kg::Alignment train;
+  kg::Alignment valid;
+  kg::Alignment test;
+  /// Bilingual dictionary for cross-lingual pairs (the pre-trained
+  /// cross-lingual word-embedding substitute); null for monolingual pairs.
+  const text::TranslationDictionary* dictionary = nullptr;
+};
+
+/// Quality of the augmented seed alignment at one semi-supervised
+/// iteration, measured against the held-out reference (Figure 7).
+struct IterationStat {
+  int iteration = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Output of training an approach: entity embeddings of both KGs in one
+/// unified space (transformation-based approaches apply their learned map
+/// before returning), ready for nearest-neighbour alignment inference.
+struct AlignmentModel {
+  math::Matrix emb1;  // (|E1| x d)
+  math::Matrix emb2;  // (|E2| x d)
+  /// Non-empty only for semi-supervised approaches: the quality of newly
+  /// proposed alignment across bootstrapping iterations.
+  std::vector<IterationStat> semi_supervised_trace;
+};
+
+}  // namespace openea::core
+
+#endif  // OPENEA_CORE_TASK_H_

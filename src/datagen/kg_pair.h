@@ -1,0 +1,88 @@
+#ifndef OPENEA_DATAGEN_KG_PAIR_H_
+#define OPENEA_DATAGEN_KG_PAIR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/datagen/synthetic_kg.h"
+#include "src/kg/knowledge_graph.h"
+#include "src/kg/types.h"
+#include "src/text/translation.h"
+
+namespace openea::datagen {
+
+/// Controls how the second KG of a pair diverges from the first. The four
+/// presets mirror the heterogeneity of the paper's dataset families
+/// (Sect. 3.2): EN-FR and EN-DE are cross-lingual; D-W has Wikidata-style
+/// numeric local names (symbolic heterogeneity that defeats lexical
+/// matching); D-Y has YAGO-style tiny relation/attribute vocabularies but
+/// near-identical surface names.
+struct HeterogeneityProfile {
+  std::string name = "PAIR";
+  /// Namespace prefixes of the two KGs, e.g. "en"/"fr".
+  std::string kg1_prefix = "en";
+  std::string kg2_prefix = "fr";
+  /// Translate literal words, names, and descriptions into a second
+  /// language via a generated bilingual dictionary.
+  bool translate_literals = false;
+  /// Replace KG2 entity local names and attribute/relation names by opaque
+  /// numeric identifiers (Wikidata style).
+  bool numeric_local_names = false;
+  /// Probability that a KG1 relation triple also exists in KG2.
+  double triple_keep = 0.85;
+  /// Probability that a KG1 attribute triple also exists in KG2.
+  double attr_triple_keep = 0.85;
+  /// Fraction of extra KG2-only relation triples (relative to kept count).
+  double extra_triple_rate = 0.10;
+  /// Probability that a relation (attribute) of KG1's schema exists in KG2.
+  double relation_vocab_keep = 0.9;
+  double attribute_vocab_keep = 0.9;
+  /// Fraction of KG2 relations (attributes) collapsed into merged buckets
+  /// (YAGO-style coarse schema).
+  double relation_merge = 0.0;
+  double attribute_merge = 0.0;
+  /// Probability that a kept literal value is perturbed in KG2.
+  double value_noise = 0.10;
+  /// Probability that a numeric literal is re-formatted in KG2 (unit or
+  /// notation change), destroying exact-match joins while keeping
+  /// character-level similarity (Wikidata-style value heterogeneity).
+  double numeric_reformat = 0.0;
+  /// Fraction of the value vocabulary silently rewritten in KG2 (no entry
+  /// in the public dictionary): models KGs that verbalize the same facts
+  /// with different conventions, the deeper D-W value heterogeneity that
+  /// defeats literal matching.
+  double value_vocab_shift = 0.0;
+  /// Probability that an entity with a KG1 description keeps one in KG2.
+  double description_keep = 0.7;
+  /// Fraction of entities private to each KG (not in reference alignment).
+  double unaligned_fraction = 0.10;
+
+  static HeterogeneityProfile EnFr();
+  static HeterogeneityProfile EnDe();
+  static HeterogeneityProfile DbpWd();
+  static HeterogeneityProfile DbpYg();
+};
+
+/// A pair of KGs with reference alignment — the unit all sampling,
+/// training, and evaluation code operates on.
+struct DatasetPair {
+  std::string name;
+  kg::KnowledgeGraph kg1;
+  kg::KnowledgeGraph kg2;
+  /// Complete reference alignment (kg1 entity id, kg2 entity id).
+  kg::Alignment reference;
+  /// Bilingual dictionary used to build KG2 (empty for monolingual pairs).
+  /// Serves as the Google-Translate substitute for conventional baselines.
+  text::TranslationDictionary dictionary;
+};
+
+/// Generates a full dataset pair: a synthetic source KG (per
+/// `source_config`) split into two overlapping views transformed per
+/// `profile`. All randomness derives from `seed`.
+DatasetPair GenerateDatasetPair(const SyntheticKgConfig& source_config,
+                                const HeterogeneityProfile& profile,
+                                uint64_t seed);
+
+}  // namespace openea::datagen
+
+#endif  // OPENEA_DATAGEN_KG_PAIR_H_

@@ -1,0 +1,214 @@
+#include "src/datagen/synthetic_kg.h"
+
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/kg/types.h"
+
+namespace openea::datagen {
+namespace {
+
+using kg::AttributeId;
+using kg::EntityId;
+using kg::RelationId;
+using kg::Triple;
+using kg::TripleHash;
+
+std::string MakePseudoWord(Rng& rng) {
+  static constexpr const char* kOnsets[] = {"b", "d",  "f",  "g",  "k", "l",
+                                            "m", "n",  "p",  "r",  "s", "t",
+                                            "v", "z",  "br", "tr", "st"};
+  static constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai",
+                                            "ou", "ei"};
+  static constexpr const char* kCodas[] = {"", "", "", "n", "r", "s", "l"};
+  const int syllables = static_cast<int>(rng.NextInt(2, 3));
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    word += kOnsets[rng.NextBounded(std::size(kOnsets))];
+    word += kVowels[rng.NextBounded(std::size(kVowels))];
+    word += kCodas[rng.NextBounded(std::size(kCodas))];
+  }
+  return word;
+}
+
+}  // namespace
+
+std::vector<std::string> GeneratePseudoWords(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> words;
+  std::unordered_set<std::string> seen;
+  words.reserve(count);
+  while (words.size() < count) {
+    std::string w = MakePseudoWord(rng);
+    if (!seen.insert(w).second) {
+      w += std::to_string(words.size());
+      seen.insert(w);
+    }
+    words.push_back(std::move(w));
+  }
+  return words;
+}
+
+GeneratedKg GenerateSyntheticKg(const SyntheticKgConfig& config) {
+  OPENEA_CHECK_GT(config.num_entities, 1u);
+  OPENEA_CHECK_GT(config.num_relations, 0u);
+  Rng rng(config.seed);
+  GeneratedKg out;
+  out.vocabulary = GeneratePseudoWords(config.vocabulary_size,
+                                       config.seed ^ 0x5u);
+  kg::KnowledgeGraph& g = out.graph;
+
+  // ---- Entities ------------------------------------------------------------
+  const size_t n = config.num_entities;
+  {
+    Rng name_rng(config.seed ^ 0x11u);
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& w1 =
+          out.vocabulary[name_rng.NextZipf(out.vocabulary.size(), 0.6)];
+      const std::string& w2 =
+          out.vocabulary[name_rng.NextBounded(out.vocabulary.size())];
+      g.AddEntity(config.namespace_prefix + ":" + w1 + "_" + w2 + "_" +
+                  std::to_string(i));
+    }
+  }
+
+  // ---- Relations -----------------------------------------------------------
+  {
+    const auto rel_words =
+        GeneratePseudoWords(config.num_relations, config.seed ^ 0x22u);
+    for (size_t r = 0; r < config.num_relations; ++r) {
+      g.AddRelation(config.namespace_prefix + ":rel_" + rel_words[r]);
+    }
+  }
+
+  // ---- Relation triples ----------------------------------------------------
+  const size_t target_triples =
+      static_cast<size_t>(config.avg_degree * static_cast<double>(n) / 2.0);
+  std::unordered_set<Triple, TripleHash> triple_set;
+  auto sample_entity = [&]() -> EntityId {
+    return static_cast<EntityId>(rng.NextZipf(n, config.popularity_zipf));
+  };
+  auto sample_relation = [&]() -> RelationId {
+    return static_cast<RelationId>(
+        rng.NextZipf(config.num_relations, config.relation_zipf));
+  };
+  auto try_add = [&](EntityId h, RelationId r, EntityId t) -> bool {
+    if (h == t) return false;
+    const Triple triple{h, r, t};
+    if (!triple_set.insert(triple).second) return false;
+    g.AddTriple(triple);
+    return true;
+  };
+
+  // Pass 1: connect every entity at least once so the source KG has no
+  // isolated entities (matching real KGs; Table 3 reports 0 isolates).
+  for (size_t e = 0; e < n; ++e) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      EntityId other = sample_entity();
+      if (rng.NextBernoulli(0.5)) {
+        if (try_add(static_cast<EntityId>(e), sample_relation(), other)) break;
+      } else {
+        if (try_add(other, sample_relation(), static_cast<EntityId>(e))) break;
+      }
+    }
+  }
+
+  // Pass 2: preferential-attachment bulk triples.
+  const size_t triangle_budget = static_cast<size_t>(
+      config.triangle_fraction * static_cast<double>(target_triples));
+  size_t guard = 0;
+  while (triple_set.size() + triangle_budget < target_triples &&
+         guard < 50 * target_triples) {
+    ++guard;
+    try_add(sample_entity(), sample_relation(), sample_entity());
+  }
+
+  // Pass 3: triangle closing to raise the clustering coefficient. Pick an
+  // entity with two known partners and connect the partners.
+  g.BuildIndex();
+  guard = 0;
+  while (triple_set.size() < target_triples && guard < 50 * target_triples) {
+    ++guard;
+    const EntityId e = sample_entity();
+    const auto& nbrs = g.Neighbors(e);
+    if (nbrs.size() < 2) continue;
+    const EntityId a = nbrs[rng.NextBounded(nbrs.size())].neighbor;
+    const EntityId b = nbrs[rng.NextBounded(nbrs.size())].neighbor;
+    try_add(a, sample_relation(), b);
+  }
+
+  // ---- Attributes & attribute triples ---------------------------------------
+  {
+    const auto attr_words =
+        GeneratePseudoWords(config.num_attributes, config.seed ^ 0x33u);
+    for (size_t a = 0; a < config.num_attributes; ++a) {
+      g.AddAttribute(config.namespace_prefix + ":attr_" + attr_words[a]);
+    }
+    const size_t clusters =
+        std::max<size_t>(1, std::min(config.num_attr_clusters,
+                                     config.num_attributes));
+    // Cluster membership: attribute a belongs to cluster a % clusters.
+    std::vector<std::vector<AttributeId>> cluster_members(clusters);
+    for (size_t a = 0; a < config.num_attributes; ++a) {
+      cluster_members[a % clusters].push_back(static_cast<AttributeId>(a));
+    }
+    Rng attr_rng(config.seed ^ 0x44u);
+    for (size_t e = 0; e < n; ++e) {
+      const size_t primary = attr_rng.NextBounded(clusters);
+      const size_t count = 1 + attr_rng.NextBounded(static_cast<uint64_t>(
+                                   2.0 * config.attr_triples_per_entity));
+      std::unordered_set<int32_t> used;
+      for (size_t k = 0; k < count; ++k) {
+        const size_t cluster =
+            attr_rng.NextBernoulli(0.8) ? primary : (primary + 1) % clusters;
+        const auto& members = cluster_members[cluster];
+        if (members.empty()) continue;
+        const AttributeId a = members[attr_rng.NextBounded(members.size())];
+        if (!used.insert(a).second) continue;
+        // Value is a deterministic function of (seed, entity, attribute) so
+        // that the paired KG reproduces corresponding values.
+        Rng value_rng(config.seed ^ (0x55u + 131 * e + 7919 * a));
+        std::string value;
+        if (a % 3 == 0) {
+          // Numeric attribute (e.g., year, count). The small range makes
+          // values collide across entities, as real numeric literals do —
+          // exact-value joins alone cannot align entities.
+          value = std::to_string(value_rng.NextInt(1, 4000));
+        } else {
+          const int words = static_cast<int>(value_rng.NextInt(1, 3));
+          std::vector<std::string> parts;
+          for (int w = 0; w < words; ++w) {
+            parts.push_back(out.vocabulary[value_rng.NextZipf(
+                out.vocabulary.size(), 0.8)]);
+          }
+          value = openea::Join(parts, " ");
+        }
+        g.AddAttributeTriple(static_cast<EntityId>(e), a,
+                             g.AddLiteral(value));
+      }
+    }
+  }
+
+  // ---- Descriptions ---------------------------------------------------------
+  {
+    Rng desc_rng(config.seed ^ 0x66u);
+    for (size_t e = 0; e < n; ++e) {
+      if (!desc_rng.NextBernoulli(config.description_coverage)) continue;
+      Rng word_rng(config.seed ^ (0x77u + 31 * e));
+      const int len = static_cast<int>(word_rng.NextInt(8, 16));
+      std::vector<std::string> parts;
+      for (int w = 0; w < len; ++w) {
+        parts.push_back(
+            out.vocabulary[word_rng.NextZipf(out.vocabulary.size(), 0.7)]);
+      }
+      g.SetDescription(static_cast<EntityId>(e), openea::Join(parts, " "));
+    }
+  }
+
+  g.BuildIndex();
+  return out;
+}
+
+}  // namespace openea::datagen

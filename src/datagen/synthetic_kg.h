@@ -1,0 +1,65 @@
+#ifndef OPENEA_DATAGEN_SYNTHETIC_KG_H_
+#define OPENEA_DATAGEN_SYNTHETIC_KG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kg/knowledge_graph.h"
+
+namespace openea::datagen {
+
+/// Configuration for the synthetic source-KG generator (the DBpedia /
+/// Wikidata / YAGO substitute; see DESIGN.md). Defaults produce a graph with
+/// DBpedia-like shape: power-law degrees around an average of ~5.5, a
+/// moderately clustered relation graph, correlated attribute groups, and
+/// word-based literal values.
+struct SyntheticKgConfig {
+  size_t num_entities = 2000;
+  /// Target average relation degree (2 * #triples / #entities).
+  double avg_degree = 5.5;
+  size_t num_relations = 60;
+  size_t num_attributes = 40;
+  /// Attributes are partitioned into this many correlated clusters; an
+  /// entity draws its attributes from few clusters, giving JAPE-style
+  /// attribute correlations.
+  size_t num_attr_clusters = 8;
+  /// Expected number of attribute triples per entity.
+  double attr_triples_per_entity = 4.0;
+  /// Skew of entity popularity when sampling triple endpoints (larger =>
+  /// heavier head entities).
+  double popularity_zipf = 0.85;
+  /// Skew of relation usage.
+  double relation_zipf = 1.0;
+  /// Fraction of triples created by closing triangles around an entity,
+  /// which raises the clustering coefficient toward real-KG levels.
+  double triangle_fraction = 0.20;
+  /// Number of distinct words in the literal/description vocabulary.
+  size_t vocabulary_size = 800;
+  /// Fraction of entities that receive a textual description.
+  double description_coverage = 0.8;
+  /// IRI prefix for entity local names, e.g. "en".
+  std::string namespace_prefix = "en";
+  uint64_t seed = 1;
+};
+
+/// A generated source KG together with the word vocabulary its literals and
+/// descriptions draw from (needed to build translation dictionaries).
+struct GeneratedKg {
+  kg::KnowledgeGraph graph;
+  std::vector<std::string> vocabulary;
+};
+
+/// Generates a synthetic source KG per `config`. Entity names, triples,
+/// attribute values and descriptions are all deterministic functions of
+/// `config.seed`.
+GeneratedKg GenerateSyntheticKg(const SyntheticKgConfig& config);
+
+/// Generates `count` pronounceable pseudo-words (syllable-based,
+/// deduplicated) from `seed`; exposed for tests and for building target-
+/// language vocabularies.
+std::vector<std::string> GeneratePseudoWords(size_t count, uint64_t seed);
+
+}  // namespace openea::datagen
+
+#endif  // OPENEA_DATAGEN_SYNTHETIC_KG_H_

@@ -1,0 +1,81 @@
+#ifndef OPENEA_EMBEDDING_ATTRIBUTE_H_
+#define OPENEA_EMBEDDING_ATTRIBUTE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/kg/knowledge_graph.h"
+#include "src/math/embedding_table.h"
+#include "src/math/matrix.h"
+#include "src/text/word_embeddings.h"
+
+namespace openea::embedding {
+
+/// Maps each attribute of `kg2` to its best-matching attribute of `kg1`, or
+/// -1 when nothing scores above `threshold`. The score combines predicate
+/// local-name similarity with the Jaccard overlap of observed value sets —
+/// how JAPE / AttrE / IMUSE discover cross-KG attribute correspondences
+/// without pre-aligned schemas. Opaque numeric names (Wikidata) defeat the
+/// name part, reproducing the paper's D-W failure mode.
+std::vector<int> AlignAttributesByName(const kg::KnowledgeGraph& kg1,
+                                       const kg::KnowledgeGraph& kg2,
+                                       double threshold = 0.5);
+
+/// JAPE-style attribute correlation embedding (paper Eq. 4): attributes
+/// co-occurring on an entity are pushed together via a skip-gram objective
+/// Pr(a1, a2) = sigmoid(a1 . a2) with sampled negatives. Attribute ids live
+/// in a merged space: kg1 attributes keep their ids; each kg2 attribute is
+/// either mapped onto its kg1 partner (when aligned) or appended.
+class AttributeCorrelationEmbedding {
+ public:
+  AttributeCorrelationEmbedding(const kg::KnowledgeGraph& kg1,
+                                const kg::KnowledgeGraph& kg2,
+                                size_t dim, Rng& rng,
+                                double align_threshold = 0.5);
+
+  /// Runs `epochs` of skip-gram training over per-entity attribute sets.
+  void Train(int epochs, float learning_rate, Rng& rng);
+
+  /// Entity representation: normalized sum of its attributes' embeddings
+  /// (rows: kg1 entities then kg2 entities if `second_kg`).
+  math::Matrix EntityAttributeVectors(const kg::KnowledgeGraph& kg,
+                                      bool second_kg) const;
+
+  size_t num_merged_attributes() const { return table_.num_rows(); }
+
+  /// Merged attribute id of kg1 attribute `a` (identity).
+  int MergedId1(kg::AttributeId a) const { return a; }
+  /// Merged attribute id of kg2 attribute `a`.
+  int MergedId2(kg::AttributeId a) const { return map2_[a]; }
+
+ private:
+  std::vector<int> map2_;           // kg2 attribute -> merged id.
+  std::vector<std::vector<int>> entity_attrs_;  // Merged ids per entity
+                                                // (kg1 entities then kg2).
+  size_t num_kg1_entities_;
+  math::EmbeddingTable table_;
+};
+
+/// Builds literal-based entity features: each entity's attribute values
+/// (and, with `include_descriptions`, its description) are concatenated and
+/// embedded through the pseudo word embeddings; rows are L2-normalized.
+/// This is the input signal of RDGCN / MultiKE's literal view and the
+/// KDCoE description channel.
+math::Matrix BuildLiteralFeatures(const kg::KnowledgeGraph& kg,
+                                  const text::PseudoWordEmbeddings& words,
+                                  bool include_descriptions);
+
+/// Builds description-only entity features (zero rows for entities without
+/// descriptions), as used by KDCoE's description view.
+math::Matrix BuildDescriptionFeatures(const kg::KnowledgeGraph& kg,
+                                      const text::PseudoWordEmbeddings& words);
+
+/// AttrE-style character-level literal encoding: for each entity, the mean
+/// of hashed n-gram vectors of its attribute values (language-agnostic, no
+/// dictionary). Rows are L2-normalized.
+math::Matrix BuildCharLiteralFeatures(const kg::KnowledgeGraph& kg,
+                                      size_t dim, uint64_t seed);
+
+}  // namespace openea::embedding
+
+#endif  // OPENEA_EMBEDDING_ATTRIBUTE_H_

@@ -1,0 +1,167 @@
+#include "src/embedding/gcn.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/math/vec.h"
+
+namespace openea::embedding {
+
+GcnEncoder::GcnEncoder(size_t num_nodes, const std::vector<GcnEdge>& edges,
+                       const GcnOptions& options, Rng& rng)
+    : num_nodes_(num_nodes), options_(options) {
+  OPENEA_CHECK_GT(num_nodes, 0u);
+  // Build D^-1/2 (A + I) D^-1/2 in COO form. Weighted degree includes the
+  // self loop.
+  std::vector<double> degree(num_nodes, 1.0);
+  for (const GcnEdge& e : edges) {
+    degree[e.u] += e.weight;
+    degree[e.v] += e.weight;
+  }
+  auto push = [&](int u, int v, float w) {
+    coo_row_.push_back(u);
+    coo_col_.push_back(v);
+    coo_val_.push_back(w / static_cast<float>(
+                               std::sqrt(degree[u]) * std::sqrt(degree[v])));
+  };
+  for (size_t i = 0; i < num_nodes; ++i) {
+    push(static_cast<int>(i), static_cast<int>(i), 1.0f);
+  }
+  for (const GcnEdge& e : edges) {
+    push(e.u, e.v, e.weight);
+    push(e.v, e.u, e.weight);
+  }
+
+  features_ = math::Matrix(num_nodes, options_.dim);
+  features_.FillXavier(rng);
+
+  weights_.resize(options_.layers);
+  gates_.resize(options_.layers);
+  weights_state_.resize(options_.layers);
+  gates_state_.resize(options_.layers);
+  for (int l = 0; l < options_.layers; ++l) {
+    // Near-identity weights let strong input features (e.g. literal
+    // vectors) survive the initial epochs.
+    weights_[l] = math::Matrix(options_.dim, options_.dim);
+    weights_[l].FillUniform(rng, 0.05f);
+    for (size_t i = 0; i < options_.dim; ++i) weights_[l].At(i, i) += 1.0f;
+    gates_[l] = math::Matrix(1, options_.dim, 0.0f);  // sigma(0) = 0.5.
+  }
+}
+
+void GcnEncoder::SetInputFeatures(const math::Matrix& features) {
+  OPENEA_CHECK_EQ(features.rows(), num_nodes_);
+  OPENEA_CHECK_EQ(features.cols(), options_.dim);
+  features_ = features;
+  features_state_ = math::DenseAdaGrad();
+}
+
+void GcnEncoder::SpMM(const math::Matrix& in, math::Matrix& out) const {
+  out = math::Matrix(num_nodes_, in.cols(), 0.0f);
+  for (size_t k = 0; k < coo_val_.size(); ++k) {
+    const float w = coo_val_[k];
+    const auto src = in.Row(coo_col_[k]);
+    auto dst = out.Row(coo_row_[k]);
+    for (size_t j = 0; j < src.size(); ++j) dst[j] += w * src[j];
+  }
+}
+
+const math::Matrix& GcnEncoder::Forward() {
+  activations_.assign(1, features_);
+  aggregated_.assign(options_.layers, math::Matrix());
+  pre_acts_.assign(options_.layers, math::Matrix());
+
+  for (int l = 0; l < options_.layers; ++l) {
+    const math::Matrix& h_in = activations_.back();
+    SpMM(h_in, aggregated_[l]);
+    math::Matrix pre;
+    Gemm(aggregated_[l], weights_[l], pre);
+    const bool last = l + 1 == options_.layers;
+    // Convolution-path output (tanh on hidden layers, linear at the top).
+    math::Matrix conv = pre;
+    if (!last) {
+      for (float& v : conv.Data()) v = std::tanh(v);
+    }
+    pre_acts_[l] = conv;  // tanh' = 1 - conv^2; linear' = 1.
+    if (options_.highway) {
+      math::Matrix h_out(num_nodes_, options_.dim);
+      const auto gate = gates_[l].Row(0);
+      for (size_t i = 0; i < num_nodes_; ++i) {
+        const auto in_row = h_in.Row(i);
+        const auto conv_row = conv.Row(i);
+        auto out_row = h_out.Row(i);
+        for (size_t j = 0; j < options_.dim; ++j) {
+          const float s = math::Sigmoid(gate[j]);
+          out_row[j] = s * in_row[j] + (1.0f - s) * conv_row[j];
+        }
+      }
+      activations_.push_back(std::move(h_out));
+    } else {
+      activations_.push_back(std::move(conv));
+    }
+  }
+  return activations_.back();
+}
+
+void GcnEncoder::Backward(const math::Matrix& grad_output) {
+  OPENEA_CHECK_EQ(activations_.size(),
+                  static_cast<size_t>(options_.layers) + 1);
+  math::Matrix g_out = grad_output;
+
+  for (int l = options_.layers - 1; l >= 0; --l) {
+    const bool last = l + 1 == options_.layers;
+    const math::Matrix& h_in = activations_[l];
+    const math::Matrix& conv = pre_acts_[l];
+
+    math::Matrix g_conv;
+    math::Matrix g_in_part(num_nodes_, options_.dim, 0.0f);
+    if (options_.highway) {
+      g_conv = math::Matrix(num_nodes_, options_.dim);
+      math::Matrix grad_gate(1, options_.dim, 0.0f);
+      const auto gate = gates_[l].Row(0);
+      auto gg = grad_gate.Row(0);
+      for (size_t i = 0; i < num_nodes_; ++i) {
+        const auto go = g_out.Row(i);
+        const auto in_row = h_in.Row(i);
+        const auto conv_row = conv.Row(i);
+        auto gc = g_conv.Row(i);
+        auto gi = g_in_part.Row(i);
+        for (size_t j = 0; j < options_.dim; ++j) {
+          const float s = math::Sigmoid(gate[j]);
+          gc[j] = (1.0f - s) * go[j];
+          gi[j] = s * go[j];
+          gg[j] += go[j] * (in_row[j] - conv_row[j]) * s * (1.0f - s);
+        }
+      }
+      gates_state_[l].Apply(gates_[l], grad_gate, options_.learning_rate);
+    } else {
+      g_conv = g_out;
+    }
+
+    // Through the activation.
+    if (!last) {
+      auto gc = g_conv.Data();
+      const auto c = conv.Data();
+      for (size_t i = 0; i < gc.size(); ++i) gc[i] *= 1.0f - c[i] * c[i];
+    }
+
+    // grad_W = (A_norm H_in)^T G_pre; G_agg = G_pre W^T (with the
+    // pre-update W).
+    math::Matrix grad_w, g_agg;
+    GemmTransposeA(aggregated_[l], g_conv, grad_w);
+    GemmTransposeB(g_conv, weights_[l], g_agg);
+    weights_state_[l].Apply(weights_[l], grad_w, options_.learning_rate);
+
+    // G_in = A_norm^T G_agg + highway passthrough. A_norm is symmetric.
+    math::Matrix g_in;
+    SpMM(g_agg, g_in);
+    g_in.AddScaled(g_in_part, 1.0f);
+    g_out = std::move(g_in);
+  }
+
+  if (options_.trainable_features) {
+    features_state_.Apply(features_, g_out, options_.learning_rate);
+  }
+}
+
+}  // namespace openea::embedding

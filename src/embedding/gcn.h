@@ -1,0 +1,90 @@
+#ifndef OPENEA_EMBEDDING_GCN_H_
+#define OPENEA_EMBEDDING_GCN_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/math/dense_adagrad.h"
+#include "src/math/matrix.h"
+
+namespace openea::embedding {
+
+/// Options for the graph convolutional encoder (Kipf & Welling 2017,
+/// paper Eq. 3). All layer widths equal `dim` so highway gates and
+/// literal-feature initialization compose cleanly.
+struct GcnOptions {
+  size_t dim = 32;
+  int layers = 2;             // Paper: 2 layers for GCNAlign / RDGCN.
+  float learning_rate = 0.05f;
+  /// Highway gates blend each layer's input with its convolution output
+  /// (RDGCN-style), protecting strong input features (e.g. literals).
+  bool highway = false;
+  /// When false, SetInputFeatures' matrix is frozen (RDGCN's literal
+  /// features); when true the input features are learned.
+  bool trainable_features = true;
+};
+
+/// A weighted undirected edge of the propagation graph.
+struct GcnEdge {
+  int u = 0;
+  int v = 0;
+  float weight = 1.0f;
+};
+
+/// Full-batch GCN over one propagation graph with hand-written forward and
+/// backward passes. Propagation: H^{l+1} = act(D^-1/2 (A+I) D^-1/2 H^l W^l)
+/// with tanh on hidden layers and a linear final layer; optional highway
+/// blending per layer. Parameters train with dense AdaGrad.
+class GcnEncoder {
+ public:
+  GcnEncoder(size_t num_nodes, const std::vector<GcnEdge>& edges,
+             const GcnOptions& options, Rng& rng);
+
+  /// Replaces the input features (must be num_nodes x dim).
+  void SetInputFeatures(const math::Matrix& features);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t dim() const { return options_.dim; }
+
+  /// Runs the forward pass and returns the output embeddings
+  /// (num_nodes x dim). Caches activations for Backward().
+  const math::Matrix& Forward();
+
+  /// Backpropagates `grad_output` (same shape as the output) through the
+  /// cached forward pass and applies AdaGrad updates to the layer weights,
+  /// highway gates, and (if trainable) the input features.
+  void Backward(const math::Matrix& grad_output);
+
+  /// Output of the last Forward() call.
+  const math::Matrix& output() const { return activations_.back(); }
+
+  /// Access to the (possibly learned) input features.
+  const math::Matrix& input_features() const { return features_; }
+
+ private:
+  void SpMM(const math::Matrix& in, math::Matrix& out) const;
+
+  size_t num_nodes_;
+  GcnOptions options_;
+  // Normalized adjacency in COO form.
+  std::vector<int> coo_row_;
+  std::vector<int> coo_col_;
+  std::vector<float> coo_val_;
+
+  math::Matrix features_;                  // H^0.
+  std::vector<math::Matrix> weights_;      // W^l, dim x dim.
+  std::vector<math::Matrix> gates_;        // Highway gate logits (1 x dim).
+  math::DenseAdaGrad features_state_;
+  std::vector<math::DenseAdaGrad> weights_state_;
+  std::vector<math::DenseAdaGrad> gates_state_;
+
+  // Forward caches.
+  std::vector<math::Matrix> activations_;  // H^0 .. H^L (post-activation).
+  std::vector<math::Matrix> pre_acts_;     // Pre-activation per layer.
+  std::vector<math::Matrix> aggregated_;   // A_norm H^l per layer.
+};
+
+}  // namespace openea::embedding
+
+#endif  // OPENEA_EMBEDDING_GCN_H_

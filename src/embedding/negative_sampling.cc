@@ -1,0 +1,64 @@
+#include "src/embedding/negative_sampling.h"
+
+#include <algorithm>
+
+#include "src/math/vec.h"
+
+namespace openea::embedding {
+
+kg::Triple CorruptUniform(const kg::Triple& pos, size_t num_entities,
+                          Rng& rng) {
+  kg::Triple neg = pos;
+  const kg::EntityId replacement =
+      static_cast<kg::EntityId>(rng.NextBounded(num_entities));
+  if (rng.NextBernoulli(0.5)) {
+    neg.head = replacement;
+  } else {
+    neg.tail = replacement;
+  }
+  return neg;
+}
+
+void TruncatedNegativeSampler::Refresh(const math::EmbeddingTable& entities) {
+  const size_t n = entities.num_rows();
+  const size_t k = std::min(truncation_, n > 1 ? n - 1 : size_t{0});
+  neighbors_.assign(n, {});
+  if (k == 0) return;
+  std::vector<std::pair<float, kg::EntityId>> scored(n);
+  for (size_t e = 0; e < n; ++e) {
+    const auto anchor = entities.Row(e);
+    for (size_t o = 0; o < n; ++o) {
+      scored[o] = {o == e ? -2.0f
+                          : math::CosineSimilarity(anchor, entities.Row(o)),
+                   static_cast<kg::EntityId>(o)};
+    }
+    std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                      scored.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    auto& list = neighbors_[e];
+    list.reserve(k);
+    for (size_t i = 0; i < k; ++i) list.push_back(scored[i].second);
+  }
+}
+
+kg::Triple TruncatedNegativeSampler::Corrupt(const kg::Triple& pos,
+                                             size_t num_entities,
+                                             Rng& rng) const {
+  if (neighbors_.empty()) return CorruptUniform(pos, num_entities, rng);
+  kg::Triple neg = pos;
+  const bool corrupt_head = rng.NextBernoulli(0.5);
+  const kg::EntityId victim = corrupt_head ? pos.head : pos.tail;
+  const auto& list = neighbors_[victim];
+  if (list.empty()) return CorruptUniform(pos, num_entities, rng);
+  const kg::EntityId replacement = list[rng.NextBounded(list.size())];
+  if (corrupt_head) {
+    neg.head = replacement;
+  } else {
+    neg.tail = replacement;
+  }
+  return neg;
+}
+
+}  // namespace openea::embedding

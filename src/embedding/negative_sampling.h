@@ -1,0 +1,48 @@
+#ifndef OPENEA_EMBEDDING_NEGATIVE_SAMPLING_H_
+#define OPENEA_EMBEDDING_NEGATIVE_SAMPLING_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/kg/types.h"
+#include "src/math/embedding_table.h"
+
+namespace openea::embedding {
+
+/// Uniform negative sampling: corrupts the head or the tail (coin flip)
+/// with a uniformly random entity (paper Sect. 4, "Negative sampling:
+/// Uniform").
+kg::Triple CorruptUniform(const kg::Triple& pos, size_t num_entities,
+                          Rng& rng);
+
+/// Truncated (epsilon-hard) negative sampling as used by BootEA: the
+/// corrupting entity is drawn from the `truncation` nearest neighbours of
+/// the replaced entity in the current embedding space, making negatives
+/// hard. Neighbour lists are refreshed from the live embeddings with
+/// Refresh(); between refreshes sampling is O(1).
+class TruncatedNegativeSampler {
+ public:
+  /// `truncation` is the neighbourhood size (paper's sigma * |E| truncation,
+  /// fixed to a small constant at our scales).
+  explicit TruncatedNegativeSampler(size_t truncation = 16)
+      : truncation_(truncation) {}
+
+  /// Recomputes each entity's nearest-neighbour list from `entities`.
+  /// O(n^2 d); called every few epochs, as in BootEA.
+  void Refresh(const math::EmbeddingTable& entities);
+
+  /// Corrupts head or tail with a hard negative; falls back to uniform
+  /// sampling before the first Refresh().
+  kg::Triple Corrupt(const kg::Triple& pos, size_t num_entities,
+                     Rng& rng) const;
+
+  bool initialized() const { return !neighbors_.empty(); }
+
+ private:
+  size_t truncation_;
+  std::vector<std::vector<kg::EntityId>> neighbors_;
+};
+
+}  // namespace openea::embedding
+
+#endif  // OPENEA_EMBEDDING_NEGATIVE_SAMPLING_H_

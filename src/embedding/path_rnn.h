@@ -1,0 +1,82 @@
+#ifndef OPENEA_EMBEDDING_PATH_RNN_H_
+#define OPENEA_EMBEDDING_PATH_RNN_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/kg/types.h"
+#include "src/math/dense_adagrad.h"
+#include "src/math/embedding_table.h"
+#include "src/math/matrix.h"
+
+namespace openea::embedding {
+
+/// Options for the recurrent skipping network (RSN4EA, Guo et al. 2019;
+/// simplified per DESIGN.md: vanilla tanh RNN plus the defining skip
+/// connection from the preceding subject entity when predicting an object).
+struct RsnOptions {
+  size_t dim = 32;
+  float learning_rate = 0.05f;
+  int negatives = 4;
+  /// Number of relation hops per random-walk path.
+  int path_hops = 2;
+};
+
+/// Recurrent path encoder over entity-relation chains. Training consumes
+/// chains of triples (e0 -r0-> e1 -r1-> e2 ...) and learns to predict each
+/// next entity from the RNN state plus the skip connection, with sampled
+/// negatives and logistic loss.
+class RsnModel {
+ public:
+  RsnModel(size_t num_entities, size_t num_relations,
+           const RsnOptions& options, Rng& rng);
+
+  size_t dim() const { return options_.dim; }
+
+  /// One training step on a chain of linked triples (t[i].tail ==
+  /// t[i+1].head). Returns the summed loss. `rng` supplies negatives.
+  float TrainOnChain(const std::vector<kg::Triple>& chain, Rng& rng);
+
+  /// Prediction score that entity `candidate` follows the RNN state after
+  /// consuming the chain prefix ending at relation position `step`.
+  /// Exposed for tests.
+  float ScoreNext(const std::vector<kg::Triple>& chain, size_t step,
+                  kg::EntityId candidate);
+
+  math::EmbeddingTable& entity_table() { return entities_; }
+  const math::EmbeddingTable& entity_table() const { return entities_; }
+
+  void PostEpoch() { entities_.NormalizeAllRows(); }
+
+  /// Samples a random walk of `path_hops` triples starting from a random
+  /// triple, following outgoing edges; shorter if stuck.
+  static std::vector<kg::Triple> SampleChain(
+      const std::vector<kg::Triple>& triples,
+      const std::vector<std::vector<int>>& out_index, Rng& rng, int hops);
+
+ private:
+  /// Runs the forward RNN over the chain, caching states.
+  void Forward(const std::vector<kg::Triple>& chain);
+
+  RsnOptions options_;
+  math::EmbeddingTable entities_;
+  math::EmbeddingTable relations_;
+  math::Matrix w_input_;   // x -> hidden.
+  math::Matrix w_hidden_;  // h_{t-1} -> hidden.
+  math::Matrix w_out_h_;   // Skip mix: RNN state -> output.
+  math::Matrix w_out_e_;   // Skip mix: subject entity -> output.
+  math::DenseAdaGrad w_input_state_;
+  math::DenseAdaGrad w_hidden_state_;
+  math::DenseAdaGrad w_out_h_state_;
+  math::DenseAdaGrad w_out_e_state_;
+
+  // Forward caches (sequence of inputs x_t and hidden states h_t).
+  std::vector<std::vector<float>> xs_;
+  std::vector<int32_t> x_ids_;       // Row id of each input.
+  std::vector<bool> x_is_entity_;
+  std::vector<std::vector<float>> hs_;
+};
+
+}  // namespace openea::embedding
+
+#endif  // OPENEA_EMBEDDING_PATH_RNN_H_

@@ -1,0 +1,149 @@
+#ifndef OPENEA_EMBEDDING_SEMANTIC_MATCHING_H_
+#define OPENEA_EMBEDDING_SEMANTIC_MATCHING_H_
+
+#include <string>
+
+#include "src/embedding/triple_model.h"
+
+namespace openea::embedding {
+
+/// DistMult (Yang et al. 2015): score = sum_i h_i r_i t_i, logistic loss.
+class DistMultModel : public TripleModel {
+ public:
+  DistMultModel(size_t num_entities, size_t num_relations,
+                const TripleModelOptions& options, Rng& rng);
+
+  std::string name() const override { return "DistMult"; }
+  size_t dim() const override { return options_.dim; }
+  size_t num_entities() const override { return entities_.num_rows(); }
+  float TrainOnPair(const kg::Triple& pos, const kg::Triple& neg) override;
+  float ScoreTriple(const kg::Triple& t) const override;
+  math::EmbeddingTable& entity_table() override { return entities_; }
+  const math::EmbeddingTable& entity_table() const override {
+    return entities_;
+  }
+  void PostEpoch() override;
+
+ private:
+  float Step(const kg::Triple& t, float label);
+
+  TripleModelOptions options_;
+  math::EmbeddingTable entities_;
+  math::EmbeddingTable relations_;
+};
+
+/// HolE (Nickel et al. 2016): score = r . (h star t) where star is circular
+/// correlation; logistic loss. O(d^2) per triple at our dimensions.
+class HolEModel : public TripleModel {
+ public:
+  HolEModel(size_t num_entities, size_t num_relations,
+            const TripleModelOptions& options, Rng& rng);
+
+  std::string name() const override { return "HolE"; }
+  size_t dim() const override { return options_.dim; }
+  size_t num_entities() const override { return entities_.num_rows(); }
+  float TrainOnPair(const kg::Triple& pos, const kg::Triple& neg) override;
+  float ScoreTriple(const kg::Triple& t) const override;
+  math::EmbeddingTable& entity_table() override { return entities_; }
+  const math::EmbeddingTable& entity_table() const override {
+    return entities_;
+  }
+  void PostEpoch() override;
+
+ private:
+  float Step(const kg::Triple& t, float label);
+
+  TripleModelOptions options_;
+  math::EmbeddingTable entities_;
+  math::EmbeddingTable relations_;
+};
+
+/// SimplE (Kazemi & Poole 2018): each entity has head/tail-role vectors and
+/// each relation a forward/inverse vector; the score averages the two
+/// canonical-polyadic terms. Exported embeddings concatenate the two roles.
+class SimplEModel : public TripleModel {
+ public:
+  SimplEModel(size_t num_entities, size_t num_relations,
+              const TripleModelOptions& options, Rng& rng);
+
+  std::string name() const override { return "SimplE"; }
+  size_t dim() const override { return options_.dim; }
+  size_t num_entities() const override { return head_role_.num_rows(); }
+  float TrainOnPair(const kg::Triple& pos, const kg::Triple& neg) override;
+  float ScoreTriple(const kg::Triple& t) const override;
+  /// The head-role table acts as the primary table (calibration etc.).
+  math::EmbeddingTable& entity_table() override { return head_role_; }
+  const math::EmbeddingTable& entity_table() const override {
+    return head_role_;
+  }
+  void PostEpoch() override;
+
+  const math::EmbeddingTable& tail_role() const { return tail_role_; }
+
+ private:
+  float Step(const kg::Triple& t, float label);
+
+  TripleModelOptions options_;
+  math::EmbeddingTable head_role_;
+  math::EmbeddingTable tail_role_;
+  math::EmbeddingTable forward_;
+  math::EmbeddingTable inverse_;
+};
+
+/// RotatE (Sun et al. 2019): entities are complex vectors (d/2 complex
+/// coordinates stored as interleaved re/im); a relation rotates the head by
+/// per-coordinate phases. E = ||h o r - t||^2 with margin loss. The paper's
+/// best "unexplored" model (non-Euclidean geometry; Sect. 6.2).
+class RotatEModel : public TripleModel {
+ public:
+  RotatEModel(size_t num_entities, size_t num_relations,
+              const TripleModelOptions& options, Rng& rng);
+
+  std::string name() const override { return "RotatE"; }
+  size_t dim() const override { return options_.dim; }
+  size_t num_entities() const override { return entities_.num_rows(); }
+  float TrainOnPair(const kg::Triple& pos, const kg::Triple& neg) override;
+  float ScoreTriple(const kg::Triple& t) const override;
+  math::EmbeddingTable& entity_table() override { return entities_; }
+  const math::EmbeddingTable& entity_table() const override {
+    return entities_;
+  }
+  void PostEpoch() override;
+
+ private:
+  TripleModelOptions options_;
+  math::EmbeddingTable entities_;  // Interleaved (re, im) pairs, dim floats.
+  math::EmbeddingTable phases_;    // dim/2 phases per relation.
+};
+
+/// ComplEx (Trouillon et al. 2016): complex-valued bilinear model,
+/// score = Re(<h, r, conj(t)>), logistic loss. Entities and relations are
+/// complex vectors stored as interleaved (re, im) pairs of `dim` floats
+/// (dim/2 complex coordinates).
+class ComplExModel : public TripleModel {
+ public:
+  ComplExModel(size_t num_entities, size_t num_relations,
+               const TripleModelOptions& options, Rng& rng);
+
+  std::string name() const override { return "ComplEx"; }
+  size_t dim() const override { return options_.dim; }
+  size_t num_entities() const override { return entities_.num_rows(); }
+  float TrainOnPair(const kg::Triple& pos, const kg::Triple& neg) override;
+  float ScoreTriple(const kg::Triple& t) const override;
+  math::EmbeddingTable& entity_table() override { return entities_; }
+  const math::EmbeddingTable& entity_table() const override {
+    return entities_;
+  }
+  void PostEpoch() override;
+
+ private:
+  float Step(const kg::Triple& t, float label);
+
+  TripleModelOptions options_;
+  math::EmbeddingTable entities_;
+  math::EmbeddingTable relations_;
+};
+
+}  // namespace openea::embedding
+
+#endif  // OPENEA_EMBEDDING_SEMANTIC_MATCHING_H_

@@ -1,0 +1,414 @@
+#include "src/embedding/translational.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/math/vec.h"
+
+namespace openea::embedding {
+namespace {
+
+using math::EmbeddingTable;
+using math::InitScheme;
+
+/// Applies the margin-ranking rule shared by the translational family:
+/// when loss = margin + E(pos) - E(neg) > 0, descend E(pos) and ascend
+/// E(neg). `step` is +1 for positive-triple gradients, -1 for negatives.
+struct PairGate {
+  bool active = false;
+  float loss = 0.0f;
+};
+
+PairGate MarginGate(float margin, float pos_energy, float neg_energy) {
+  PairGate gate;
+  const float raw = margin + pos_energy - neg_energy;
+  if (raw > 0.0f) {
+    gate.active = true;
+    gate.loss = raw;
+  }
+  return gate;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TransE
+// ---------------------------------------------------------------------------
+
+TransEModel::TransEModel(size_t num_entities, size_t num_relations,
+                         const TripleModelOptions& options, Rng& rng,
+                         LimitLoss limit)
+    : options_(options),
+      limit_(limit),
+      entities_(num_entities, options.dim, InitScheme::kUnit, rng),
+      relations_(num_relations, options.dim, InitScheme::kUnit, rng) {}
+
+float TransEModel::Energy(const kg::Triple& t,
+                          std::span<float> residual) const {
+  const auto h = entities_.Row(t.head);
+  const auto r = relations_.Row(t.relation);
+  const auto tl = entities_.Row(t.tail);
+  float energy = 0.0f;
+  for (size_t i = 0; i < residual.size(); ++i) {
+    residual[i] = h[i] + r[i] - tl[i];
+    energy += residual[i] * residual[i];
+  }
+  return energy;
+}
+
+float TransEModel::TrainOnPair(const kg::Triple& pos, const kg::Triple& neg) {
+  const size_t d = options_.dim;
+  std::vector<float> rp(d), rn(d), grad(d);
+  const float ep = Energy(pos, rp);
+  const float en = Energy(neg, rn);
+  const float lr = options_.learning_rate;
+
+  auto descend = [&](const kg::Triple& t, std::span<const float> residual,
+                     float direction) {
+    // dE/dh = 2 residual; dE/dr = 2 residual; dE/dt = -2 residual.
+    for (size_t i = 0; i < d; ++i) grad[i] = direction * 2.0f * residual[i];
+    entities_.ApplyGradient(t.head, grad, lr);
+    relations_.ApplyGradient(t.relation, grad, lr);
+    for (size_t i = 0; i < d; ++i) grad[i] = -grad[i];
+    entities_.ApplyGradient(t.tail, grad, lr);
+  };
+
+  if (limit_.enabled) {
+    // Limit-based loss (BootEA): max(0, E(pos) - l_pos) +
+    // w * max(0, l_neg - E(neg)).
+    float loss = 0.0f;
+    if (ep > limit_.limit_pos) {
+      descend(pos, rp, +1.0f);
+      loss += ep - limit_.limit_pos;
+    }
+    if (en < limit_.limit_neg) {
+      descend(neg, rn, -limit_.neg_weight);
+      loss += limit_.neg_weight * (limit_.limit_neg - en);
+    }
+    return loss;
+  }
+
+  const PairGate gate = MarginGate(options_.margin, ep, en);
+  if (!gate.active) return 0.0f;
+  descend(pos, rp, +1.0f);
+  descend(neg, rn, -1.0f);
+  return gate.loss;
+}
+
+float TransEModel::TrainOnPositive(const kg::Triple& pos) {
+  // MTransE-style positive-only energy minimization.
+  const size_t d = options_.dim;
+  std::vector<float> residual(d), grad(d);
+  const float energy = Energy(pos, residual);
+  const float lr = options_.learning_rate;
+  for (size_t i = 0; i < d; ++i) grad[i] = 2.0f * residual[i];
+  entities_.ApplyGradient(pos.head, grad, lr);
+  relations_.ApplyGradient(pos.relation, grad, lr);
+  for (size_t i = 0; i < d; ++i) grad[i] = -grad[i];
+  entities_.ApplyGradient(pos.tail, grad, lr);
+  return energy;
+}
+
+float TransEModel::ScoreTriple(const kg::Triple& t) const {
+  std::vector<float> residual(options_.dim);
+  return -Energy(t, residual);
+}
+
+void TransEModel::PostEpoch() {
+  // TransE's classic unit-norm constraint on entities.
+  entities_.NormalizeAllRows();
+}
+
+// ---------------------------------------------------------------------------
+// TransH
+// ---------------------------------------------------------------------------
+
+TransHModel::TransHModel(size_t num_entities, size_t num_relations,
+                         const TripleModelOptions& options, Rng& rng)
+    : options_(options),
+      entities_(num_entities, options.dim, InitScheme::kUnit, rng),
+      translations_(num_relations, options.dim, InitScheme::kUnit, rng),
+      normals_(num_relations, options.dim, InitScheme::kUnit, rng) {}
+
+float TransHModel::TrainOnPair(const kg::Triple& pos, const kg::Triple& neg) {
+  const size_t d = options_.dim;
+  std::vector<float> residual(d), grad(d), grad_w(d);
+
+  auto energy = [&](const kg::Triple& t, std::span<float> out) -> float {
+    const auto h = entities_.Row(t.head);
+    const auto w = normals_.Row(t.relation);
+    const auto dr = translations_.Row(t.relation);
+    const auto tl = entities_.Row(t.tail);
+    const float wh = math::Dot(w, h);
+    const float wt = math::Dot(w, tl);
+    float e = 0.0f;
+    for (size_t i = 0; i < d; ++i) {
+      out[i] = (h[i] - wh * w[i]) + dr[i] - (tl[i] - wt * w[i]);
+      e += out[i] * out[i];
+    }
+    return e;
+  };
+
+  std::vector<float> rp(d), rn(d);
+  const float ep = energy(pos, rp);
+  const float en = energy(neg, rn);
+  const PairGate gate = MarginGate(options_.margin, ep, en);
+  if (!gate.active) return 0.0f;
+  const float lr = options_.learning_rate;
+
+  auto descend = [&](const kg::Triple& t, std::span<const float> res,
+                     float direction) {
+    const auto h = entities_.Row(t.head);
+    const auto w = normals_.Row(t.relation);
+    const auto tl = entities_.Row(t.tail);
+    const float wd = math::Dot(w, res);
+    // grad_h = 2 (res - (w . res) w); grad_t is its negation.
+    for (size_t i = 0; i < d; ++i) {
+      grad[i] = direction * 2.0f * (res[i] - wd * w[i]);
+    }
+    entities_.ApplyGradient(t.head, grad, lr);
+    for (size_t i = 0; i < d; ++i) grad[i] = -grad[i];
+    entities_.ApplyGradient(t.tail, grad, lr);
+    // grad_dr = 2 res.
+    for (size_t i = 0; i < d; ++i) grad[i] = direction * 2.0f * res[i];
+    translations_.ApplyGradient(t.relation, grad, lr);
+    // grad_w = -2 [(res . w)(h - t) + (w . (h - t)) res].
+    const float wht = math::Dot(w, h) - math::Dot(w, tl);
+    for (size_t i = 0; i < d; ++i) {
+      grad_w[i] = direction * -2.0f * (wd * (h[i] - tl[i]) + wht * res[i]);
+    }
+    normals_.ApplyGradient(t.relation, grad_w, lr);
+    normals_.NormalizeRow(t.relation);
+  };
+  descend(pos, rp, +1.0f);
+  descend(neg, rn, -1.0f);
+  return gate.loss;
+}
+
+float TransHModel::ScoreTriple(const kg::Triple& t) const {
+  const size_t d = options_.dim;
+  const auto h = entities_.Row(t.head);
+  const auto w = normals_.Row(t.relation);
+  const auto dr = translations_.Row(t.relation);
+  const auto tl = entities_.Row(t.tail);
+  const float wh = math::Dot(w, h);
+  const float wt = math::Dot(w, tl);
+  float e = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float v = (h[i] - wh * w[i]) + dr[i] - (tl[i] - wt * w[i]);
+    e += v * v;
+  }
+  return -e;
+}
+
+void TransHModel::PostEpoch() {
+  entities_.NormalizeAllRows();
+}
+
+// ---------------------------------------------------------------------------
+// TransR
+// ---------------------------------------------------------------------------
+
+TransRModel::TransRModel(size_t num_entities, size_t num_relations,
+                         const TripleModelOptions& options, Rng& rng)
+    : options_(options),
+      entities_(num_entities, options.dim, InitScheme::kUnit, rng),
+      relations_(num_relations, options.dim, InitScheme::kUnit, rng),
+      matrices_(num_relations, options.dim * options.dim,
+                InitScheme::kUniform, rng) {
+  // Initialize each relation matrix near identity for stable starts.
+  const size_t d = options.dim;
+  for (size_t r = 0; r < num_relations; ++r) {
+    auto m = matrices_.Row(r);
+    for (size_t i = 0; i < m.size(); ++i) m[i] *= 0.1f;
+    for (size_t i = 0; i < d; ++i) m[i * d + i] += 1.0f;
+  }
+}
+
+float TransRModel::TrainOnPair(const kg::Triple& pos, const kg::Triple& neg) {
+  const size_t d = options_.dim;
+  std::vector<float> hp(d), tp(d), residual_p(d), residual_n(d), grad(d);
+  std::vector<float> grad_m(d * d);
+
+  auto energy = [&](const kg::Triple& t, std::span<float> out) -> float {
+    const auto h = entities_.Row(t.head);
+    const auto r = relations_.Row(t.relation);
+    const auto tl = entities_.Row(t.tail);
+    const auto m = matrices_.Row(t.relation);
+    float e = 0.0f;
+    for (size_t i = 0; i < d; ++i) {
+      float mh = 0.0f, mt = 0.0f;
+      for (size_t j = 0; j < d; ++j) {
+        mh += m[i * d + j] * h[j];
+        mt += m[i * d + j] * tl[j];
+      }
+      out[i] = mh + r[i] - mt;
+      e += out[i] * out[i];
+    }
+    return e;
+  };
+
+  const float ep = energy(pos, residual_p);
+  const float en = energy(neg, residual_n);
+  const PairGate gate = MarginGate(options_.margin, ep, en);
+  if (!gate.active) return 0.0f;
+  const float lr = options_.learning_rate;
+
+  auto descend = [&](const kg::Triple& t, std::span<const float> res,
+                     float direction) {
+    const auto h = entities_.Row(t.head);
+    const auto tl = entities_.Row(t.tail);
+    const auto m = matrices_.Row(t.relation);
+    // grad_h = 2 M^T res; grad_t = -2 M^T res.
+    for (size_t j = 0; j < d; ++j) {
+      float sum = 0.0f;
+      for (size_t i = 0; i < d; ++i) sum += m[i * d + j] * res[i];
+      grad[j] = direction * 2.0f * sum;
+    }
+    entities_.ApplyGradient(t.head, grad, lr);
+    for (size_t j = 0; j < d; ++j) grad[j] = -grad[j];
+    entities_.ApplyGradient(t.tail, grad, lr);
+    // grad_r = 2 res.
+    for (size_t i = 0; i < d; ++i) grad[i] = direction * 2.0f * res[i];
+    relations_.ApplyGradient(t.relation, grad, lr);
+    // grad_M = 2 res (h - t)^T.
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        grad_m[i * d + j] = direction * 2.0f * res[i] * (h[j] - tl[j]);
+      }
+    }
+    matrices_.ApplyGradient(t.relation, grad_m, lr);
+  };
+  descend(pos, residual_p, +1.0f);
+  descend(neg, residual_n, -1.0f);
+  return gate.loss;
+}
+
+float TransRModel::ScoreTriple(const kg::Triple& t) const {
+  const size_t d = options_.dim;
+  const auto h = entities_.Row(t.head);
+  const auto r = relations_.Row(t.relation);
+  const auto tl = entities_.Row(t.tail);
+  const auto m = matrices_.Row(t.relation);
+  float e = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    float mh = 0.0f, mt = 0.0f;
+    for (size_t j = 0; j < d; ++j) {
+      mh += m[i * d + j] * h[j];
+      mt += m[i * d + j] * tl[j];
+    }
+    const float v = mh + r[i] - mt;
+    e += v * v;
+  }
+  return -e;
+}
+
+void TransRModel::PostEpoch() {
+  entities_.NormalizeAllRows();
+}
+
+// ---------------------------------------------------------------------------
+// TransD
+// ---------------------------------------------------------------------------
+
+TransDModel::TransDModel(size_t num_entities, size_t num_relations,
+                         const TripleModelOptions& options, Rng& rng)
+    : options_(options),
+      entities_(num_entities, options.dim, InitScheme::kUnit, rng),
+      entity_proj_(num_entities, options.dim, InitScheme::kUniform, rng),
+      relations_(num_relations, options.dim, InitScheme::kUnit, rng),
+      relation_proj_(num_relations, options.dim, InitScheme::kUniform, rng) {
+  // Small projection vectors keep the initial mapping near identity.
+  for (float& v : entity_proj_.MutableData()) v *= 0.1f;
+  for (float& v : relation_proj_.MutableData()) v *= 0.1f;
+}
+
+float TransDModel::TrainOnPair(const kg::Triple& pos, const kg::Triple& neg) {
+  const size_t d = options_.dim;
+  std::vector<float> rp(d), rn(d), grad(d);
+
+  auto energy = [&](const kg::Triple& t, std::span<float> out) -> float {
+    const auto h = entities_.Row(t.head);
+    const auto hp = entity_proj_.Row(t.head);
+    const auto r = relations_.Row(t.relation);
+    const auto rpv = relation_proj_.Row(t.relation);
+    const auto tl = entities_.Row(t.tail);
+    const auto tpv = entity_proj_.Row(t.tail);
+    const float hph = math::Dot(hp, h);
+    const float tpt = math::Dot(tpv, tl);
+    float e = 0.0f;
+    for (size_t i = 0; i < d; ++i) {
+      out[i] = (h[i] + hph * rpv[i]) + r[i] - (tl[i] + tpt * rpv[i]);
+      e += out[i] * out[i];
+    }
+    return e;
+  };
+
+  const float ep = energy(pos, rp);
+  const float en = energy(neg, rn);
+  const PairGate gate = MarginGate(options_.margin, ep, en);
+  if (!gate.active) return 0.0f;
+  const float lr = options_.learning_rate;
+
+  auto descend = [&](const kg::Triple& t, std::span<const float> res,
+                     float direction) {
+    const auto h = entities_.Row(t.head);
+    const auto hp = entity_proj_.Row(t.head);
+    const auto rpv = relation_proj_.Row(t.relation);
+    const auto tl = entities_.Row(t.tail);
+    const auto tpv = entity_proj_.Row(t.tail);
+    const float rd = math::Dot(rpv, res);
+    const float hph = math::Dot(hp, h);
+    const float tpt = math::Dot(tpv, tl);
+    // grad_h = 2 (res + (r_p . res) h_p).
+    for (size_t i = 0; i < d; ++i) {
+      grad[i] = direction * 2.0f * (res[i] + rd * hp[i]);
+    }
+    entities_.ApplyGradient(t.head, grad, lr);
+    // grad_hp = 2 (r_p . res) h.
+    for (size_t i = 0; i < d; ++i) grad[i] = direction * 2.0f * rd * h[i];
+    entity_proj_.ApplyGradient(t.head, grad, lr);
+    // grad_t = -2 (res + (r_p . res) t_p).
+    for (size_t i = 0; i < d; ++i) {
+      grad[i] = direction * -2.0f * (res[i] + rd * tpv[i]);
+    }
+    entities_.ApplyGradient(t.tail, grad, lr);
+    // grad_tp = -2 (r_p . res) t.
+    for (size_t i = 0; i < d; ++i) grad[i] = direction * -2.0f * rd * tl[i];
+    entity_proj_.ApplyGradient(t.tail, grad, lr);
+    // grad_r = 2 res; grad_rp = 2 ((h_p.h) - (t_p.t)) res.
+    for (size_t i = 0; i < d; ++i) grad[i] = direction * 2.0f * res[i];
+    relations_.ApplyGradient(t.relation, grad, lr);
+    for (size_t i = 0; i < d; ++i) {
+      grad[i] = direction * 2.0f * (hph - tpt) * res[i];
+    }
+    relation_proj_.ApplyGradient(t.relation, grad, lr);
+  };
+  descend(pos, rp, +1.0f);
+  descend(neg, rn, -1.0f);
+  return gate.loss;
+}
+
+float TransDModel::ScoreTriple(const kg::Triple& t) const {
+  const size_t d = options_.dim;
+  const auto h = entities_.Row(t.head);
+  const auto hp = entity_proj_.Row(t.head);
+  const auto r = relations_.Row(t.relation);
+  const auto rpv = relation_proj_.Row(t.relation);
+  const auto tl = entities_.Row(t.tail);
+  const auto tpv = entity_proj_.Row(t.tail);
+  const float hph = math::Dot(hp, h);
+  const float tpt = math::Dot(tpv, tl);
+  float e = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float v = (h[i] + hph * rpv[i]) + r[i] - (tl[i] + tpt * rpv[i]);
+    e += v * v;
+  }
+  return -e;
+}
+
+void TransDModel::PostEpoch() {
+  entities_.NormalizeAllRows();
+}
+
+}  // namespace openea::embedding

@@ -1,0 +1,70 @@
+#include "src/embedding/triple_model.h"
+
+#include "src/common/logging.h"
+#include "src/embedding/deep_models.h"
+#include "src/embedding/semantic_matching.h"
+#include "src/embedding/translational.h"
+
+namespace openea::embedding {
+
+const char* TripleModelKindName(TripleModelKind kind) {
+  switch (kind) {
+    case TripleModelKind::kTransE: return "TransE";
+    case TripleModelKind::kTransH: return "TransH";
+    case TripleModelKind::kTransR: return "TransR";
+    case TripleModelKind::kTransD: return "TransD";
+    case TripleModelKind::kHolE: return "HolE";
+    case TripleModelKind::kSimplE: return "SimplE";
+    case TripleModelKind::kComplEx: return "ComplEx";
+    case TripleModelKind::kRotatE: return "RotatE";
+    case TripleModelKind::kDistMult: return "DistMult";
+    case TripleModelKind::kProjE: return "ProjE";
+    case TripleModelKind::kConvE: return "ConvE";
+  }
+  return "?";
+}
+
+std::unique_ptr<TripleModel> CreateTripleModel(
+    TripleModelKind kind, size_t num_entities, size_t num_relations,
+    const TripleModelOptions& options, Rng& rng) {
+  OPENEA_CHECK_GT(num_entities, 0u);
+  OPENEA_CHECK_GT(num_relations, 0u);
+  switch (kind) {
+    case TripleModelKind::kTransE:
+      return std::make_unique<TransEModel>(num_entities, num_relations,
+                                           options, rng);
+    case TripleModelKind::kTransH:
+      return std::make_unique<TransHModel>(num_entities, num_relations,
+                                           options, rng);
+    case TripleModelKind::kTransR:
+      return std::make_unique<TransRModel>(num_entities, num_relations,
+                                           options, rng);
+    case TripleModelKind::kTransD:
+      return std::make_unique<TransDModel>(num_entities, num_relations,
+                                           options, rng);
+    case TripleModelKind::kHolE:
+      return std::make_unique<HolEModel>(num_entities, num_relations, options,
+                                         rng);
+    case TripleModelKind::kSimplE:
+      return std::make_unique<SimplEModel>(num_entities, num_relations,
+                                           options, rng);
+    case TripleModelKind::kComplEx:
+      return std::make_unique<ComplExModel>(num_entities, num_relations,
+                                            options, rng);
+    case TripleModelKind::kRotatE:
+      return std::make_unique<RotatEModel>(num_entities, num_relations,
+                                           options, rng);
+    case TripleModelKind::kDistMult:
+      return std::make_unique<DistMultModel>(num_entities, num_relations,
+                                             options, rng);
+    case TripleModelKind::kProjE:
+      return std::make_unique<ProjEModel>(num_entities, num_relations,
+                                          options, rng);
+    case TripleModelKind::kConvE:
+      return std::make_unique<ConvEModel>(num_entities, num_relations,
+                                          options, rng);
+  }
+  return nullptr;
+}
+
+}  // namespace openea::embedding

@@ -1,0 +1,47 @@
+#include "src/eval/folds.h"
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace openea::eval {
+
+std::vector<FoldSplit> MakeFolds(const kg::Alignment& reference,
+                                 int num_folds, double valid_fraction,
+                                 uint64_t seed) {
+  OPENEA_CHECK_GT(num_folds, 0);
+  kg::Alignment shuffled = reference;
+  Rng rng(seed);
+  rng.Shuffle(shuffled);
+
+  const size_t n = shuffled.size();
+  const size_t fold_size = n / static_cast<size_t>(num_folds);
+  const size_t valid_size = static_cast<size_t>(
+      valid_fraction * static_cast<double>(n));
+
+  std::vector<FoldSplit> folds;
+  folds.reserve(static_cast<size_t>(num_folds));
+  for (int f = 0; f < num_folds; ++f) {
+    FoldSplit split;
+    const size_t begin = static_cast<size_t>(f) * fold_size;
+    const size_t end = f + 1 == num_folds ? begin + fold_size : begin + fold_size;
+    // Fold f is the training (seed) partition.
+    for (size_t i = begin; i < end && i < n; ++i) {
+      split.train.push_back(shuffled[i]);
+    }
+    // Remaining pairs: first `valid_size` become validation, rest test.
+    size_t assigned_valid = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (i >= begin && i < end) continue;
+      if (assigned_valid < valid_size) {
+        split.valid.push_back(shuffled[i]);
+        ++assigned_valid;
+      } else {
+        split.test.push_back(shuffled[i]);
+      }
+    }
+    folds.push_back(std::move(split));
+  }
+  return folds;
+}
+
+}  // namespace openea::eval

@@ -1,0 +1,29 @@
+#ifndef OPENEA_EVAL_FOLDS_H_
+#define OPENEA_EVAL_FOLDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kg/types.h"
+
+namespace openea::eval {
+
+/// One cross-validation fold: 20% train (seed alignment), 10% validation,
+/// 70% test, following the paper's protocol (Sect. 5.1).
+struct FoldSplit {
+  kg::Alignment train;
+  kg::Alignment valid;
+  kg::Alignment test;
+};
+
+/// Splits `reference` into `num_folds` disjoint folds of equal size; fold i
+/// serves as training data, and the remainder is divided into validation
+/// (valid_fraction of the total) and test. Deterministic in `seed`.
+std::vector<FoldSplit> MakeFolds(const kg::Alignment& reference,
+                                 int num_folds = 5,
+                                 double valid_fraction = 0.1,
+                                 uint64_t seed = 11);
+
+}  // namespace openea::eval
+
+#endif  // OPENEA_EVAL_FOLDS_H_

@@ -1,0 +1,107 @@
+#include "src/eval/geometry.h"
+
+#include <algorithm>
+
+#include "src/eval/metrics.h"
+
+namespace openea::eval {
+namespace {
+
+math::Matrix TestSim(const core::AlignmentModel& model,
+                     const kg::Alignment& pairs,
+                     align::DistanceMetric metric) {
+  std::vector<kg::EntityId> lefts, rights;
+  for (const auto& p : pairs) {
+    lefts.push_back(p.left);
+    rights.push_back(p.right);
+  }
+  return align::SimilarityMatrix(GatherRows(model.emb1, lefts),
+                                 GatherRows(model.emb2, rights), metric);
+}
+
+}  // namespace
+
+SimilarityDistribution AnalyzeSimilarityDistribution(
+    const core::AlignmentModel& model, const kg::Alignment& test_pairs) {
+  SimilarityDistribution dist;
+  if (test_pairs.empty()) return dist;
+  const math::Matrix sim =
+      TestSim(model, test_pairs, align::DistanceMetric::kCosine);
+  const size_t k = std::min<size_t>(5, sim.cols());
+  for (size_t i = 0; i < sim.rows(); ++i) {
+    std::vector<float> row(sim.Row(i).begin(), sim.Row(i).end());
+    std::partial_sort(row.begin(), row.begin() + static_cast<long>(k),
+                      row.end(), std::greater<float>());
+    for (size_t j = 0; j < k; ++j) dist.mean_topk[j] += row[j];
+  }
+  for (double& v : dist.mean_topk) v /= static_cast<double>(sim.rows());
+  return dist;
+}
+
+HubnessStats AnalyzeHubness(const core::AlignmentModel& model,
+                            const kg::Alignment& test_pairs,
+                            align::DistanceMetric metric) {
+  HubnessStats stats;
+  if (test_pairs.empty()) return stats;
+  const math::Matrix sim = TestSim(model, test_pairs, metric);
+  std::vector<int> hit_count(sim.cols(), 0);
+  for (size_t i = 0; i < sim.rows(); ++i) {
+    const auto row = sim.Row(i);
+    const size_t nn = static_cast<size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    ++hit_count[nn];
+  }
+  for (int c : hit_count) {
+    if (c == 0) {
+      stats.zero += 1;
+    } else if (c == 1) {
+      stats.one += 1;
+    } else if (c <= 4) {
+      stats.two_to_four += 1;
+    } else {
+      stats.five_plus += 1;
+    }
+  }
+  const double n = static_cast<double>(sim.cols());
+  stats.zero /= n;
+  stats.one /= n;
+  stats.two_to_four /= n;
+  stats.five_plus /= n;
+  return stats;
+}
+
+DegreeBucketRecall RecallByAlignmentDegree(const core::AlignmentModel& model,
+                                           const core::AlignmentTask& task,
+                                           align::DistanceMetric metric) {
+  DegreeBucketRecall out;
+  const kg::Alignment& pairs = task.test;
+  if (pairs.empty()) return out;
+  const math::Matrix sim = TestSim(model, pairs, metric);
+  std::array<size_t, 4> correct = {0, 0, 0, 0};
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const size_t degree = task.kg1->Degree(pairs[i].left) +
+                          task.kg2->Degree(pairs[i].right);
+    size_t bucket = 0;
+    if (degree >= 16) {
+      bucket = 3;
+    } else if (degree >= 11) {
+      bucket = 2;
+    } else if (degree >= 6) {
+      bucket = 1;
+    }
+    ++out.count[bucket];
+    const auto row = sim.Row(i);
+    const size_t nn = static_cast<size_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+    if (nn == i) ++correct[bucket];
+  }
+  for (size_t b = 0; b < 4; ++b) {
+    out.recall[b] = out.count[b] > 0
+                        ? static_cast<double>(correct[b]) /
+                              static_cast<double>(out.count[b])
+                        : 0.0;
+  }
+  return out;
+}
+
+}  // namespace openea::eval

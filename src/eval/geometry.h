@@ -1,0 +1,56 @@
+#ifndef OPENEA_EVAL_GEOMETRY_H_
+#define OPENEA_EVAL_GEOMETRY_H_
+
+#include <array>
+#include <vector>
+
+#include "src/align/similarity.h"
+#include "src/core/task.h"
+#include "src/kg/knowledge_graph.h"
+
+namespace openea::eval {
+
+/// Average cosine similarity between each test source entity and its k-th
+/// nearest cross-KG neighbour, for k = 1..5 (Figure 9). A good model shows
+/// a high top-1 similarity and a large variance across the five rows.
+struct SimilarityDistribution {
+  std::array<double, 5> mean_topk = {0, 0, 0, 0, 0};
+
+  double Top1() const { return mean_topk[0]; }
+  /// Gap between the first and fifth neighbour — the "variance" signal the
+  /// paper reads from the colour gradient.
+  double Top1Top5Gap() const { return mean_topk[0] - mean_topk[4]; }
+};
+
+SimilarityDistribution AnalyzeSimilarityDistribution(
+    const core::AlignmentModel& model, const kg::Alignment& test_pairs);
+
+/// Hubness and isolation statistics (Figure 10): fractions of target test
+/// entities that appear 0, 1, [2,4] and >= 5 times as the top-1 nearest
+/// neighbour of source test entities.
+struct HubnessStats {
+  double zero = 0.0;
+  double one = 0.0;
+  double two_to_four = 0.0;
+  double five_plus = 0.0;
+};
+
+HubnessStats AnalyzeHubness(const core::AlignmentModel& model,
+                            const kg::Alignment& test_pairs,
+                            align::DistanceMetric metric);
+
+/// Recall of greedy alignment per alignment-degree bucket (Figure 5).
+/// The degree of a pair is the sum of relation-triple counts of its two
+/// entities; buckets are [1,6), [6,11), [11,16), [16, inf).
+struct DegreeBucketRecall {
+  std::array<double, 4> recall = {0, 0, 0, 0};
+  std::array<size_t, 4> count = {0, 0, 0, 0};
+};
+
+DegreeBucketRecall RecallByAlignmentDegree(const core::AlignmentModel& model,
+                                           const core::AlignmentTask& task,
+                                           align::DistanceMetric metric);
+
+}  // namespace openea::eval
+
+#endif  // OPENEA_EVAL_GEOMETRY_H_

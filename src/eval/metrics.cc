@@ -1,0 +1,145 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+
+namespace openea::eval {
+namespace {
+
+/// Builds the (test-left x test-right) similarity matrix for `model`.
+math::Matrix TestSimilarity(const core::AlignmentModel& model,
+                            const kg::Alignment& pairs,
+                            align::DistanceMetric metric, bool csls) {
+  std::vector<kg::EntityId> lefts, rights;
+  lefts.reserve(pairs.size());
+  rights.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    lefts.push_back(p.left);
+    rights.push_back(p.right);
+  }
+  math::Matrix sim = align::SimilarityMatrix(GatherRows(model.emb1, lefts),
+                                             GatherRows(model.emb2, rights),
+                                             metric);
+  if (csls) align::ApplyCsls(sim);
+  return sim;
+}
+
+}  // namespace
+
+math::Matrix GatherRows(const math::Matrix& emb,
+                        const std::vector<kg::EntityId>& ids) {
+  math::Matrix out(ids.size(), emb.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    OPENEA_CHECK_LT(static_cast<size_t>(ids[i]), emb.rows());
+    const auto src = emb.Row(ids[i]);
+    std::copy(src.begin(), src.end(), out.Row(i).begin());
+  }
+  return out;
+}
+
+RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
+                               const kg::Alignment& test_pairs,
+                               align::DistanceMetric metric, bool csls) {
+  RankingMetrics metrics;
+  if (test_pairs.empty()) return metrics;
+  const math::Matrix sim = TestSimilarity(model, test_pairs, metric, csls);
+  double hits1 = 0, hits5 = 0, mr = 0, mrr = 0;
+  for (size_t i = 0; i < test_pairs.size(); ++i) {
+    const auto row = sim.Row(i);
+    const float true_sim = row[i];  // Pair i's counterpart is column i.
+    size_t rank = 1;
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j != i && row[j] > true_sim) ++rank;
+    }
+    if (rank == 1) hits1 += 1;
+    if (rank <= 5) hits5 += 1;
+    mr += static_cast<double>(rank);
+    mrr += 1.0 / static_cast<double>(rank);
+  }
+  const double n = static_cast<double>(test_pairs.size());
+  metrics.hits1 = hits1 / n;
+  metrics.hits5 = hits5 / n;
+  metrics.mr = mr / n;
+  metrics.mrr = mrr / n;
+  return metrics;
+}
+
+double Hits1(const core::AlignmentModel& model, const kg::Alignment& pairs,
+             align::DistanceMetric metric) {
+  return EvaluateRanking(model, pairs, metric).hits1;
+}
+
+std::vector<bool> CorrectlyMatched(const core::AlignmentModel& model,
+                                   const kg::Alignment& test_pairs,
+                                   align::DistanceMetric metric,
+                                   align::InferenceStrategy strategy) {
+  std::vector<bool> correct(test_pairs.size(), false);
+  if (test_pairs.empty()) return correct;
+  const math::Matrix sim =
+      TestSimilarity(model, test_pairs, metric, /*csls=*/false);
+  const std::vector<int> match = align::InferAlignment(sim, strategy);
+  for (size_t i = 0; i < test_pairs.size(); ++i) {
+    correct[i] = match[i] == static_cast<int>(i);
+  }
+  return correct;
+}
+
+double MatchAccuracy(const core::AlignmentModel& model,
+                     const kg::Alignment& test_pairs,
+                     align::DistanceMetric metric,
+                     align::InferenceStrategy strategy) {
+  const auto correct = CorrectlyMatched(model, test_pairs, metric, strategy);
+  if (correct.empty()) return 0.0;
+  size_t hits = 0;
+  for (bool c : correct) {
+    if (c) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(correct.size());
+}
+
+PrfMetrics ComparePairs(const kg::Alignment& predicted,
+                        const kg::Alignment& reference) {
+  PrfMetrics out;
+  if (predicted.empty() || reference.empty()) return out;
+  std::unordered_set<int64_t> ref_set;
+  ref_set.reserve(reference.size() * 2);
+  for (const auto& p : reference) {
+    ref_set.insert((static_cast<int64_t>(p.left) << 32) ^
+                   static_cast<int64_t>(p.right));
+  }
+  size_t correct = 0;
+  for (const auto& p : predicted) {
+    if (ref_set.count((static_cast<int64_t>(p.left) << 32) ^
+                      static_cast<int64_t>(p.right)) > 0) {
+      ++correct;
+    }
+  }
+  out.precision = static_cast<double>(correct) /
+                  static_cast<double>(predicted.size());
+  out.recall = static_cast<double>(correct) /
+               static_cast<double>(reference.size());
+  out.f1 = (out.precision + out.recall) > 0
+               ? 2 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+MeanStd Aggregate(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0;
+    for (double v : values) sq += (v - out.mean) * (v - out.mean);
+    out.std = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace openea::eval

@@ -1,0 +1,74 @@
+#ifndef OPENEA_EVAL_METRICS_H_
+#define OPENEA_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "src/align/inference.h"
+#include "src/align/similarity.h"
+#include "src/core/task.h"
+#include "src/kg/types.h"
+
+namespace openea::eval {
+
+/// Ranking metrics used throughout the paper: Hits@1, Hits@5, mean rank,
+/// and mean reciprocal rank. Hits@1 equals precision for 1-to-1 alignment.
+struct RankingMetrics {
+  double hits1 = 0.0;
+  double hits5 = 0.0;
+  double mr = 0.0;
+  double mrr = 0.0;
+};
+
+/// Extracts the rows of `emb` given by `ids` into a dense matrix.
+math::Matrix GatherRows(const math::Matrix& emb,
+                        const std::vector<kg::EntityId>& ids);
+
+/// Ranks every test pair's true counterpart among the candidate set formed
+/// by all right-side test entities (the paper's evaluation protocol) and
+/// aggregates Hits@1/Hits@5/MR/MRR. Set `csls` to rank under CSLS-adjusted
+/// similarities.
+RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
+                               const kg::Alignment& test_pairs,
+                               align::DistanceMetric metric,
+                               bool csls = false);
+
+/// Convenience: validation Hits@1 (early-stopping criterion).
+double Hits1(const core::AlignmentModel& model, const kg::Alignment& pairs,
+             align::DistanceMetric metric);
+
+/// Accuracy of a full 1-to-1 matching produced by `strategy` over the test
+/// sub-similarity matrix (Table 6: Greedy / Greedy+CSLS / SM / SM+CSLS).
+double MatchAccuracy(const core::AlignmentModel& model,
+                     const kg::Alignment& test_pairs,
+                     align::DistanceMetric metric,
+                     align::InferenceStrategy strategy);
+
+/// Returns, for every test pair index, whether `strategy` matched it
+/// correctly. Used by the complementarity analysis (Figure 12).
+std::vector<bool> CorrectlyMatched(const core::AlignmentModel& model,
+                                   const kg::Alignment& test_pairs,
+                                   align::DistanceMetric metric,
+                                   align::InferenceStrategy strategy);
+
+/// Precision / recall / F1 of a predicted alignment against a reference
+/// (conventional-approach protocol, Table 7).
+struct PrfMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+PrfMetrics ComparePairs(const kg::Alignment& predicted,
+                        const kg::Alignment& reference);
+
+/// Mean and sample standard deviation over fold results.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+MeanStd Aggregate(const std::vector<double>& values);
+
+}  // namespace openea::eval
+
+#endif  // OPENEA_EVAL_METRICS_H_

@@ -1,0 +1,153 @@
+#include "src/interaction/bootstrapping.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/math/vec.h"
+
+namespace openea::interaction {
+namespace {
+
+float PairSim(const math::Matrix& emb1, const math::Matrix& emb2,
+              kg::EntityId a, kg::EntityId b) {
+  return math::CosineSimilarity(emb1.Row(a), emb2.Row(b));
+}
+
+}  // namespace
+
+kg::Alignment ProposeAlignment(const math::Matrix& emb1,
+                               const math::Matrix& emb2,
+                               const std::unordered_set<kg::EntityId>& used1,
+                               const std::unordered_set<kg::EntityId>& used2,
+                               const BootstrapOptions& options) {
+  std::vector<kg::EntityId> cand1, cand2;
+  for (size_t e = 0; e < emb1.rows(); ++e) {
+    if (used1.count(static_cast<kg::EntityId>(e)) == 0) {
+      cand1.push_back(static_cast<kg::EntityId>(e));
+    }
+  }
+  for (size_t e = 0; e < emb2.rows(); ++e) {
+    if (used2.count(static_cast<kg::EntityId>(e)) == 0) {
+      cand2.push_back(static_cast<kg::EntityId>(e));
+    }
+  }
+  if (cand1.empty() || cand2.empty()) return {};
+
+  // Nearest candidate on each side.
+  struct Best {
+    int index = -1;
+    float sim = -2.0f;
+  };
+  std::vector<Best> best1(cand1.size()), best2(cand2.size());
+  for (size_t i = 0; i < cand1.size(); ++i) {
+    for (size_t j = 0; j < cand2.size(); ++j) {
+      const float sim = PairSim(emb1, emb2, cand1[i], cand2[j]);
+      if (sim > best1[i].sim) best1[i] = {static_cast<int>(j), sim};
+      if (sim > best2[j].sim) best2[j] = {static_cast<int>(i), sim};
+    }
+  }
+
+  // Collect proposals above threshold (and mutual when required), then
+  // resolve conflicts greedily by similarity for a 1-to-1 alignment.
+  struct Proposal {
+    float sim;
+    kg::EntityId left, right;
+  };
+  std::vector<Proposal> proposals;
+  for (size_t i = 0; i < cand1.size(); ++i) {
+    const Best& b = best1[i];
+    if (b.index < 0 || b.sim < options.threshold) continue;
+    if (options.mutual && best2[b.index].index != static_cast<int>(i)) {
+      continue;
+    }
+    proposals.push_back({b.sim, cand1[i], cand2[b.index]});
+  }
+  std::sort(proposals.begin(), proposals.end(),
+            [](const Proposal& a, const Proposal& b) { return a.sim > b.sim; });
+  kg::Alignment out;
+  std::unordered_set<kg::EntityId> taken1, taken2;
+  for (const Proposal& p : proposals) {
+    if (taken1.count(p.left) > 0 || taken2.count(p.right) > 0) continue;
+    taken1.insert(p.left);
+    taken2.insert(p.right);
+    out.push_back({p.left, p.right});
+  }
+  return out;
+}
+
+void EditAugmentedAlignment(kg::Alignment& augmented,
+                            const kg::Alignment& proposals,
+                            const math::Matrix& emb1,
+                            const math::Matrix& emb2) {
+  std::unordered_map<kg::EntityId, size_t> by_left, by_right;
+  for (size_t i = 0; i < augmented.size(); ++i) {
+    by_left[augmented[i].left] = i;
+    by_right[augmented[i].right] = i;
+  }
+  std::vector<bool> dead(augmented.size(), false);
+  kg::Alignment additions;
+  for (const kg::AlignmentPair& p : proposals) {
+    const float sim = PairSim(emb1, emb2, p.left, p.right);
+    bool can_take = true;
+    for (auto* index : {&by_left, &by_right}) {
+      const kg::EntityId key = index == &by_left ? p.left : p.right;
+      auto it = index->find(key);
+      if (it == index->end() || dead[it->second]) continue;
+      const kg::AlignmentPair& old = augmented[it->second];
+      if (PairSim(emb1, emb2, old.left, old.right) >= sim) {
+        can_take = false;  // Existing pair is stronger; keep it.
+        break;
+      }
+    }
+    if (!can_take) continue;
+    // Evict any weaker pairs touching the same entities.
+    for (auto* index : {&by_left, &by_right}) {
+      const kg::EntityId key = index == &by_left ? p.left : p.right;
+      auto it = index->find(key);
+      if (it != index->end()) dead[it->second] = true;
+    }
+    additions.push_back(p);
+  }
+  kg::Alignment merged;
+  merged.reserve(augmented.size() + additions.size());
+  for (size_t i = 0; i < augmented.size(); ++i) {
+    if (!dead[i]) merged.push_back(augmented[i]);
+  }
+  merged.insert(merged.end(), additions.begin(), additions.end());
+  augmented = std::move(merged);
+}
+
+core::IterationStat EvaluateAugmented(const kg::Alignment& augmented,
+                                      const core::AlignmentTask& task,
+                                      int iteration) {
+  core::IterationStat stat;
+  stat.iteration = iteration;
+  if (augmented.empty()) return stat;
+  std::unordered_set<int64_t> reference;
+  for (const kg::Alignment* part : {&task.valid, &task.test}) {
+    for (const kg::AlignmentPair& p : *part) {
+      reference.insert((static_cast<int64_t>(p.left) << 32) ^
+                       static_cast<int64_t>(p.right));
+    }
+  }
+  size_t correct = 0;
+  for (const kg::AlignmentPair& p : augmented) {
+    if (reference.count((static_cast<int64_t>(p.left) << 32) ^
+                        static_cast<int64_t>(p.right)) > 0) {
+      ++correct;
+    }
+  }
+  stat.precision =
+      static_cast<double>(correct) / static_cast<double>(augmented.size());
+  stat.recall = reference.empty()
+                    ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(reference.size());
+  stat.f1 = (stat.precision + stat.recall) > 0
+                ? 2 * stat.precision * stat.recall /
+                      (stat.precision + stat.recall)
+                : 0.0;
+  return stat;
+}
+
+}  // namespace openea::interaction

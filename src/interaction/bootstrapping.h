@@ -1,0 +1,50 @@
+#ifndef OPENEA_INTERACTION_BOOTSTRAPPING_H_
+#define OPENEA_INTERACTION_BOOTSTRAPPING_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/task.h"
+#include "src/kg/types.h"
+#include "src/math/matrix.h"
+
+namespace openea::interaction {
+
+/// Options for semi-supervised alignment augmentation (paper Sect. 2.2.3).
+struct BootstrapOptions {
+  /// Minimum cosine similarity for a proposal.
+  float threshold = 0.7f;
+  /// Require the pair to be mutual nearest neighbours among candidates.
+  bool mutual = true;
+};
+
+/// Proposes new alignment among entities not yet covered by the seed sets:
+/// each uncovered kg1 entity is matched to its nearest uncovered kg2
+/// entity by cosine similarity, kept if above threshold (and mutual when
+/// requested). Conflicts are resolved greedily by similarity, enforcing a
+/// 1-to-1 result. This is the self-training proposal step shared by
+/// IPTransE, BootEA, and KDCoE.
+kg::Alignment ProposeAlignment(const math::Matrix& emb1,
+                               const math::Matrix& emb2,
+                               const std::unordered_set<kg::EntityId>& used1,
+                               const std::unordered_set<kg::EntityId>& used2,
+                               const BootstrapOptions& options);
+
+/// BootEA's editable augmentation: merges `proposals` into `augmented`,
+/// replacing an existing pair when a new one claims the same entity with
+/// higher similarity (the heuristic editing that keeps precision stable).
+/// `sim_of` must give the similarity of a pair.
+void EditAugmentedAlignment(
+    kg::Alignment& augmented, const kg::Alignment& proposals,
+    const math::Matrix& emb1, const math::Matrix& emb2);
+
+/// Precision/recall/F1 of an augmented alignment against the held-out
+/// reference (task.valid + task.test — the discoverable pairs), for the
+/// Figure 7 traces.
+core::IterationStat EvaluateAugmented(const kg::Alignment& augmented,
+                                      const core::AlignmentTask& task,
+                                      int iteration);
+
+}  // namespace openea::interaction
+
+#endif  // OPENEA_INTERACTION_BOOTSTRAPPING_H_

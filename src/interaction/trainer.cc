@@ -1,0 +1,139 @@
+#include "src/interaction/trainer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/math/vec.h"
+
+namespace openea::interaction {
+
+float TrainEpoch(embedding::TripleModel& model,
+                 const std::vector<kg::Triple>& triples, int negatives,
+                 Rng& rng,
+                 const embedding::TruncatedNegativeSampler* truncated) {
+  if (triples.empty()) return 0.0f;
+  std::vector<size_t> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const size_t n = model.num_entities();
+  float total = 0.0f;
+  for (size_t idx : order) {
+    const kg::Triple& pos = triples[idx];
+    for (int k = 0; k < negatives; ++k) {
+      const kg::Triple neg =
+          truncated != nullptr && truncated->initialized()
+              ? truncated->Corrupt(pos, n, rng)
+              : embedding::CorruptUniform(pos, n, rng);
+      total += model.TrainOnPair(pos, neg);
+    }
+  }
+  model.PostEpoch();
+  return total / static_cast<float>(triples.size());
+}
+
+float TrainEpochPositiveOnly(embedding::TripleModel& model,
+                             const std::vector<kg::Triple>& triples,
+                             Rng& rng) {
+  if (triples.empty()) return 0.0f;
+  std::vector<size_t> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  float total = 0.0f;
+  for (size_t idx : order) total += model.TrainOnPositive(triples[idx]);
+  model.PostEpoch();
+  return total / static_cast<float>(triples.size());
+}
+
+float CalibrateEpoch(
+    math::EmbeddingTable& entities,
+    const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs,
+    float learning_rate, float margin, int negatives, Rng& rng) {
+  const size_t d = entities.dim();
+  const size_t n = entities.num_rows();
+  std::vector<float> grad(d);
+  float total = 0.0f;
+  for (const auto& [a, b] : pairs) {
+    if (a == b) continue;  // Shared rows need no calibration.
+    // Positive: pull together. grad_a = 2 (a - b).
+    {
+      const auto va = entities.Row(a);
+      const auto vb = entities.Row(b);
+      float dist = 0.0f;
+      for (size_t i = 0; i < d; ++i) {
+        grad[i] = 2.0f * (va[i] - vb[i]);
+        const float diff = va[i] - vb[i];
+        dist += diff * diff;
+      }
+      total += dist;
+      entities.ApplyGradient(a, grad, learning_rate);
+      for (size_t i = 0; i < d; ++i) grad[i] = -grad[i];
+      entities.ApplyGradient(b, grad, learning_rate);
+    }
+    // Negatives: push a away from random entities within the margin.
+    for (int k = 0; k < negatives; ++k) {
+      const kg::EntityId c = static_cast<kg::EntityId>(rng.NextBounded(n));
+      if (c == a || c == b) continue;
+      const auto va = entities.Row(a);
+      const auto vc = entities.Row(c);
+      float dist = 0.0f;
+      for (size_t i = 0; i < d; ++i) {
+        const float diff = va[i] - vc[i];
+        dist += diff * diff;
+      }
+      if (dist >= margin) continue;
+      total += margin - dist;
+      for (size_t i = 0; i < d; ++i) grad[i] = -2.0f * (va[i] - vc[i]);
+      entities.ApplyGradient(a, grad, learning_rate);
+      for (size_t i = 0; i < d; ++i) grad[i] = -grad[i];
+      entities.ApplyGradient(c, grad, learning_rate);
+    }
+  }
+  return pairs.empty() ? 0.0f : total / static_cast<float>(pairs.size());
+}
+
+size_t PathCompositionEpoch(math::EmbeddingTable& relations,
+                            const std::vector<kg::Triple>& triples,
+                            size_t num_entities, float learning_rate,
+                            size_t max_paths, Rng& rng) {
+  // Index: outgoing triples per entity, and direct relation lookup.
+  std::vector<std::vector<size_t>> outgoing(num_entities);
+  std::unordered_map<int64_t, std::vector<kg::RelationId>> direct;
+  for (size_t i = 0; i < triples.size(); ++i) {
+    const kg::Triple& t = triples[i];
+    outgoing[t.head].push_back(i);
+    direct[(static_cast<int64_t>(t.head) << 32) ^
+           static_cast<int64_t>(t.tail)]
+        .push_back(t.relation);
+  }
+
+  const size_t d = relations.dim();
+  std::vector<float> grad(d);
+  size_t visited = 0;
+  for (size_t attempt = 0; attempt < max_paths * 8 && visited < max_paths;
+       ++attempt) {
+    const kg::Triple& first = triples[rng.NextBounded(triples.size())];
+    const auto& outs = outgoing[first.tail];
+    if (outs.empty()) continue;
+    const kg::Triple& second = triples[outs[rng.NextBounded(outs.size())]];
+    const auto it = direct.find((static_cast<int64_t>(first.head) << 32) ^
+                                static_cast<int64_t>(second.tail));
+    if (it == direct.end()) continue;
+    const kg::RelationId r3 =
+        it->second[rng.NextBounded(it->second.size())];
+    ++visited;
+    // Minimize ||r1 + r2 - r3||^2 (paper Eq. 2 with sum composition).
+    const auto r1 = relations.Row(first.relation);
+    const auto r2 = relations.Row(second.relation);
+    const auto r3v = relations.Row(r3);
+    for (size_t i = 0; i < d; ++i) {
+      grad[i] = 2.0f * (r1[i] + r2[i] - r3v[i]);
+    }
+    relations.ApplyGradient(first.relation, grad, learning_rate);
+    relations.ApplyGradient(second.relation, grad, learning_rate);
+    for (size_t i = 0; i < d; ++i) grad[i] = -grad[i];
+    relations.ApplyGradient(r3, grad, learning_rate);
+  }
+  return visited;
+}
+
+}  // namespace openea::interaction

@@ -1,0 +1,48 @@
+#ifndef OPENEA_INTERACTION_TRAINER_H_
+#define OPENEA_INTERACTION_TRAINER_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/embedding/negative_sampling.h"
+#include "src/embedding/triple_model.h"
+#include "src/kg/types.h"
+#include "src/math/embedding_table.h"
+
+namespace openea::interaction {
+
+/// One epoch of pair-based training over `triples`: for each positive,
+/// `negatives` corruptions are drawn (from `truncated` when provided and
+/// initialized, else uniformly) and fed to the model. Returns the mean
+/// per-positive loss. Triples are visited in a freshly shuffled order.
+float TrainEpoch(embedding::TripleModel& model,
+                 const std::vector<kg::Triple>& triples, int negatives,
+                 Rng& rng,
+                 const embedding::TruncatedNegativeSampler* truncated =
+                     nullptr);
+
+/// One epoch of positive-only training (MTransE regime).
+float TrainEpochPositiveOnly(embedding::TripleModel& model,
+                             const std::vector<kg::Triple>& triples,
+                             Rng& rng);
+
+/// One calibration epoch (paper's "embedding space calibration"): for each
+/// merged-id pair (a, b), minimize ||e_a - e_b||^2 and push each side away
+/// from a sampled negative with margin. Operates directly on the entity
+/// table.
+float CalibrateEpoch(
+    math::EmbeddingTable& entities,
+    const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs,
+    float learning_rate, float margin, int negatives, Rng& rng);
+
+/// Learns a path-composition constraint (IPTransE): for every 2-hop path
+/// (e1 -r1-> e2 -r2-> e3) with a direct relation r3 between e1 and e3,
+/// pulls r1 + r2 toward r3. Returns the visited path count.
+size_t PathCompositionEpoch(math::EmbeddingTable& relations,
+                            const std::vector<kg::Triple>& triples,
+                            size_t num_entities, float learning_rate,
+                            size_t max_paths, Rng& rng);
+
+}  // namespace openea::interaction
+
+#endif  // OPENEA_INTERACTION_TRAINER_H_

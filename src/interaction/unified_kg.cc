@@ -1,0 +1,75 @@
+#include "src/interaction/unified_kg.h"
+
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace openea::interaction {
+
+UnifiedKg BuildUnifiedKg(const core::AlignmentTask& task,
+                         CombinationMode mode, const kg::Alignment& seeds) {
+  OPENEA_CHECK(task.kg1 != nullptr);
+  OPENEA_CHECK(task.kg2 != nullptr);
+  UnifiedKg out;
+  const size_t n1 = task.kg1->NumEntities();
+  const size_t n2 = task.kg2->NumEntities();
+  out.num_entities = n1 + n2;
+  out.relation_offset2 = task.kg1->NumRelations();
+  out.num_relations = task.kg1->NumRelations() + task.kg2->NumRelations();
+
+  out.map1.resize(n1);
+  for (size_t e = 0; e < n1; ++e) out.map1[e] = static_cast<kg::EntityId>(e);
+  out.map2.resize(n2);
+  for (size_t e = 0; e < n2; ++e) {
+    out.map2[e] = static_cast<kg::EntityId>(n1 + e);
+  }
+  if (mode == CombinationMode::kSharing) {
+    for (const kg::AlignmentPair& p : seeds) out.map2[p.right] = p.left;
+  }
+
+  for (const kg::Triple& t : task.kg1->triples()) {
+    out.triples.push_back({out.map1[t.head], t.relation, out.map1[t.tail]});
+  }
+  for (const kg::Triple& t : task.kg2->triples()) {
+    out.triples.push_back(
+        {out.map2[t.head],
+         static_cast<kg::RelationId>(t.relation + out.relation_offset2),
+         out.map2[t.tail]});
+  }
+
+  out.merged_seeds.reserve(seeds.size());
+  for (const kg::AlignmentPair& p : seeds) {
+    out.merged_seeds.emplace_back(out.map1[p.left], out.map2[p.right]);
+  }
+
+  if (mode == CombinationMode::kSwapping) {
+    const auto swapped = SwappedTriples(out.triples, out.merged_seeds);
+    out.triples.insert(out.triples.end(), swapped.begin(), swapped.end());
+  }
+  return out;
+}
+
+std::vector<kg::Triple> SwappedTriples(
+    const std::vector<kg::Triple>& base,
+    const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs) {
+  std::unordered_map<kg::EntityId, kg::EntityId> swap;
+  swap.reserve(pairs.size() * 2);
+  for (const auto& [a, b] : pairs) {
+    swap[a] = b;
+    swap[b] = a;
+  }
+  std::vector<kg::Triple> out;
+  for (const kg::Triple& t : base) {
+    const auto head_it = swap.find(t.head);
+    const auto tail_it = swap.find(t.tail);
+    if (head_it != swap.end()) {
+      out.push_back({head_it->second, t.relation, t.tail});
+    }
+    if (tail_it != swap.end()) {
+      out.push_back({t.head, t.relation, tail_it->second});
+    }
+  }
+  return out;
+}
+
+}  // namespace openea::interaction

@@ -1,0 +1,32 @@
+#include "src/kg/alignment_util.h"
+
+namespace openea::kg {
+
+Alignment RemapAlignment(const Alignment& alignment,
+                         const std::vector<EntityId>& left_old_to_new,
+                         const std::vector<EntityId>& right_old_to_new) {
+  Alignment out;
+  out.reserve(alignment.size());
+  for (const AlignmentPair& pair : alignment) {
+    const EntityId l = left_old_to_new[pair.left];
+    const EntityId r = right_old_to_new[pair.right];
+    if (l == kInvalidId || r == kInvalidId) continue;
+    out.push_back({l, r});
+  }
+  return out;
+}
+
+Alignment FilterAlignment(const Alignment& alignment,
+                          const std::unordered_set<EntityId>& left_kept,
+                          const std::unordered_set<EntityId>& right_kept) {
+  Alignment out;
+  out.reserve(alignment.size());
+  for (const AlignmentPair& pair : alignment) {
+    if (left_kept.count(pair.left) > 0 && right_kept.count(pair.right) > 0) {
+      out.push_back(pair);
+    }
+  }
+  return out;
+}
+
+}  // namespace openea::kg

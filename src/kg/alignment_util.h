@@ -1,0 +1,26 @@
+#ifndef OPENEA_KG_ALIGNMENT_UTIL_H_
+#define OPENEA_KG_ALIGNMENT_UTIL_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/kg/types.h"
+
+namespace openea::kg {
+
+/// Keeps only the pairs whose endpoints survive in both KGs and rewrites the
+/// ids through the two remappings produced by InducedSubgraph. Pairs whose
+/// either endpoint was dropped are removed.
+Alignment RemapAlignment(const Alignment& alignment,
+                         const std::vector<EntityId>& left_old_to_new,
+                         const std::vector<EntityId>& right_old_to_new);
+
+/// Returns the subset of `alignment` whose left endpoint is in `left_kept`
+/// and right endpoint is in `right_kept`.
+Alignment FilterAlignment(const Alignment& alignment,
+                          const std::unordered_set<EntityId>& left_kept,
+                          const std::unordered_set<EntityId>& right_kept);
+
+}  // namespace openea::kg
+
+#endif  // OPENEA_KG_ALIGNMENT_UTIL_H_

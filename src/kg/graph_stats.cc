@@ -1,0 +1,108 @@
+#include "src/kg/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace openea::kg {
+
+DegreeDistribution ComputeDegreeDistribution(const KnowledgeGraph& graph) {
+  DegreeDistribution dist;
+  const size_t n = graph.NumEntities();
+  if (n == 0) return dist;
+  size_t max_degree = 0;
+  std::vector<size_t> degrees(n);
+  for (size_t e = 0; e < n; ++e) {
+    degrees[e] = graph.Degree(static_cast<EntityId>(e));
+    max_degree = std::max(max_degree, degrees[e]);
+  }
+  dist.proportion.assign(max_degree + 1, 0.0);
+  for (size_t d : degrees) dist.proportion[d] += 1.0;
+  for (double& p : dist.proportion) p /= static_cast<double>(n);
+  return dist;
+}
+
+double JensenShannonDivergence(const DegreeDistribution& q,
+                               const DegreeDistribution& p) {
+  const size_t n = std::max(q.proportion.size(), p.proportion.size());
+  double js = 0.0;
+  for (size_t d = 0; d < n; ++d) {
+    const double qd = q.At(d);
+    const double pd = p.At(d);
+    const double md = 0.5 * (qd + pd);
+    if (md <= 0.0) continue;
+    if (qd > 0.0) js += 0.5 * qd * std::log(qd / md);
+    if (pd > 0.0) js += 0.5 * pd * std::log(pd / md);
+  }
+  return js;
+}
+
+double IsolatedEntityRatio(const KnowledgeGraph& graph) {
+  const size_t n = graph.NumEntities();
+  if (n == 0) return 0.0;
+  size_t isolated = 0;
+  for (size_t e = 0; e < n; ++e) {
+    if (graph.Degree(static_cast<EntityId>(e)) == 0) ++isolated;
+  }
+  return static_cast<double>(isolated) / static_cast<double>(n);
+}
+
+double AverageClusteringCoefficient(const KnowledgeGraph& graph) {
+  const size_t n = graph.NumEntities();
+  if (n == 0) return 0.0;
+  // Build undirected unique-neighbour sets.
+  std::vector<std::unordered_set<EntityId>> adj(n);
+  for (const Triple& t : graph.triples()) {
+    if (t.head == t.tail) continue;
+    adj[t.head].insert(t.tail);
+    adj[t.tail].insert(t.head);
+  }
+  double total = 0.0;
+  for (size_t e = 0; e < n; ++e) {
+    const auto& nbrs = adj[e];
+    const size_t k = nbrs.size();
+    if (k < 2) continue;
+    size_t links = 0;
+    for (EntityId u : nbrs) {
+      // Count each pair once by requiring u < v.
+      for (EntityId v : nbrs) {
+        if (u < v && adj[u].count(v) > 0) ++links;
+      }
+    }
+    total += 2.0 * static_cast<double>(links) /
+             (static_cast<double>(k) * static_cast<double>(k - 1));
+  }
+  return total / static_cast<double>(n);
+}
+
+std::vector<double> PageRank(const KnowledgeGraph& graph, double damping,
+                             int iterations) {
+  const size_t n = graph.NumEntities();
+  if (n == 0) return {};
+  std::vector<std::vector<EntityId>> out_edges(n);
+  for (const Triple& t : graph.triples()) out_edges[t.head].push_back(t.tail);
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (size_t e = 0; e < n; ++e) {
+      const auto& outs = out_edges[e];
+      if (outs.empty()) {
+        dangling += rank[e];
+        continue;
+      }
+      const double share = rank[e] / static_cast<double>(outs.size());
+      for (EntityId v : outs) next[v] += share;
+    }
+    const double base =
+        (1.0 - damping) / static_cast<double>(n) +
+        damping * dangling / static_cast<double>(n);
+    for (size_t e = 0; e < n; ++e) next[e] = base + damping * next[e];
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace openea::kg

@@ -1,0 +1,48 @@
+#ifndef OPENEA_KG_GRAPH_STATS_H_
+#define OPENEA_KG_GRAPH_STATS_H_
+
+#include <vector>
+
+#include "src/kg/knowledge_graph.h"
+
+namespace openea::kg {
+
+/// Degree distribution: proportion[d] is the fraction of entities whose
+/// relation degree equals d, for d in [0, max_degree]. Distributions from two
+/// graphs can be compared with JensenShannonDivergence below (paper Eq. 6).
+struct DegreeDistribution {
+  std::vector<double> proportion;
+
+  /// Proportion of entities with degree `d` (0 beyond the recorded range).
+  double At(size_t d) const {
+    return d < proportion.size() ? proportion[d] : 0.0;
+  }
+};
+
+/// Computes the degree distribution of `graph`.
+DegreeDistribution ComputeDegreeDistribution(const KnowledgeGraph& graph);
+
+/// Jensen–Shannon divergence between two degree distributions, as used by
+/// the IDS stopping criterion (Algorithm 1, line 12 / Eq. 6). Uses natural
+/// logarithm; result is in [0, ln 2].
+double JensenShannonDivergence(const DegreeDistribution& q,
+                               const DegreeDistribution& p);
+
+/// Fraction of entities with no incident relation triple (Table 3,
+/// "Isolates").
+double IsolatedEntityRatio(const KnowledgeGraph& graph);
+
+/// Average local clustering coefficient over the undirected relation graph
+/// (Table 3, "Cluster coef."). Entities of degree < 2 contribute 0.
+double AverageClusteringCoefficient(const KnowledgeGraph& graph);
+
+/// PageRank over the relation graph treated as a directed graph (head ->
+/// tail), with uniform teleport. Returns one score per entity summing to 1.
+/// Used by IDS (Algorithm 1, line 8) to bias deletion away from influential
+/// entities, and by the PRS baseline sampler.
+std::vector<double> PageRank(const KnowledgeGraph& graph,
+                             double damping = 0.85, int iterations = 30);
+
+}  // namespace openea::kg
+
+#endif  // OPENEA_KG_GRAPH_STATS_H_

@@ -1,0 +1,186 @@
+#include "src/kg/io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/strings.h"
+
+namespace openea::kg {
+namespace {
+
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  for (const std::string& line : lines) out << line << '\n';
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Status ReadLines(const std::string& path, std::vector<std::string>* lines,
+                 bool required) {
+  std::ifstream in(path);
+  if (!in) {
+    return required ? Status::NotFound("missing file: " + path)
+                    : Status::OK();
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines->push_back(line);
+  }
+  return Status::OK();
+}
+
+Status SaveKg(const KnowledgeGraph& kg, const std::string& dir, int index) {
+  const std::string suffix = "_" + std::to_string(index);
+  // Entity list first: triples alone would lose isolated entities.
+  Status ent_status =
+      WriteLines(dir + "/ent_ids" + suffix, kg.entities().names());
+  if (!ent_status.ok()) return ent_status;
+  std::vector<std::string> rel_lines;
+  rel_lines.reserve(kg.NumTriples());
+  for (const Triple& t : kg.triples()) {
+    rel_lines.push_back(kg.entities().Name(t.head) + "\t" +
+                        kg.relations().Name(t.relation) + "\t" +
+                        kg.entities().Name(t.tail));
+  }
+  Status status = WriteLines(dir + "/rel_triples" + suffix, rel_lines);
+  if (!status.ok()) return status;
+
+  std::vector<std::string> attr_lines;
+  attr_lines.reserve(kg.NumAttributeTriples());
+  for (const AttributeTriple& t : kg.attribute_triples()) {
+    attr_lines.push_back(kg.entities().Name(t.entity) + "\t" +
+                         kg.attributes().Name(t.attribute) + "\t" +
+                         kg.literals().Name(t.value));
+  }
+  status = WriteLines(dir + "/attr_triples" + suffix, attr_lines);
+  if (!status.ok()) return status;
+
+  std::vector<std::string> desc_lines;
+  for (size_t e = 0; e < kg.NumEntities(); ++e) {
+    const std::string& desc = kg.Description(static_cast<EntityId>(e));
+    if (!desc.empty()) {
+      desc_lines.push_back(kg.entities().Name(static_cast<int>(e)) + "\t" +
+                           desc);
+    }
+  }
+  if (!desc_lines.empty()) {
+    status = WriteLines(dir + "/descriptions" + suffix, desc_lines);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Status LoadKg(const std::string& dir, int index, KnowledgeGraph* kg) {
+  const std::string suffix = "_" + std::to_string(index);
+  std::vector<std::string> lines;
+  // Optional entity list (absent in bare OpenEA-format datasets); loading
+  // it first preserves the original id order.
+  Status status = ReadLines(dir + "/ent_ids" + suffix, &lines, false);
+  if (!status.ok()) return status;
+  for (const std::string& line : lines) kg->AddEntity(line);
+  lines.clear();
+  status = ReadLines(dir + "/rel_triples" + suffix, &lines, true);
+  if (!status.ok()) return status;
+  for (const std::string& line : lines) {
+    const auto parts = Split(line, '\t');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("bad relation triple line: " + line);
+    }
+    kg->AddTriple(kg->AddEntity(parts[0]), kg->AddRelation(parts[1]),
+                  kg->AddEntity(parts[2]));
+  }
+  lines.clear();
+  status = ReadLines(dir + "/attr_triples" + suffix, &lines, false);
+  if (!status.ok()) return status;
+  for (const std::string& line : lines) {
+    const auto parts = Split(line, '\t');
+    if (parts.size() != 3) {
+      return Status::InvalidArgument("bad attribute triple line: " + line);
+    }
+    kg->AddAttributeTriple(kg->AddEntity(parts[0]),
+                           kg->AddAttribute(parts[1]),
+                           kg->AddLiteral(parts[2]));
+  }
+  lines.clear();
+  status = ReadLines(dir + "/descriptions" + suffix, &lines, false);
+  if (!status.ok()) return status;
+  for (const std::string& line : lines) {
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("bad description line: " + line);
+    }
+    kg->SetDescription(kg->AddEntity(line.substr(0, tab)),
+                       line.substr(tab + 1));
+  }
+  kg->BuildIndex();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveDatasetPair(const datagen::DatasetPair& pair,
+                       const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return Status::Internal("cannot create directory: " + directory);
+  Status status = SaveKg(pair.kg1, directory, 1);
+  if (!status.ok()) return status;
+  status = SaveKg(pair.kg2, directory, 2);
+  if (!status.ok()) return status;
+  return SaveAlignment(pair.kg1, pair.kg2, pair.reference,
+                       directory + "/ent_links");
+}
+
+Status LoadDatasetPair(const std::string& directory,
+                       datagen::DatasetPair* pair) {
+  *pair = datagen::DatasetPair();
+  Status status = LoadKg(directory, 1, &pair->kg1);
+  if (!status.ok()) return status;
+  status = LoadKg(directory, 2, &pair->kg2);
+  if (!status.ok()) return status;
+
+  std::vector<std::string> lines;
+  status = ReadLines(directory + "/ent_links", &lines, true);
+  if (!status.ok()) return status;
+  for (const std::string& line : lines) {
+    const auto parts = Split(line, '\t');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("bad ent_links line: " + line);
+    }
+    const EntityId left = pair->kg1.entities().Find(parts[0]);
+    const EntityId right = pair->kg2.entities().Find(parts[1]);
+    if (left == kInvalidId || right == kInvalidId) {
+      return Status::InvalidArgument("ent_links references unknown entity: " +
+                                     line);
+    }
+    pair->reference.push_back({left, right});
+  }
+  return Status::OK();
+}
+
+Status SaveRelationTriples(const KnowledgeGraph& kg,
+                           const std::string& path) {
+  std::vector<std::string> lines;
+  lines.reserve(kg.NumTriples());
+  for (const Triple& t : kg.triples()) {
+    lines.push_back(kg.entities().Name(t.head) + "\t" +
+                    kg.relations().Name(t.relation) + "\t" +
+                    kg.entities().Name(t.tail));
+  }
+  return WriteLines(path, lines);
+}
+
+Status SaveAlignment(const KnowledgeGraph& kg1, const KnowledgeGraph& kg2,
+                     const Alignment& alignment, const std::string& path) {
+  std::vector<std::string> lines;
+  lines.reserve(alignment.size());
+  for (const AlignmentPair& p : alignment) {
+    lines.push_back(kg1.entities().Name(p.left) + "\t" +
+                    kg2.entities().Name(p.right));
+  }
+  return WriteLines(path, lines);
+}
+
+}  // namespace openea::kg

@@ -1,0 +1,40 @@
+#ifndef OPENEA_KG_IO_H_
+#define OPENEA_KG_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/datagen/kg_pair.h"
+#include "src/kg/knowledge_graph.h"
+
+namespace openea::kg {
+
+/// Serialization in the OpenEA dataset layout: a directory containing
+///   ent_ids_1 / ent_ids_2             one entity IRI per line (id order)
+///   rel_triples_1 / rel_triples_2     TAB-separated (head, relation, tail)
+///   attr_triples_1 / attr_triples_2   TAB-separated (entity, attr, value)
+///   ent_links                          TAB-separated (entity1, entity2)
+/// IRIs are written verbatim; ids are rebuilt on load. Descriptions use an
+/// extension file `descriptions_N` (entity TAB text), absent when no
+/// entity has one.
+
+/// Writes `pair` into `directory` (created if missing).
+Status SaveDatasetPair(const datagen::DatasetPair& pair,
+                       const std::string& directory);
+
+/// Loads a dataset pair previously written by SaveDatasetPair (or an
+/// OpenEA-format dataset without descriptions). The translation dictionary
+/// is not persisted (it is a datagen artifact, not dataset content).
+Status LoadDatasetPair(const std::string& directory,
+                       datagen::DatasetPair* pair);
+
+/// Writes one KG's relation triples as TSV (IRI form).
+Status SaveRelationTriples(const KnowledgeGraph& kg, const std::string& path);
+
+/// Writes an alignment as TSV of IRI pairs.
+Status SaveAlignment(const KnowledgeGraph& kg1, const KnowledgeGraph& kg2,
+                     const Alignment& alignment, const std::string& path);
+
+}  // namespace openea::kg
+
+#endif  // OPENEA_KG_IO_H_

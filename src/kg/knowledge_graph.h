@@ -1,0 +1,141 @@
+#ifndef OPENEA_KG_KNOWLEDGE_GRAPH_H_
+#define OPENEA_KG_KNOWLEDGE_GRAPH_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "src/kg/types.h"
+#include "src/kg/vocab.h"
+
+namespace openea::kg {
+
+/// One neighbouring edge of an entity in the relation graph.
+struct NeighborEdge {
+  EntityId neighbor = kInvalidId;
+  RelationId relation = kInvalidId;
+  bool outgoing = false;  // True when this entity is the head of the triple.
+};
+
+/// In-memory knowledge graph: relation triples, attribute triples, optional
+/// textual entity descriptions, and adjacency indexes. Mirrors the input data
+/// model of the paper (Sect. 2): (s, r, o) relation triples plus
+/// (s, a, literal) attribute triples.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  // ---- Construction -------------------------------------------------------
+
+  /// Adds (or finds) an entity by IRI/local name; returns its id.
+  EntityId AddEntity(std::string_view name) {
+    const EntityId id = entities_.GetOrAdd(name);
+    if (static_cast<size_t>(id) >= descriptions_.size()) {
+      descriptions_.resize(id + 1);
+    }
+    return id;
+  }
+
+  RelationId AddRelation(std::string_view name) {
+    return relations_.GetOrAdd(name);
+  }
+  AttributeId AddAttribute(std::string_view name) {
+    return attributes_.GetOrAdd(name);
+  }
+  LiteralId AddLiteral(std::string_view value) {
+    return literals_.GetOrAdd(value);
+  }
+
+  /// Appends a relation triple (deduplicated lazily by callers who care).
+  void AddTriple(const Triple& t) { triples_.push_back(t); }
+  void AddTriple(EntityId h, RelationId r, EntityId t) {
+    triples_.push_back({h, r, t});
+  }
+
+  void AddAttributeTriple(const AttributeTriple& t) {
+    attr_triples_.push_back(t);
+  }
+  void AddAttributeTriple(EntityId e, AttributeId a, LiteralId v) {
+    attr_triples_.push_back({e, a, v});
+  }
+
+  /// Sets the textual description of `e` (used by KDCoE-style co-training).
+  void SetDescription(EntityId e, std::string text);
+
+  /// Rebuilds the adjacency/degree indexes; must be called after mutation and
+  /// before any of the lookup methods below.
+  void BuildIndex();
+
+  // ---- Lookup --------------------------------------------------------------
+
+  size_t NumEntities() const { return entities_.size(); }
+  size_t NumRelations() const { return relations_.size(); }
+  size_t NumAttributes() const { return attributes_.size(); }
+  size_t NumLiterals() const { return literals_.size(); }
+  size_t NumTriples() const { return triples_.size(); }
+  size_t NumAttributeTriples() const { return attr_triples_.size(); }
+
+  const Vocab& entities() const { return entities_; }
+  const Vocab& relations() const { return relations_; }
+  const Vocab& attributes() const { return attributes_; }
+  const Vocab& literals() const { return literals_; }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  const std::vector<AttributeTriple>& attribute_triples() const {
+    return attr_triples_;
+  }
+
+  /// Relation-graph degree of `e` (number of incident relation triples).
+  size_t Degree(EntityId e) const { return neighbors_[e].size(); }
+
+  /// All edges incident to `e` (requires BuildIndex()).
+  const std::vector<NeighborEdge>& Neighbors(EntityId e) const {
+    return neighbors_[e];
+  }
+
+  /// Attribute triples of entity `e` (requires BuildIndex()).
+  const std::vector<AttributeTriple>& EntityAttributes(EntityId e) const {
+    return entity_attrs_[e];
+  }
+
+  /// Description text of `e` (may be empty).
+  const std::string& Description(EntityId e) const {
+    return descriptions_[e];
+  }
+
+  /// True if the relation triple exists (requires BuildIndex()).
+  bool HasTriple(const Triple& t) const { return triple_set_.count(t) > 0; }
+
+  /// Average relation degree over all entities.
+  double AverageDegree() const;
+
+  // ---- Transformation ------------------------------------------------------
+
+  /// Returns the subgraph induced by `kept_entities`: entities are re-indexed
+  /// densely (in ascending old-id order); relation triples with both
+  /// endpoints kept and all attribute triples of kept entities survive.
+  /// `old_to_new`, if non-null, receives the entity id remapping
+  /// (kInvalidId for dropped entities).
+  KnowledgeGraph InducedSubgraph(
+      const std::unordered_set<EntityId>& kept_entities,
+      std::vector<EntityId>* old_to_new = nullptr) const;
+
+ private:
+  Vocab entities_;
+  Vocab relations_;
+  Vocab attributes_;
+  Vocab literals_;
+  std::vector<Triple> triples_;
+  std::vector<AttributeTriple> attr_triples_;
+  std::vector<std::string> descriptions_;
+
+  // Indexes (valid after BuildIndex()).
+  std::vector<std::vector<NeighborEdge>> neighbors_;
+  std::vector<std::vector<AttributeTriple>> entity_attrs_;
+  std::unordered_set<Triple, TripleHash> triple_set_;
+};
+
+}  // namespace openea::kg
+
+#endif  // OPENEA_KG_KNOWLEDGE_GRAPH_H_

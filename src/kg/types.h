@@ -1,0 +1,69 @@
+#ifndef OPENEA_KG_TYPES_H_
+#define OPENEA_KG_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace openea::kg {
+
+/// Dense integer identifiers assigned by the vocabularies of one KG.
+using EntityId = int32_t;
+using RelationId = int32_t;
+using AttributeId = int32_t;
+using LiteralId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+/// A relation triple (subject entity, relation, object entity).
+struct Triple {
+  EntityId head = kInvalidId;
+  RelationId relation = kInvalidId;
+  EntityId tail = kInvalidId;
+
+  friend bool operator==(const Triple& a, const Triple& b) = default;
+};
+
+/// An attribute triple (subject entity, attribute, literal value).
+struct AttributeTriple {
+  EntityId entity = kInvalidId;
+  AttributeId attribute = kInvalidId;
+  LiteralId value = kInvalidId;
+
+  friend bool operator==(const AttributeTriple& a,
+                         const AttributeTriple& b) = default;
+};
+
+/// One pair of equivalent entities across two KGs (left in KG1, right in
+/// KG2).
+struct AlignmentPair {
+  EntityId left = kInvalidId;
+  EntityId right = kInvalidId;
+
+  friend bool operator==(const AlignmentPair& a,
+                         const AlignmentPair& b) = default;
+};
+
+/// A set of alignment pairs; by convention sorted by (left, right) when the
+/// producer guarantees ordering.
+using Alignment = std::vector<AlignmentPair>;
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    size_t h = std::hash<int64_t>()((static_cast<int64_t>(t.head) << 32) ^
+                                    static_cast<int64_t>(t.tail));
+    return h * 1000003u + static_cast<size_t>(t.relation);
+  }
+};
+
+struct AttributeTripleHash {
+  size_t operator()(const AttributeTriple& t) const {
+    size_t h = std::hash<int64_t>()((static_cast<int64_t>(t.entity) << 32) ^
+                                    static_cast<int64_t>(t.value));
+    return h * 1000003u + static_cast<size_t>(t.attribute);
+  }
+};
+
+}  // namespace openea::kg
+
+#endif  // OPENEA_KG_TYPES_H_

@@ -1,0 +1,19 @@
+#include "src/kg/vocab.h"
+
+namespace openea::kg {
+
+int32_t Vocab::GetOrAdd(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const int32_t id = static_cast<int32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+int32_t Vocab::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidId : it->second;
+}
+
+}  // namespace openea::kg

@@ -1,0 +1,40 @@
+#ifndef OPENEA_KG_VOCAB_H_
+#define OPENEA_KG_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kg/types.h"
+
+namespace openea::kg {
+
+/// Bidirectional string <-> dense id mapping for entities, relations,
+/// attributes, and literal values.
+class Vocab {
+ public:
+  /// Returns the id of `name`, inserting it if absent.
+  int32_t GetOrAdd(std::string_view name);
+
+  /// Returns the id of `name` or kInvalidId when absent.
+  int32_t Find(std::string_view name) const;
+
+  /// Returns the name of `id`. `id` must be valid.
+  const std::string& Name(int32_t id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  /// All names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace openea::kg
+
+#endif  // OPENEA_KG_VOCAB_H_

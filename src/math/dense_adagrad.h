@@ -1,0 +1,32 @@
+#ifndef OPENEA_MATH_DENSE_ADAGRAD_H_
+#define OPENEA_MATH_DENSE_ADAGRAD_H_
+
+#include <cmath>
+
+#include "src/math/matrix.h"
+
+namespace openea::math {
+
+/// AdaGrad state for a dense parameter matrix (used by the deep encoders:
+/// GCN layers, RSN weights). Lazily sized on first Apply.
+struct DenseAdaGrad {
+  Matrix acc;
+
+  /// param -= lr * grad / sqrt(acc + eps), acc += grad^2 (elementwise).
+  void Apply(Matrix& param, const Matrix& grad, float lr) {
+    if (acc.rows() != param.rows() || acc.cols() != param.cols()) {
+      acc = Matrix(param.rows(), param.cols(), 0.0f);
+    }
+    auto p = param.Data();
+    auto a = acc.Data();
+    const auto g = grad.Data();
+    for (size_t i = 0; i < p.size(); ++i) {
+      a[i] += g[i] * g[i];
+      p[i] -= lr * g[i] / std::sqrt(a[i] + 1e-8f);
+    }
+  }
+};
+
+}  // namespace openea::math
+
+#endif  // OPENEA_MATH_DENSE_ADAGRAD_H_

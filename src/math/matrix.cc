@@ -1,0 +1,172 @@
+#include "src/math/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace openea::math {
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::FillUniform(Rng& rng, float scale) {
+  for (float& v : data_) v = rng.NextFloat(-scale, scale);
+}
+
+void Matrix::FillXavier(Rng& rng) {
+  const float scale =
+      std::sqrt(6.0f / static_cast<float>(rows_ + cols_ + 1e-9f));
+  FillUniform(rng, scale);
+}
+
+void Matrix::FillIdentity() {
+  Fill(0.0f);
+  const size_t n = std::min(rows_, cols_);
+  for (size_t i = 0; i < n; ++i) At(i, i) = 1.0f;
+}
+
+void Matrix::AddScaled(const Matrix& other, float alpha) {
+  OPENEA_CHECK_EQ(rows_, other.rows_);
+  OPENEA_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+float Matrix::FrobeniusNorm() const {
+  float sum = 0.0f;
+  for (float v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix& out) {
+  OPENEA_CHECK_EQ(a.cols(), b.rows());
+  out = Matrix(a.rows(), b.cols(), 0.0f);
+  // i-k-j loop order for row-major cache friendliness.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.At(i, k);
+      if (aik == 0.0f) continue;
+      const auto b_row = b.Row(k);
+      auto out_row = out.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& out) {
+  OPENEA_CHECK_EQ(a.rows(), b.rows());
+  out = Matrix(a.cols(), b.cols(), 0.0f);
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const auto a_row = a.Row(k);
+    const auto b_row = b.Row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const float aki = a_row[i];
+      if (aki == 0.0f) continue;
+      auto out_row = out.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& out) {
+  OPENEA_CHECK_EQ(a.cols(), b.cols());
+  out = Matrix(a.rows(), b.rows(), 0.0f);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const auto a_row = a.Row(i);
+    auto out_row = out.Row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const auto b_row = b.Row(j);
+      float sum = 0.0f;
+      for (size_t k = 0; k < a.cols(); ++k) sum += a_row[k] * b_row[k];
+      out_row[j] = sum;
+    }
+  }
+}
+
+void MatVec(const Matrix& m, std::span<const float> x, std::span<float> y) {
+  OPENEA_CHECK_EQ(m.cols(), x.size());
+  OPENEA_CHECK_EQ(m.rows(), y.size());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.Row(r);
+    float sum = 0.0f;
+    for (size_t c = 0; c < row.size(); ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+}
+
+void MatTransposeVec(const Matrix& m, std::span<const float> x,
+                     std::span<float> y) {
+  OPENEA_CHECK_EQ(m.rows(), x.size());
+  OPENEA_CHECK_EQ(m.cols(), y.size());
+  std::fill(y.begin(), y.end(), 0.0f);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float xr = x[r];
+    if (xr == 0.0f) continue;
+    const auto row = m.Row(r);
+    for (size_t c = 0; c < row.size(); ++c) y[c] += xr * row[c];
+  }
+}
+
+Matrix LeastSquaresMap(const Matrix& x, const Matrix& y, float ridge) {
+  OPENEA_CHECK_EQ(x.rows(), y.rows());
+  const size_t d = x.cols();
+  Matrix xtx;
+  GemmTransposeA(x, x, xtx);
+  for (size_t i = 0; i < d; ++i) xtx.At(i, i) += ridge;
+  Matrix xty;
+  GemmTransposeA(x, y, xty);
+
+  // Gaussian elimination with partial pivoting on the augmented system
+  // [xtx | xty] -> solve xtx * M = xty.
+  const size_t n_rhs = xty.cols();
+  Matrix aug(d, d + n_rhs);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) aug.At(i, j) = xtx.At(i, j);
+    for (size_t j = 0; j < n_rhs; ++j) aug.At(i, d + j) = xty.At(i, j);
+  }
+  for (size_t col = 0; col < d; ++col) {
+    size_t pivot = col;
+    float best = std::fabs(aug.At(col, col));
+    for (size_t r = col + 1; r < d; ++r) {
+      const float v = std::fabs(aug.At(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12f) continue;
+    if (pivot != col) {
+      for (size_t j = 0; j < aug.cols(); ++j)
+        std::swap(aug.At(col, j), aug.At(pivot, j));
+    }
+    const float inv = 1.0f / aug.At(col, col);
+    for (size_t j = col; j < aug.cols(); ++j) aug.At(col, j) *= inv;
+    for (size_t r = 0; r < d; ++r) {
+      if (r == col) continue;
+      const float factor = aug.At(r, col);
+      if (factor == 0.0f) continue;
+      for (size_t j = col; j < aug.cols(); ++j)
+        aug.At(r, j) -= factor * aug.At(col, j);
+    }
+  }
+  Matrix m(d, n_rhs);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < n_rhs; ++j) m.At(i, j) = aug.At(i, d + j);
+  }
+  return m;
+}
+
+}  // namespace openea::math

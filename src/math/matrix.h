@@ -1,0 +1,94 @@
+#ifndef OPENEA_MATH_MATRIX_H_
+#define OPENEA_MATH_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace openea::math {
+
+/// Dense row-major float matrix used by the deep encoders (GCN, RSN, ConvE)
+/// and the transformation-based combination mode. Deliberately minimal: only
+/// the operations the library needs, no expression templates.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, float value = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<float> Row(size_t r) {
+    return std::span<float>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const float> Row(size_t r) const {
+    return std::span<const float>(data_.data() + r * cols_, cols_);
+  }
+
+  std::span<float> Data() { return std::span<float>(data_); }
+  std::span<const float> Data() const {
+    return std::span<const float>(data_);
+  }
+
+  /// Sets all entries to `value`.
+  void Fill(float value);
+
+  /// Sets entries to U(-scale, scale).
+  void FillUniform(Rng& rng, float scale);
+
+  /// Xavier/Glorot uniform initialization: U(-sqrt(6/(rows+cols)), ...).
+  void FillXavier(Rng& rng);
+
+  /// Identity-like fill (1 on the main diagonal, 0 elsewhere).
+  void FillIdentity();
+
+  /// this += alpha * other (same shape required).
+  void AddScaled(const Matrix& other, float alpha);
+
+  /// this *= alpha.
+  void Scale(float alpha);
+
+  /// Frobenius norm.
+  float FrobeniusNorm() const;
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is overwritten.
+void Gemm(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
+void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y = M * x for a vector x (len = cols) producing y (len = rows).
+void MatVec(const Matrix& m, std::span<const float> x, std::span<float> y);
+
+/// y = M^T * x for a vector x (len = rows) producing y (len = cols).
+void MatTransposeVec(const Matrix& m, std::span<const float> x,
+                     std::span<float> y);
+
+/// Solves the orthogonal Procrustes problem approximately: finds M minimizing
+/// ||X M - Y||_F via ridge-regularized least squares (M = (X^T X + eps I)^-1
+/// X^T Y, Gaussian elimination). Used to learn transformation matrices in
+/// closed form where gradient training is unnecessary.
+Matrix LeastSquaresMap(const Matrix& x, const Matrix& y, float ridge = 1e-3f);
+
+}  // namespace openea::math
+
+#endif  // OPENEA_MATH_MATRIX_H_

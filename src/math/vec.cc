@@ -1,0 +1,103 @@
+#include "src/math/vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace openea::math {
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(float alpha, std::span<float> x) {
+  for (float& v : x) v *= alpha;
+}
+
+void Add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void Sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+float SquaredL2Norm(std::span<const float> x) { return Dot(x, x); }
+
+float L2Norm(std::span<const float> x) { return std::sqrt(SquaredL2Norm(x)); }
+
+float L1Norm(std::span<const float> x) {
+  float sum = 0.0f;
+  for (float v : x) sum += std::fabs(v);
+  return sum;
+}
+
+void NormalizeL2(std::span<float> x) {
+  const float norm = L2Norm(x);
+  if (norm > 1e-12f) Scale(1.0f / norm, x);
+}
+
+float SquaredEuclideanDistance(std::span<const float> a,
+                               std::span<const float> b) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float EuclideanDistance(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(SquaredEuclideanDistance(a, b));
+}
+
+float ManhattanDistance(std::span<const float> a, std::span<const float> b) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+float CosineSimilarity(std::span<const float> a, std::span<const float> b) {
+  const float na = L2Norm(a);
+  const float nb = L2Norm(b);
+  if (na < 1e-12f || nb < 1e-12f) return 0.0f;
+  return Dot(a, b) / (na * nb);
+}
+
+void Hadamard(std::span<const float> a, std::span<const float> b,
+              std::span<float> out) {
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+void Fill(std::span<float> x, float value) {
+  std::fill(x.begin(), x.end(), value);
+}
+
+void SoftmaxInPlace(std::span<float> x) {
+  if (x.empty()) return;
+  const float max_val = *std::max_element(x.begin(), x.end());
+  float sum = 0.0f;
+  for (float& v : x) {
+    v = std::exp(v - max_val);
+    sum += v;
+  }
+  if (sum > 0.0f) Scale(1.0f / sum, x);
+}
+
+float Sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+}  // namespace openea::math

@@ -1,0 +1,352 @@
+#include "src/sampling/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/kg/alignment_util.h"
+#include "src/kg/graph_stats.h"
+
+namespace openea::sampling {
+namespace {
+
+using datagen::DatasetPair;
+using kg::Alignment;
+using kg::AlignmentPair;
+using kg::DegreeDistribution;
+using kg::EntityId;
+using kg::KnowledgeGraph;
+
+/// Weighted sampling without replacement (Efraimidis–Spirakis exponential
+/// race): returns `k` indices from `candidates`, preferring large weights.
+std::vector<EntityId> WeightedSampleWithoutReplacement(
+    const std::vector<EntityId>& candidates, const std::vector<double>& weights,
+    size_t k, Rng& rng) {
+  OPENEA_CHECK_EQ(candidates.size(), weights.size());
+  if (k >= candidates.size()) return candidates;
+  std::vector<std::pair<double, EntityId>> keyed;
+  keyed.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double w = std::max(weights[i], 1e-12);
+    const double u = std::max(rng.NextDouble(), 1e-300);
+    keyed.emplace_back(-std::log(u) / w, candidates[i]);
+  }
+  std::nth_element(keyed.begin(), keyed.begin() + static_cast<long>(k) - 1,
+                   keyed.end());
+  std::vector<EntityId> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(keyed[i].second);
+  return out;
+}
+
+/// State of one side's dataset during IDS.
+struct SideState {
+  KnowledgeGraph graph;                // Current induced subgraph.
+  std::vector<EntityId> to_source;     // Current id -> source id.
+};
+
+SideState MakeSide(const KnowledgeGraph& source,
+                   const std::unordered_set<EntityId>& kept) {
+  SideState side;
+  std::vector<EntityId> old_to_new;
+  side.graph = source.InducedSubgraph(kept, &old_to_new);
+  side.to_source.assign(side.graph.NumEntities(), kg::kInvalidId);
+  for (size_t old_id = 0; old_id < old_to_new.size(); ++old_id) {
+    const EntityId new_id = old_to_new[old_id];
+    if (new_id != kg::kInvalidId) {
+      side.to_source[new_id] = static_cast<EntityId>(old_id);
+    }
+  }
+  return side;
+}
+
+/// A deletion proposed by one side during an IDS round. `priority` is the
+/// over-representation of the entity's degree bucket (P(x) - Q(x)), so
+/// isolates and over-sampled degrees are removed first when the round is
+/// truncated to the remaining size gap.
+struct ProposedDeletion {
+  double priority = 0.0;
+  EntityId source_id = kg::kInvalidId;
+};
+
+/// One IDS deletion round on one side: proposes up to dsize(x, mu) entities
+/// per degree bucket x (Algorithm 1, line 7), sampling within a bucket with
+/// probability inversely related to PageRank (line 8).
+std::vector<ProposedDeletion> ProposeDeletions(const SideState& side,
+                                               const DegreeDistribution& q,
+                                               double mu,
+                                               int pagerank_iterations,
+                                               Rng& rng) {
+  const KnowledgeGraph& g = side.graph;
+  const size_t n = g.NumEntities();
+  const DegreeDistribution p = kg::ComputeDegreeDistribution(g);
+  const std::vector<double> pagerank =
+      kg::PageRank(g, 0.85, pagerank_iterations);
+
+  std::unordered_map<size_t, std::vector<EntityId>> by_degree;
+  for (size_t e = 0; e < n; ++e) {
+    by_degree[g.Degree(static_cast<EntityId>(e))].push_back(
+        static_cast<EntityId>(e));
+  }
+  std::vector<ProposedDeletion> proposals;
+  for (auto& [degree, bucket] : by_degree) {
+    // Isolated entities can never regain edges; they are proposed with
+    // maximal priority so each round clears them first (IDS samples contain
+    // no isolates, Table 3).
+    const double over =
+        degree == 0 ? 1e9 : p.At(degree) - q.At(degree);
+    const double dsize_f = mu * (1.0 + over);
+    const size_t dsize = dsize_f <= 0.0 ? 0 : static_cast<size_t>(dsize_f);
+    if (dsize == 0) continue;
+    std::vector<double> weights;
+    weights.reserve(bucket.size());
+    for (EntityId e : bucket) {
+      // Inverse PageRank: influential entities are strongly protected.
+      weights.push_back(1.0 / (pagerank[e] + 1e-12));
+    }
+    for (EntityId e :
+         WeightedSampleWithoutReplacement(bucket, weights, dsize, rng)) {
+      proposals.push_back({over, side.to_source[e]});
+    }
+  }
+  return proposals;
+}
+
+}  // namespace
+
+DatasetPair RestrictPair(const DatasetPair& pair,
+                         const std::unordered_set<EntityId>& kept1,
+                         const std::unordered_set<EntityId>& kept2) {
+  DatasetPair out;
+  out.name = pair.name;
+  out.dictionary = pair.dictionary;
+  std::vector<EntityId> map1, map2;
+  out.kg1 = pair.kg1.InducedSubgraph(kept1, &map1);
+  out.kg2 = pair.kg2.InducedSubgraph(kept2, &map2);
+  out.reference = kg::RemapAlignment(pair.reference, map1, map2);
+  return out;
+}
+
+DatasetPair IterativeDegreeSampling(const DatasetPair& source,
+                                    const IdsOptions& options) {
+  const size_t target = options.target_size;
+  OPENEA_CHECK_GT(target, 0u);
+
+  // Source degree distributions Q1, Q2 (Algorithm 1, line 2).
+  const DegreeDistribution q1 = kg::ComputeDegreeDistribution(source.kg1);
+  const DegreeDistribution q2 = kg::ComputeDegreeDistribution(source.kg2);
+
+  Rng rng(options.seed);
+  DatasetPair best;
+  double best_js = 1e9;
+
+  for (int attempt = 0; attempt < options.max_retries; ++attempt) {
+    // Line 1: retain only entities in the reference alignment.
+    std::unordered_set<EntityId> kept1, kept2;
+    std::unordered_map<EntityId, EntityId> l2r, r2l;
+    for (const AlignmentPair& ap : source.reference) {
+      kept1.insert(ap.left);
+      kept2.insert(ap.right);
+      l2r[ap.left] = ap.right;
+      r2l[ap.right] = ap.left;
+    }
+
+    while (kept1.size() > target && kept2.size() > target) {
+      SideState side1 = MakeSide(source.kg1, kept1);
+      SideState side2 = MakeSide(source.kg2, kept2);
+      auto proposals = ProposeDeletions(side1, q1, options.mu,
+                                        options.pagerank_iterations, rng);
+      // Side-2 proposals are mapped to their left counterparts so that an
+      // aligned pair dies together (Algorithm 1, line 10).
+      for (const ProposedDeletion& d :
+           ProposeDeletions(side2, q2, options.mu,
+                            options.pagerank_iterations, rng)) {
+        proposals.push_back({d.priority, r2l[d.source_id]});
+      }
+      if (proposals.empty()) break;  // No progress possible.
+
+      // Deduplicate by left id, keeping the highest priority; then delete
+      // the most over-represented entities first, capped to the remaining
+      // gap so a round never overshoots the target size.
+      std::unordered_map<EntityId, double> best;
+      for (const ProposedDeletion& d : proposals) {
+        auto [it, inserted] = best.emplace(d.source_id, d.priority);
+        if (!inserted && d.priority > it->second) it->second = d.priority;
+      }
+      std::vector<ProposedDeletion> unique;
+      unique.reserve(best.size());
+      for (const auto& [id, priority] : best) unique.push_back({priority, id});
+      std::sort(unique.begin(), unique.end(),
+                [](const ProposedDeletion& a, const ProposedDeletion& b) {
+                  return a.priority > b.priority;
+                });
+      const size_t gap = kept1.size() - target;
+      // A round deletes at most mu entities (the base step size), so the
+      // distribution re-equilibrates between rounds instead of collapsing.
+      const size_t to_delete = std::min(
+          {gap, unique.size(),
+           static_cast<size_t>(std::max(options.mu, 1.0))});
+      for (size_t i = 0; i < to_delete; ++i) {
+        const EntityId left = unique[i].source_id;
+        kept1.erase(left);
+        kept2.erase(l2r[left]);
+      }
+    }
+
+    // Final cleanup: the last rounds may have stranded a few isolates.
+    // Remove them (pairwise) as long as the sample stays within 2% of the
+    // target size.
+    const size_t min_size = target - target / 50;
+    for (int pass = 0; pass < 4 && kept1.size() > min_size; ++pass) {
+      SideState side1 = MakeSide(source.kg1, kept1);
+      SideState side2 = MakeSide(source.kg2, kept2);
+      std::vector<EntityId> isolates;
+      for (size_t e = 0; e < side1.graph.NumEntities(); ++e) {
+        if (side1.graph.Degree(static_cast<EntityId>(e)) == 0) {
+          isolates.push_back(side1.to_source[e]);
+        }
+      }
+      for (size_t e = 0; e < side2.graph.NumEntities(); ++e) {
+        if (side2.graph.Degree(static_cast<EntityId>(e)) == 0) {
+          isolates.push_back(r2l[side2.to_source[e]]);
+        }
+      }
+      if (isolates.empty()) break;
+      for (EntityId left : isolates) {
+        if (kept1.size() <= min_size) break;
+        if (kept1.erase(left) > 0) kept2.erase(l2r[left]);
+      }
+    }
+
+    DatasetPair sample = RestrictPair(source, kept1, kept2);
+    const double js1 = kg::JensenShannonDivergence(
+        q1, kg::ComputeDegreeDistribution(sample.kg1));
+    const double js2 = kg::JensenShannonDivergence(
+        q2, kg::ComputeDegreeDistribution(sample.kg2));
+    const double worst = std::max(js1, js2);
+    if (worst < best_js) {
+      best_js = worst;
+      best = std::move(sample);
+    }
+    if (best_js <= options.epsilon) break;  // Line 12 condition met.
+  }
+  return best;
+}
+
+DatasetPair RandomAlignmentSampling(const DatasetPair& source,
+                                    size_t target_size, uint64_t seed) {
+  Rng rng(seed);
+  Alignment pool = source.reference;
+  rng.Shuffle(pool);
+  if (pool.size() > target_size) pool.resize(target_size);
+  std::unordered_set<EntityId> kept1, kept2;
+  for (const AlignmentPair& ap : pool) {
+    kept1.insert(ap.left);
+    kept2.insert(ap.right);
+  }
+  return RestrictPair(source, kept1, kept2);
+}
+
+DatasetPair PageRankSampling(const DatasetPair& source, size_t target_size,
+                             uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<double> pr = kg::PageRank(source.kg1);
+  std::unordered_map<EntityId, EntityId> l2r;
+  for (const AlignmentPair& ap : source.reference) l2r[ap.left] = ap.right;
+
+  // Entities not involved in any alignment are discarded; the rest are
+  // sampled proportionally to PageRank.
+  std::vector<EntityId> candidates;
+  std::vector<double> weights;
+  for (const auto& [left, right] : l2r) {
+    (void)right;
+    candidates.push_back(left);
+    weights.push_back(pr[left]);
+  }
+  // Reuse the exponential-race sampler via a local copy of its logic: take
+  // the target_size highest-keyed entities.
+  std::vector<std::pair<double, EntityId>> keyed;
+  keyed.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double u = std::max(rng.NextDouble(), 1e-300);
+    keyed.emplace_back(-std::log(u) / std::max(weights[i], 1e-12),
+                       candidates[i]);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::unordered_set<EntityId> kept1, kept2;
+  for (size_t i = 0; i < keyed.size() && kept1.size() < target_size; ++i) {
+    kept1.insert(keyed[i].second);
+    kept2.insert(l2r[keyed[i].second]);
+  }
+  return RestrictPair(source, kept1, kept2);
+}
+
+DatasetPair DensifyPair(const DatasetPair& source, double density_factor,
+                        uint64_t seed, size_t max_degree_to_delete) {
+  Rng rng(seed);
+  const double target_degree = source.kg1.AverageDegree() * density_factor;
+
+  std::unordered_set<EntityId> kept1, kept2;
+  for (size_t e = 0; e < source.kg1.NumEntities(); ++e) {
+    kept1.insert(static_cast<EntityId>(e));
+  }
+  for (size_t e = 0; e < source.kg2.NumEntities(); ++e) {
+    kept2.insert(static_cast<EntityId>(e));
+  }
+  std::unordered_map<EntityId, EntityId> l2r;
+  for (const AlignmentPair& ap : source.reference) l2r[ap.left] = ap.right;
+
+  DatasetPair current = RestrictPair(source, kept1, kept2);
+  int guard = 0;
+  while (current.kg1.AverageDegree() < target_degree && guard++ < 60) {
+    // Collect low-degree aligned entities (by current ids mapped back to
+    // source ids via name lookup is brittle; instead recompute on the
+    // source-restricted view each round using kept sets).
+    std::vector<EntityId> old_to_new1;
+    KnowledgeGraph g1 = source.kg1.InducedSubgraph(kept1, &old_to_new1);
+    std::vector<EntityId> candidates;
+    for (EntityId e : kept1) {
+      const EntityId cur = old_to_new1[e];
+      if (cur != kg::kInvalidId && g1.Degree(cur) <= max_degree_to_delete) {
+        candidates.push_back(e);
+      }
+    }
+    if (candidates.empty()) break;
+    rng.Shuffle(candidates);
+    const size_t batch =
+        std::max<size_t>(1, candidates.size() / 5);  // 20% per round.
+    for (size_t i = 0; i < batch && i < candidates.size(); ++i) {
+      const EntityId e = candidates[i];
+      kept1.erase(e);
+      auto it = l2r.find(e);
+      if (it != l2r.end()) kept2.erase(it->second);
+    }
+    current = RestrictPair(source, kept1, kept2);
+  }
+  current.name = source.name;
+  return current;
+}
+
+SampleQuality EvaluateSampleQuality(const DatasetPair& sample,
+                                    const DatasetPair& source) {
+  SampleQuality q;
+  q.alignment_size = sample.reference.size();
+  q.avg_degree1 = sample.kg1.AverageDegree();
+  q.avg_degree2 = sample.kg2.AverageDegree();
+  q.js1 = kg::JensenShannonDivergence(
+      kg::ComputeDegreeDistribution(source.kg1),
+      kg::ComputeDegreeDistribution(sample.kg1));
+  q.js2 = kg::JensenShannonDivergence(
+      kg::ComputeDegreeDistribution(source.kg2),
+      kg::ComputeDegreeDistribution(sample.kg2));
+  q.isolated1 = kg::IsolatedEntityRatio(sample.kg1);
+  q.isolated2 = kg::IsolatedEntityRatio(sample.kg2);
+  q.clustering1 = kg::AverageClusteringCoefficient(sample.kg1);
+  q.clustering2 = kg::AverageClusteringCoefficient(sample.kg2);
+  return q;
+}
+
+}  // namespace openea::sampling

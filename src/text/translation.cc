@@ -1,0 +1,51 @@
+#include "src/text/translation.h"
+
+#include "src/common/strings.h"
+
+namespace openea::text {
+namespace {
+
+std::string MapText(
+    std::string_view tokens,
+    const std::unordered_map<std::string, std::string>& table) {
+  const auto words = openea::SplitWhitespace(tokens);
+  std::vector<std::string> out;
+  out.reserve(words.size());
+  for (const auto& w : words) {
+    auto it = table.find(w);
+    out.push_back(it == table.end() ? w : it->second);
+  }
+  return openea::Join(out, " ");
+}
+
+}  // namespace
+
+void TranslationDictionary::AddPair(std::string_view source,
+                                    std::string_view target) {
+  forward_.emplace(std::string(source), std::string(target));
+  backward_.emplace(std::string(target), std::string(source));
+}
+
+const std::string& TranslationDictionary::TranslateWord(
+    const std::string& word) const {
+  auto it = forward_.find(word);
+  return it == forward_.end() ? word : it->second;
+}
+
+const std::string& TranslationDictionary::UntranslateWord(
+    const std::string& word) const {
+  auto it = backward_.find(word);
+  return it == backward_.end() ? word : it->second;
+}
+
+std::string TranslationDictionary::TranslateText(
+    std::string_view tokens) const {
+  return MapText(tokens, forward_);
+}
+
+std::string TranslationDictionary::UntranslateText(
+    std::string_view tokens) const {
+  return MapText(tokens, backward_);
+}
+
+}  // namespace openea::text

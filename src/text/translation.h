@@ -1,0 +1,41 @@
+#ifndef OPENEA_TEXT_TRANSLATION_H_
+#define OPENEA_TEXT_TRANSLATION_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace openea::text {
+
+/// Word-level bilingual dictionary used by the dataset generator to
+/// "translate" literal values into the second KG's language, and applied in
+/// reverse to stand in for Google Translate when running the conventional
+/// baselines on cross-lingual datasets (paper Sect. 6.3).
+class TranslationDictionary {
+ public:
+  /// Registers a translation pair; both directions become available.
+  void AddPair(std::string_view source, std::string_view target);
+
+  /// Translates one word source->target; unknown words pass through.
+  const std::string& TranslateWord(const std::string& word) const;
+
+  /// Translates one word target->source; unknown words pass through.
+  const std::string& UntranslateWord(const std::string& word) const;
+
+  /// Word-by-word translation of whitespace-separated text.
+  std::string TranslateText(std::string_view tokens) const;
+
+  /// Word-by-word back-translation of whitespace-separated text.
+  std::string UntranslateText(std::string_view tokens) const;
+
+  size_t size() const { return forward_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> forward_;
+  std::unordered_map<std::string, std::string> backward_;
+};
+
+}  // namespace openea::text
+
+#endif  // OPENEA_TEXT_TRANSLATION_H_

@@ -1,0 +1,53 @@
+#ifndef OPENEA_TEXT_WORD_EMBEDDINGS_H_
+#define OPENEA_TEXT_WORD_EMBEDDINGS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/text/translation.h"
+
+namespace openea::text {
+
+/// Deterministic vector for an arbitrary string built from hashed character
+/// n-grams (n = 3..5 plus the whole token), fastText-style: each n-gram hash
+/// seeds a pseudo-Gaussian component vector and the result is their
+/// normalized mean. Two strings sharing many n-grams get nearby vectors,
+/// which is the property the character-level literal encoders rely on.
+std::vector<float> HashedNGramVector(std::string_view token, size_t dim,
+                                     uint64_t seed);
+
+/// Stand-in for pre-trained (cross-lingually aligned) word embeddings
+/// (paper Sect. 4 / [4]). Substitution documented in DESIGN.md: words are
+/// embedded by hashed n-grams of their *canonical* form — when a
+/// TranslationDictionary is supplied, a target-language word is first mapped
+/// back to its source word, so translation pairs receive nearly identical
+/// vectors (exactly what MUSE-aligned fastText provides), up to a
+/// deterministic per-word cross-lingual perturbation of magnitude
+/// `cross_lingual_noise`.
+class PseudoWordEmbeddings {
+ public:
+  /// `dict` may be null (monolingual space); it must outlive this object.
+  PseudoWordEmbeddings(size_t dim, uint64_t seed,
+                       const TranslationDictionary* dict = nullptr,
+                       float cross_lingual_noise = 0.05f);
+
+  size_t dim() const { return dim_; }
+
+  /// Embedding of a single word.
+  std::vector<float> WordVector(const std::string& word) const;
+
+  /// Normalized mean of word vectors over whitespace-separated text; the
+  /// zero vector for empty text.
+  std::vector<float> TextVector(std::string_view tokens) const;
+
+ private:
+  size_t dim_;
+  uint64_t seed_;
+  const TranslationDictionary* dict_;
+  float noise_;
+};
+
+}  // namespace openea::text
+
+#endif  // OPENEA_TEXT_WORD_EMBEDDINGS_H_

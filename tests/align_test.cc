@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/align/inference.h"
+#include "src/align/similarity.h"
+
+namespace openea::align {
+namespace {
+
+math::Matrix FromRows(std::vector<std::vector<float>> rows) {
+  math::Matrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::copy(rows[i].begin(), rows[i].end(), m.Row(i).begin());
+  }
+  return m;
+}
+
+TEST(SimilarityMatrixTest, CosineDiagonalForIdenticalSets) {
+  math::Matrix emb = FromRows({{1, 0}, {0, 1}});
+  const auto sim = SimilarityMatrix(emb, emb, DistanceMetric::kCosine);
+  EXPECT_NEAR(sim.At(0, 0), 1.0f, 1e-6);
+  EXPECT_NEAR(sim.At(0, 1), 0.0f, 1e-6);
+  EXPECT_NEAR(sim.At(1, 1), 1.0f, 1e-6);
+}
+
+TEST(SimilarityMatrixTest, EuclideanAndManhattanAreNegatedDistances) {
+  math::Matrix a = FromRows({{0, 0}});
+  math::Matrix b = FromRows({{3, 4}});
+  EXPECT_FLOAT_EQ(SimilarityMatrix(a, b, DistanceMetric::kEuclidean).At(0, 0),
+                  -5.0f);
+  EXPECT_FLOAT_EQ(SimilarityMatrix(a, b, DistanceMetric::kManhattan).At(0, 0),
+                  -7.0f);
+  EXPECT_FLOAT_EQ(SimilarityMatrix(b, b, DistanceMetric::kInner).At(0, 0),
+                  25.0f);
+}
+
+TEST(CslsTest, PenalizesHubs) {
+  // Column 0 is a hub: similar to both sources. Column 1 matches source 1
+  // only. CSLS should flip source 1's preference to column 1.
+  math::Matrix sim = FromRows({{0.9f, 0.1f}, {0.8f, 0.75f}});
+  auto greedy_before = GreedyMatch(sim);
+  EXPECT_EQ(greedy_before[1], 0);  // Hub wins before CSLS.
+  ApplyCsls(sim, 1);
+  auto greedy_after = GreedyMatch(sim);
+  EXPECT_EQ(greedy_after[0], 0);
+  EXPECT_EQ(greedy_after[1], 1);  // Hub penalized after CSLS.
+}
+
+TEST(CslsTest, NoOpOnEmpty) {
+  math::Matrix empty;
+  ApplyCsls(empty, 3);  // Must not crash.
+  EXPECT_EQ(empty.rows(), 0u);
+}
+
+TEST(GreedyMatchTest, PicksRowArgmax) {
+  const auto sim = FromRows({{0.1f, 0.9f}, {0.9f, 0.8f}});
+  const auto match = GreedyMatch(sim);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 0);
+}
+
+TEST(GreedyMatchTest, AllowsConflicts) {
+  const auto sim = FromRows({{0.9f, 0.1f}, {0.8f, 0.2f}});
+  const auto match = GreedyMatch(sim);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], 0);  // Both choose the same target: greedy allows it.
+}
+
+TEST(StableMarriageTest, ResolvesConflictsStably) {
+  // Classic instance: greedy would double-assign column 0.
+  const auto sim = FromRows({{0.9f, 0.1f}, {0.8f, 0.7f}});
+  const auto match = StableMarriage(sim);
+  EXPECT_EQ(match[0], 0);  // Row 0 preferred by column 0 (0.9 > 0.8).
+  EXPECT_EQ(match[1], 1);  // Row 1 settles for column 1.
+}
+
+TEST(StableMarriageTest, NoBlockingPairProperty) {
+  // Property check on a random-ish matrix: verify no blocking pair exists.
+  const auto sim = FromRows({{0.3f, 0.9f, 0.2f},
+                             {0.8f, 0.85f, 0.1f},
+                             {0.4f, 0.5f, 0.6f}});
+  const auto match = StableMarriage(sim);
+  std::vector<int> col_of_row = match;
+  std::vector<int> row_of_col(3, -1);
+  for (int i = 0; i < 3; ++i) {
+    if (match[i] >= 0) row_of_col[match[i]] = i;
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (col_of_row[i] == j) continue;
+      const bool row_prefers =
+          col_of_row[i] == -1 || sim.At(i, j) > sim.At(i, col_of_row[i]);
+      const bool col_prefers =
+          row_of_col[j] == -1 || sim.At(i, j) > sim.At(row_of_col[j], j);
+      EXPECT_FALSE(row_prefers && col_prefers)
+          << "blocking pair (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(KuhnMunkresTest, FindsGlobalOptimum) {
+  // Greedy total = 0.9 + 0.2 = 1.1 (rows pick col 0 then col 1 forced);
+  // optimal = 0.8 + 0.7 = 1.5.
+  const auto sim = FromRows({{0.9f, 0.7f}, {0.8f, 0.2f}});
+  const auto match = KuhnMunkres(sim);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 0);
+}
+
+TEST(KuhnMunkresTest, IsPermutationOnSquare) {
+  const auto sim = FromRows({{0.3f, 0.9f, 0.2f},
+                             {0.8f, 0.85f, 0.1f},
+                             {0.4f, 0.5f, 0.6f}});
+  const auto match = KuhnMunkres(sim);
+  std::vector<bool> used(3, false);
+  for (int j : match) {
+    ASSERT_GE(j, 0);
+    ASSERT_LT(j, 3);
+    EXPECT_FALSE(used[j]);
+    used[j] = true;
+  }
+}
+
+TEST(InferAlignmentTest, DispatchesAllStrategies) {
+  const auto sim = FromRows({{0.9f, 0.1f}, {0.2f, 0.8f}});
+  for (auto strategy :
+       {InferenceStrategy::kGreedy, InferenceStrategy::kGreedyCsls,
+        InferenceStrategy::kStableMarriage,
+        InferenceStrategy::kStableMarriageCsls,
+        InferenceStrategy::kKuhnMunkres}) {
+    const auto match = InferAlignment(sim, strategy);
+    EXPECT_EQ(match[0], 0) << InferenceStrategyName(strategy);
+    EXPECT_EQ(match[1], 1) << InferenceStrategyName(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace openea::align

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "src/approaches/imuse.h"
+#include "src/core/benchmark.h"
+#include "src/core/registry.h"
+#include "src/datagen/kg_pair.h"
+#include "src/eval/folds.h"
+#include "src/eval/metrics.h"
+
+namespace openea::approaches {
+namespace {
+
+/// Shared small task so the whole suite stays fast: one EN-FR pair, one
+/// fold, ~300 entities.
+struct SharedTask {
+  datagen::DatasetPair pair;
+  core::AlignmentTask task;
+
+  SharedTask() {
+    datagen::SyntheticKgConfig config;
+    config.num_entities = 300;
+    config.avg_degree = 6.0;
+    config.num_relations = 15;
+    config.num_attributes = 12;
+    config.vocabulary_size = 150;
+    config.seed = 77;
+    pair = GenerateDatasetPair(config,
+                               datagen::HeterogeneityProfile::EnFr(), 77);
+    const auto folds = eval::MakeFolds(pair.reference, 5, 0.1, 3);
+    task.kg1 = &pair.kg1;
+    task.kg2 = &pair.kg2;
+    task.train = folds[0].train;
+    task.valid = folds[0].valid;
+    task.test = folds[0].test;
+    task.dictionary = &pair.dictionary;
+  }
+};
+
+const SharedTask& GetSharedTask() {
+  static const SharedTask* shared = new SharedTask();
+  return *shared;
+}
+
+class ApproachTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ApproachTest, TrainsAndBeatsRandomBaseline) {
+  core::TrainConfig config;
+  config.dim = 16;
+  config.max_epochs = 60;
+  config.seed = 1;
+  auto approach = core::CreateApproach(GetParam(), config);
+  ASSERT_NE(approach, nullptr);
+  EXPECT_EQ(approach->name(), GetParam());
+
+  const auto& shared = GetSharedTask();
+  const core::AlignmentModel model = approach->Train(shared.task);
+  EXPECT_EQ(model.emb1.rows(), shared.pair.kg1.NumEntities());
+  EXPECT_EQ(model.emb2.rows(), shared.pair.kg2.NumEntities());
+  EXPECT_EQ(model.emb1.cols(), model.emb2.cols());
+  for (float v : model.emb1.Data()) ASSERT_TRUE(std::isfinite(v));
+
+  const auto metrics = eval::EvaluateRanking(
+      model, shared.task.test, align::DistanceMetric::kCosine);
+  // Random baseline Hits@1 is 1/|test| (~0.6%); every approach must beat
+  // it several times over even with this tiny budget (RSN4EA is the
+  // slowest learner and sets the floor).
+  EXPECT_GT(metrics.hits1, 0.02) << GetParam();
+  EXPECT_GE(metrics.hits5, metrics.hits1);
+  EXPECT_GE(metrics.mrr, metrics.hits1);
+  // The literal-based leaders should already be strong (Table 5 top-3).
+  if (GetParam() == "MultiKE" || GetParam() == "RDGCN") {
+    EXPECT_GT(metrics.hits1, 0.3) << GetParam();
+  }
+}
+
+TEST_P(ApproachTest, RequirementsDeclareSeedAlignment) {
+  core::TrainConfig config;
+  auto approach = core::CreateApproach(GetParam(), config);
+  ASSERT_NE(approach, nullptr);
+  // All 12 embedding-based approaches are (semi-)supervised (Table 9).
+  EXPECT_EQ(approach->requirements().pre_aligned_entities,
+            core::Requirement::kMandatory);
+}
+
+INSTANTIATE_TEST_SUITE_P(All12, ApproachTest,
+                         ::testing::ValuesIn(core::ApproachNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(RegistryTest, UnknownNameGivesNull) {
+  core::TrainConfig config;
+  EXPECT_EQ(core::CreateApproach("NoSuchApproach", config), nullptr);
+}
+
+TEST(RegistryTest, UnexploredModelChassis) {
+  core::TrainConfig config;
+  config.dim = 16;
+  for (const char* name :
+       {"MTransE-TransH", "MTransE-TransD", "MTransE-RotatE",
+        "MTransE-SimplE", "MTransE-ProjE", "MTransE-ConvE",
+        "MTransE-TransR", "MTransE-HolE", "MTransE-DistMult"}) {
+    auto approach = core::CreateApproach(name, config);
+    ASSERT_NE(approach, nullptr) << name;
+    EXPECT_EQ(approach->name(), name);
+  }
+}
+
+TEST(SemiSupervisedTest, TracesAreRecorded) {
+  core::TrainConfig config;
+  config.dim = 16;
+  config.max_epochs = 60;
+  for (const char* name : {"BootEA", "IPTransE", "KDCoE"}) {
+    auto approach = core::CreateApproach(name, config);
+    const core::AlignmentModel model = approach->Train(GetSharedTask().task);
+    EXPECT_FALSE(model.semi_supervised_trace.empty()) << name;
+    for (const auto& stat : model.semi_supervised_trace) {
+      EXPECT_GE(stat.precision, 0.0);
+      EXPECT_LE(stat.precision, 1.0);
+      EXPECT_GE(stat.recall, 0.0);
+      EXPECT_LE(stat.recall, 1.0);
+    }
+  }
+}
+
+TEST(AblationTest, AttributeSwitchChangesLiteralApproaches) {
+  // Figure 6: disabling attribute embedding must hurt the literal-based
+  // approaches on this dataset.
+  core::TrainConfig with_attr;
+  with_attr.dim = 16;
+  with_attr.max_epochs = 40;
+  core::TrainConfig without_attr = with_attr;
+  without_attr.use_attributes = false;
+
+  const auto& shared = GetSharedTask();
+  for (const char* name : {"MultiKE", "RDGCN"}) {
+    const double h1_with =
+        eval::EvaluateRanking(
+            core::CreateApproach(name, with_attr)->Train(shared.task),
+            shared.task.test, align::DistanceMetric::kCosine)
+            .hits1;
+    const double h1_without =
+        eval::EvaluateRanking(
+            core::CreateApproach(name, without_attr)->Train(shared.task),
+            shared.task.test, align::DistanceMetric::kCosine)
+            .hits1;
+    EXPECT_GT(h1_with, h1_without) << name;
+  }
+}
+
+TEST(ImuseHarvestTest, LiteralPairsAreMostlyCorrect) {
+  const auto& shared = GetSharedTask();
+  const kg::Alignment harvested = Imuse::HarvestLiteralPairs(shared.task);
+  EXPECT_GT(harvested.size(), 10u);
+  const auto prf = eval::ComparePairs(harvested, shared.pair.reference);
+  // Mostly right but imperfect — the error source the paper discusses.
+  EXPECT_GT(prf.precision, 0.5);
+}
+
+TEST(BenchmarkSuiteTest, BuildsDatasetsAndRunsFolds) {
+  core::ScalePreset tiny{"tiny", 500, 250, 25.0};
+  const auto dataset = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::DbpYg(), tiny, false, 5);
+  EXPECT_LE(dataset.pair.kg1.NumEntities(), 250u);
+  EXPECT_GE(dataset.pair.kg1.NumEntities(), 240u);
+  EXPECT_EQ(dataset.name, "D-Y-tiny (V1)");
+
+  core::TrainConfig config;
+  config.dim = 16;
+  config.max_epochs = 30;
+  const auto result =
+      core::RunCrossValidation("MTransE", dataset, config, 2);
+  EXPECT_EQ(result.approach, "MTransE");
+  EXPECT_GE(result.hits1.mean, 0.0);
+  EXPECT_LE(result.hits1.mean, 1.0);
+  EXPECT_GT(result.mean_seconds, 0.0);
+  EXPECT_EQ(result.first_fold_model.emb1.rows(),
+            dataset.pair.kg1.NumEntities());
+}
+
+}  // namespace
+}  // namespace openea::approaches

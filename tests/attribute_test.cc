@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/datagen/kg_pair.h"
+#include "src/embedding/attribute.h"
+#include "src/math/vec.h"
+
+namespace openea::embedding {
+namespace {
+
+datagen::DatasetPair MakePair(const datagen::HeterogeneityProfile& profile) {
+  datagen::SyntheticKgConfig config;
+  config.num_entities = 300;
+  config.num_relations = 15;
+  config.num_attributes = 12;
+  config.vocabulary_size = 150;
+  config.seed = 9;
+  return GenerateDatasetPair(config, profile, 9);
+}
+
+TEST(AlignAttributesTest, RecoversCorrespondenceOnDbpYg) {
+  // D-Y keeps attribute values nearly identical, so value overlap should
+  // align most surviving attributes.
+  const auto pair = MakePair(datagen::HeterogeneityProfile::DbpYg());
+  const auto mapping = AlignAttributesByName(pair.kg1, pair.kg2, 0.3);
+  size_t aligned = 0;
+  for (int m : mapping) {
+    if (m >= 0) ++aligned;
+  }
+  EXPECT_GT(aligned, mapping.size() / 2);
+}
+
+TEST(AlignAttributesTest, OpaqueNamesStillMatchByValues) {
+  // D-W attribute names are numeric (no lexical overlap); any surviving
+  // alignment must come from value overlap alone.
+  const auto pair = MakePair(datagen::HeterogeneityProfile::DbpWd());
+  const auto with_values = AlignAttributesByName(pair.kg1, pair.kg2, 0.3);
+  const auto strict = AlignAttributesByName(pair.kg1, pair.kg2, 0.95);
+  size_t loose_count = 0, strict_count = 0;
+  for (int m : with_values) {
+    if (m >= 0) ++loose_count;
+  }
+  for (int m : strict) {
+    if (m >= 0) ++strict_count;
+  }
+  EXPECT_GE(loose_count, strict_count);
+}
+
+TEST(AttributeCorrelationTest, CorrelatedAttributesEndUpCloser) {
+  const auto pair = MakePair(datagen::HeterogeneityProfile::EnFr());
+  Rng rng(3);
+  AttributeCorrelationEmbedding emb(pair.kg1, pair.kg2, 16, rng);
+  emb.Train(5, 0.1f, rng);
+  // Entity vectors should be unit length (or zero for attribute-less
+  // entities).
+  const auto vectors = emb.EntityAttributeVectors(pair.kg1, false);
+  for (size_t e = 0; e < vectors.rows(); ++e) {
+    const float norm = math::L2Norm(vectors.Row(e));
+    EXPECT_TRUE(norm < 1e-6f || std::fabs(norm - 1.0f) < 1e-4f);
+  }
+}
+
+TEST(AttributeCorrelationTest, AlignedEntitiesMoreSimilarThanRandom) {
+  const auto pair = MakePair(datagen::HeterogeneityProfile::DbpYg());
+  Rng rng(3);
+  AttributeCorrelationEmbedding emb(pair.kg1, pair.kg2, 16, rng);
+  emb.Train(5, 0.1f, rng);
+  const auto v1 = emb.EntityAttributeVectors(pair.kg1, false);
+  const auto v2 = emb.EntityAttributeVectors(pair.kg2, true);
+  double aligned_sim = 0.0, random_sim = 0.0;
+  size_t count = 0;
+  Rng pick(7);
+  for (const auto& p : pair.reference) {
+    aligned_sim += math::CosineSimilarity(v1.Row(p.left), v2.Row(p.right));
+    random_sim += math::CosineSimilarity(
+        v1.Row(p.left), v2.Row(pick.NextBounded(pair.kg2.NumEntities())));
+    ++count;
+  }
+  EXPECT_GT(aligned_sim / count, random_sim / count);
+}
+
+TEST(LiteralFeaturesTest, AlignedEntitiesAreNearest) {
+  const auto pair = MakePair(datagen::HeterogeneityProfile::DbpYg());
+  const text::PseudoWordEmbeddings words(32, 5);
+  const auto f1 = BuildLiteralFeatures(pair.kg1, words, true);
+  const auto f2 = BuildLiteralFeatures(pair.kg2, words, true);
+  double aligned_sim = 0.0, random_sim = 0.0;
+  Rng pick(7);
+  for (const auto& p : pair.reference) {
+    aligned_sim += math::CosineSimilarity(f1.Row(p.left), f2.Row(p.right));
+    random_sim += math::CosineSimilarity(
+        f1.Row(p.left), f2.Row(pick.NextBounded(pair.kg2.NumEntities())));
+  }
+  EXPECT_GT(aligned_sim, random_sim + 0.2 * pair.reference.size());
+}
+
+TEST(LiteralFeaturesTest, CrossLingualDictionaryHelps) {
+  const auto pair = MakePair(datagen::HeterogeneityProfile::EnFr());
+  const text::PseudoWordEmbeddings with_dict(32, 5, &pair.dictionary);
+  const text::PseudoWordEmbeddings without_dict(32, 5);
+  auto mean_aligned_sim = [&](const text::PseudoWordEmbeddings& words) {
+    const auto f1 = BuildLiteralFeatures(pair.kg1, words, false);
+    const auto f2 = BuildLiteralFeatures(pair.kg2, words, false);
+    double sum = 0.0;
+    for (const auto& p : pair.reference) {
+      sum += math::CosineSimilarity(f1.Row(p.left), f2.Row(p.right));
+    }
+    return sum / static_cast<double>(pair.reference.size());
+  };
+  EXPECT_GT(mean_aligned_sim(with_dict), mean_aligned_sim(without_dict));
+}
+
+TEST(DescriptionFeaturesTest, ZeroRowsForMissingDescriptions) {
+  const auto pair = MakePair(datagen::HeterogeneityProfile::EnFr());
+  const text::PseudoWordEmbeddings words(16, 5);
+  const auto f = BuildDescriptionFeatures(pair.kg1, words);
+  size_t zero_rows = 0;
+  for (size_t e = 0; e < f.rows(); ++e) {
+    const bool has_desc =
+        !pair.kg1.Description(static_cast<kg::EntityId>(e)).empty();
+    const bool zero = math::L2Norm(f.Row(e)) < 1e-8f;
+    EXPECT_EQ(zero, !has_desc);
+    if (zero) ++zero_rows;
+  }
+  EXPECT_GT(zero_rows, 0u);  // Some entities lack descriptions.
+}
+
+TEST(CharLiteralFeaturesTest, DeterministicAndNormalized) {
+  const auto pair = MakePair(datagen::HeterogeneityProfile::DbpYg());
+  const auto a = BuildCharLiteralFeatures(pair.kg1, 16, 3);
+  const auto b = BuildCharLiteralFeatures(pair.kg1, 16, 3);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.Data()[i], b.Data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace openea::embedding

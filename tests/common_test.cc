@@ -1,0 +1,218 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/stopwatch.h"
+#include "src/common/strings.h"
+#include "src/common/table_printer.h"
+
+namespace openea {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All 7 values should occur in 1000 draws.
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ZipfFavorsSmallIndices) {
+  Rng rng(13);
+  const size_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.NextZipf(n, 1.2)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  // All samples in range (guaranteed by implementation, sanity check).
+  const int total = std::accumulate(counts.begin(), counts.end(), 0);
+  EXPECT_EQ(total, 20000);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  auto copy = items;
+  rng.Shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, items);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  std::vector<int> items(30);
+  std::iota(items.begin(), items.end(), 0);
+  const auto sample = rng.SampleWithoutReplacement(items, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // Child stream should not simply replay the parent stream.
+  Rng b(5);
+  b.NextU64();  // Parent consumed one value while forking.
+  EXPECT_NE(child.NextU64(), b.NextU64());
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("dim must be > 0");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: dim must be > 0");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = SplitWhitespace("  hello   world \t x ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[2], "x");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, CaseAndAffixes) {
+  EXPECT_EQ(ToLower("HeLLo"), "hello");
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+}
+
+TEST(StringsTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1000), "-1,000");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+}
+
+TEST(StringsTest, EditDistanceBasics) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+}
+
+TEST(StringsTest, EditSimilarityBounds) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_GT(EditSimilarity("paris", "parris"), 0.8);
+  EXPECT_LT(EditSimilarity("abc", "xyz"), 0.01);
+}
+
+TEST(StringsTest, TrigramJaccardOrderInsensitiveToSmallEdits) {
+  const double close = TrigramJaccard("knowledge", "knowledg");
+  const double far = TrigramJaccard("knowledge", "zzzzz");
+  EXPECT_GT(close, far);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("abc", "abc"), 1.0);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  volatile double x = 0.0;
+  for (int i = 0; i < 10000; ++i) x = x + 1.0;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+TEST(TablePrinterTest, CsvExportSkipsSeparatorsAndQuotes) {
+  TablePrinter table({"Approach", "Note"});
+  table.AddRow({"MTransE", "plain"});
+  table.AddSeparator();
+  table.AddRow({"BootEA", "has, comma"});
+  table.AddRow({"RDGCN", "has \"quote\""});
+  const std::string csv = table.ToCsv();
+  EXPECT_EQ(csv,
+            "Approach,Note\n"
+            "MTransE,plain\n"
+            "BootEA,\"has, comma\"\n"
+            "RDGCN,\"has \"\"quote\"\"\"\n");
+}
+
+TEST(TablePrinterTest, CsvPadsShortRows) {
+  TablePrinter table({"A", "B", "C"});
+  table.AddRow({"x"});
+  EXPECT_EQ(table.ToCsv(), "A,B,C\nx,,\n");
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"Approach", "Hits@1"});
+  table.AddRow({"MTransE", "0.247"});
+  table.AddSeparator();
+  table.AddRow({"RDGCN", "0.755"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("MTransE"), std::string::npos);
+  EXPECT_NE(out.find("0.755"), std::string::npos);
+  EXPECT_NE(out.find("+"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace openea

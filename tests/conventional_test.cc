@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "src/conventional/conventional.h"
+#include "src/datagen/kg_pair.h"
+#include "src/eval/metrics.h"
+
+namespace openea::conventional {
+namespace {
+
+datagen::DatasetPair MakePair(const datagen::HeterogeneityProfile& profile) {
+  datagen::SyntheticKgConfig config;
+  config.num_entities = 400;
+  config.avg_degree = 6.0;
+  config.num_relations = 15;
+  config.num_attributes = 12;
+  config.vocabulary_size = 200;
+  config.seed = 21;
+  return GenerateDatasetPair(config, profile, 21);
+}
+
+ConventionalOptions OptionsFor(const datagen::DatasetPair& pair) {
+  ConventionalOptions options;
+  options.translator =
+      pair.dictionary.size() > 0 ? &pair.dictionary : nullptr;
+  return options;
+}
+
+TEST(ParisTest, HighPrecisionOnCrossLingualPair) {
+  const auto pair = MakePair(datagen::HeterogeneityProfile::EnFr());
+  const auto result = RunParis(pair.kg1, pair.kg2, OptionsFor(pair));
+  const auto prf = eval::ComparePairs(result, pair.reference);
+  EXPECT_GT(prf.precision, 0.8);
+  EXPECT_GT(prf.recall, 0.6);
+}
+
+TEST(ParisTest, NoAttributesNoOutput) {
+  // Table 8: PARIS cannot run from relation triples alone.
+  const auto pair = MakePair(datagen::HeterogeneityProfile::EnFr());
+  ConventionalOptions options = OptionsFor(pair);
+  options.use_attributes = false;
+  EXPECT_TRUE(RunParis(pair.kg1, pair.kg2, options).empty());
+}
+
+TEST(ParisTest, RelationsImproveRecall) {
+  // Table 8: attribute-only PARIS keeps precision but loses recall.
+  const auto pair = MakePair(datagen::HeterogeneityProfile::EnFr());
+  ConventionalOptions with_rel = OptionsFor(pair);
+  ConventionalOptions without_rel = with_rel;
+  without_rel.use_relations = false;
+  const auto full =
+      eval::ComparePairs(RunParis(pair.kg1, pair.kg2, with_rel),
+                         pair.reference);
+  const auto attr_only =
+      eval::ComparePairs(RunParis(pair.kg1, pair.kg2, without_rel),
+                         pair.reference);
+  EXPECT_GE(full.recall, attr_only.recall);
+  EXPECT_GT(attr_only.precision, 0.7);
+}
+
+TEST(ParisTest, OneToOneOutput) {
+  const auto pair = MakePair(datagen::HeterogeneityProfile::DbpYg());
+  const auto result = RunParis(pair.kg1, pair.kg2, OptionsFor(pair));
+  std::unordered_set<kg::EntityId> lefts, rights;
+  for (const auto& p : result) {
+    EXPECT_TRUE(lefts.insert(p.left).second);
+    EXPECT_TRUE(rights.insert(p.right).second);
+  }
+}
+
+TEST(LogMapTest, StrongOnDbpYg) {
+  // D-Y keeps similar names and literals: LogMap's best case (Table 7).
+  const auto pair = MakePair(datagen::HeterogeneityProfile::DbpYg());
+  const auto result = RunLogMap(pair.kg1, pair.kg2, OptionsFor(pair));
+  const auto prf = eval::ComparePairs(result, pair.reference);
+  EXPECT_GT(prf.precision, 0.9);
+  EXPECT_GT(prf.recall, 0.8);
+}
+
+TEST(LogMapTest, FailsOnWikidataStyleNames) {
+  // D-W: numeric local names starve the lexical index (paper Sect. 6.3:
+  // "LogMap fails to output entity alignment on the D-W datasets").
+  const auto dw = MakePair(datagen::HeterogeneityProfile::DbpWd());
+  const auto dy = MakePair(datagen::HeterogeneityProfile::DbpYg());
+  const auto prf_dw = eval::ComparePairs(
+      RunLogMap(dw.kg1, dw.kg2, OptionsFor(dw)), dw.reference);
+  const auto prf_dy = eval::ComparePairs(
+      RunLogMap(dy.kg1, dy.kg2, OptionsFor(dy)), dy.reference);
+  EXPECT_LT(prf_dw.recall, prf_dy.recall * 0.7);
+}
+
+TEST(LogMapTest, NoAttributesNoOutput) {
+  const auto pair = MakePair(datagen::HeterogeneityProfile::EnFr());
+  ConventionalOptions options = OptionsFor(pair);
+  options.use_attributes = false;
+  EXPECT_TRUE(RunLogMap(pair.kg1, pair.kg2, options).empty());
+}
+
+TEST(LogMapTest, TranslatorHelpsCrossLingual) {
+  const auto pair = MakePair(datagen::HeterogeneityProfile::EnFr());
+  ConventionalOptions with_translator = OptionsFor(pair);
+  ConventionalOptions without_translator = with_translator;
+  without_translator.translator = nullptr;
+  const auto prf_with = eval::ComparePairs(
+      RunLogMap(pair.kg1, pair.kg2, with_translator), pair.reference);
+  const auto prf_without = eval::ComparePairs(
+      RunLogMap(pair.kg1, pair.kg2, without_translator), pair.reference);
+  EXPECT_GT(prf_with.f1, prf_without.f1);
+}
+
+}  // namespace
+}  // namespace openea::conventional

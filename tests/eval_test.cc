@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/eval/folds.h"
+#include "src/eval/geometry.h"
+#include "src/eval/metrics.h"
+
+namespace openea::eval {
+namespace {
+
+/// Builds a model whose first `good` test pairs embed identically (perfect
+/// matches) and whose remaining pairs are random.
+core::AlignmentModel MakeModel(size_t n, size_t good, size_t dim,
+                               uint64_t seed) {
+  Rng rng(seed);
+  core::AlignmentModel model;
+  model.emb1 = math::Matrix(n, dim);
+  model.emb2 = math::Matrix(n, dim);
+  model.emb1.FillUniform(rng, 1.0f);
+  model.emb2.FillUniform(rng, 1.0f);
+  for (size_t i = 0; i < good; ++i) {
+    std::copy(model.emb1.Row(i).begin(), model.emb1.Row(i).end(),
+              model.emb2.Row(i).begin());
+  }
+  return model;
+}
+
+kg::Alignment IdentityPairs(size_t n) {
+  kg::Alignment pairs;
+  for (size_t i = 0; i < n; ++i) {
+    pairs.push_back({static_cast<kg::EntityId>(i),
+                     static_cast<kg::EntityId>(i)});
+  }
+  return pairs;
+}
+
+TEST(EvaluateRankingTest, PerfectModelScoresOne) {
+  const auto model = MakeModel(20, 20, 8, 3);
+  const auto metrics = EvaluateRanking(model, IdentityPairs(20),
+                                       align::DistanceMetric::kCosine);
+  EXPECT_DOUBLE_EQ(metrics.hits1, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.hits5, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.mr, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.mrr, 1.0);
+}
+
+TEST(EvaluateRankingTest, PartialModelScoresProportionally) {
+  const auto model = MakeModel(40, 20, 16, 3);
+  const auto metrics = EvaluateRanking(model, IdentityPairs(40),
+                                       align::DistanceMetric::kCosine);
+  EXPECT_GE(metrics.hits1, 0.45);
+  EXPECT_LT(metrics.hits1, 0.9);
+  EXPECT_GE(metrics.hits5, metrics.hits1);
+  EXPECT_GE(metrics.mrr, metrics.hits1);
+  EXPECT_GE(metrics.mr, 1.0);
+}
+
+TEST(EvaluateRankingTest, EmptyTestIsZero) {
+  const auto model = MakeModel(5, 5, 4, 3);
+  const auto metrics =
+      EvaluateRanking(model, {}, align::DistanceMetric::kCosine);
+  EXPECT_DOUBLE_EQ(metrics.hits1, 0.0);
+}
+
+TEST(MatchAccuracyTest, StableMarriageAtLeastRecoversPerfectModel) {
+  const auto model = MakeModel(15, 15, 8, 3);
+  for (auto strategy : {align::InferenceStrategy::kGreedy,
+                        align::InferenceStrategy::kStableMarriage,
+                        align::InferenceStrategy::kKuhnMunkres}) {
+    EXPECT_DOUBLE_EQ(MatchAccuracy(model, IdentityPairs(15),
+                                   align::DistanceMetric::kCosine, strategy),
+                     1.0);
+  }
+}
+
+TEST(ComparePairsTest, PrecisionRecallF1) {
+  kg::Alignment predicted = {{0, 0}, {1, 1}, {2, 9}};
+  kg::Alignment reference = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto prf = ComparePairs(predicted, reference);
+  EXPECT_NEAR(prf.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(prf.recall, 0.5, 1e-12);
+  EXPECT_NEAR(prf.f1, 2 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5), 1e-12);
+}
+
+TEST(AggregateTest, MeanAndStd) {
+  const auto ms = Aggregate({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 2.0);
+  EXPECT_DOUBLE_EQ(ms.std, 1.0);
+  const auto single = Aggregate({5.0});
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.std, 0.0);
+}
+
+TEST(MakeFoldsTest, PaperProtocolProportions) {
+  kg::Alignment ref = IdentityPairs(1000);
+  const auto folds = MakeFolds(ref, 5, 0.1, 7);
+  ASSERT_EQ(folds.size(), 5u);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size(), 200u);
+    EXPECT_EQ(fold.valid.size(), 100u);
+    EXPECT_EQ(fold.test.size(), 700u);
+  }
+}
+
+TEST(MakeFoldsTest, TrainFoldsAreDisjoint) {
+  kg::Alignment ref = IdentityPairs(100);
+  const auto folds = MakeFolds(ref, 5, 0.1, 7);
+  std::set<int> seen;
+  for (const auto& fold : folds) {
+    for (const auto& p : fold.train) {
+      EXPECT_TRUE(seen.insert(p.left).second)
+          << "entity in two train folds: " << p.left;
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(MakeFoldsTest, NoLeakageWithinFold) {
+  kg::Alignment ref = IdentityPairs(200);
+  const auto folds = MakeFolds(ref, 5, 0.1, 7);
+  for (const auto& fold : folds) {
+    std::set<int> ids;
+    for (const auto& p : fold.train) ids.insert(p.left);
+    for (const auto& p : fold.valid) EXPECT_EQ(ids.count(p.left), 0u);
+    for (const auto& p : fold.test) EXPECT_EQ(ids.count(p.left), 0u);
+  }
+}
+
+TEST(SimilarityDistributionTest, PerfectModelHasHighTop1AndGap) {
+  const auto model = MakeModel(30, 30, 16, 3);
+  const auto dist = AnalyzeSimilarityDistribution(model, IdentityPairs(30));
+  EXPECT_NEAR(dist.Top1(), 1.0, 1e-5);
+  EXPECT_GT(dist.Top1Top5Gap(), 0.2);
+  // Monotone non-increasing top-k similarities.
+  for (int k = 1; k < 5; ++k) {
+    EXPECT_GE(dist.mean_topk[k - 1], dist.mean_topk[k]);
+  }
+}
+
+TEST(HubnessTest, PerfectModelHasAllOnes) {
+  const auto model = MakeModel(30, 30, 16, 3);
+  const auto stats = AnalyzeHubness(model, IdentityPairs(30),
+                                    align::DistanceMetric::kCosine);
+  EXPECT_NEAR(stats.one, 1.0, 1e-12);
+  EXPECT_NEAR(stats.zero, 0.0, 1e-12);
+}
+
+TEST(HubnessTest, RandomModelHasIsolatesAndHubs) {
+  const auto model = MakeModel(100, 0, 4, 3);
+  const auto stats = AnalyzeHubness(model, IdentityPairs(100),
+                                    align::DistanceMetric::kCosine);
+  EXPECT_GT(stats.zero, 0.2);  // Many targets never appear as NN.
+  EXPECT_NEAR(stats.zero + stats.one + stats.two_to_four + stats.five_plus,
+              1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace openea::eval

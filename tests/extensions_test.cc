@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "src/core/benchmark.h"
+#include "src/core/registry.h"
+
+namespace openea {
+namespace {
+
+// Tests for the beyond-the-paper extensions: the AliNet approach (slated
+// for future OpenEA releases in Sect. 5.1) and the registry integration of
+// the unsupervised exploration.
+
+TEST(ExtensionsTest, AliNetRegistersAndTrains) {
+  core::TrainConfig config;
+  config.dim = 16;
+  config.max_epochs = 60;
+  auto approach = core::CreateApproach("AliNet", config);
+  ASSERT_NE(approach, nullptr);
+  EXPECT_EQ(approach->name(), "AliNet");
+  EXPECT_EQ(approach->requirements().relation_triples,
+            core::Requirement::kMandatory);
+
+  const auto dataset = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::EnFr(),
+      core::ScalePreset{"tiny", 500, 250, 25.0}, false, 5);
+  const auto result = core::RunCrossValidation("AliNet", dataset, config, 1);
+  EXPECT_GT(result.hits1.mean, 0.02);  // Clearly above random.
+}
+
+TEST(ExtensionsTest, UnsupervisedEaRegistered) {
+  core::TrainConfig config;
+  auto approach = core::CreateApproach("UnsupervisedEA", config);
+  ASSERT_NE(approach, nullptr);
+  EXPECT_EQ(approach->name(), "UnsupervisedEA");
+}
+
+TEST(ExtensionsTest, ComplExChassisRegistered) {
+  core::TrainConfig config;
+  auto approach = core::CreateApproach("MTransE-ComplEx", config);
+  ASSERT_NE(approach, nullptr);
+  EXPECT_EQ(approach->name(), "MTransE-ComplEx");
+}
+
+TEST(ExtensionsTest, ExtensionsAreNotInThePaperTwelve) {
+  for (const auto& name : core::ApproachNames()) {
+    EXPECT_NE(name, "AliNet");
+    EXPECT_NE(name, "UnsupervisedEA");
+  }
+  EXPECT_EQ(core::ApproachNames().size(), 12u);
+}
+
+}  // namespace
+}  // namespace openea

@@ -1,0 +1,133 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/embedding/gcn.h"
+#include "src/math/vec.h"
+
+namespace openea::embedding {
+namespace {
+
+std::vector<GcnEdge> RingEdges(int n) {
+  std::vector<GcnEdge> edges;
+  for (int i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n, 1.0f});
+  return edges;
+}
+
+TEST(GcnEncoderTest, ForwardShapeAndFinite) {
+  Rng rng(3);
+  GcnOptions options;
+  options.dim = 8;
+  GcnEncoder gcn(10, RingEdges(10), options, rng);
+  const math::Matrix& out = gcn.Forward();
+  EXPECT_EQ(out.rows(), 10u);
+  EXPECT_EQ(out.cols(), 8u);
+  for (float v : out.Data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(GcnEncoderTest, NeighborsSmootheTowardEachOther) {
+  // After propagation, adjacent nodes should be more similar than distant
+  // ones on a path graph (the defining GCN behaviour).
+  Rng rng(3);
+  GcnOptions options;
+  options.dim = 16;
+  options.layers = 2;
+  std::vector<GcnEdge> path;
+  for (int i = 0; i < 19; ++i) path.push_back({i, i + 1, 1.0f});
+  GcnEncoder gcn(20, path, options, rng);
+  const math::Matrix& out = gcn.Forward();
+  const float near = math::CosineSimilarity(out.Row(5), out.Row(6));
+  const float far = math::CosineSimilarity(out.Row(0), out.Row(19));
+  EXPECT_GT(near, far);
+}
+
+TEST(GcnEncoderTest, BackwardReducesSimpleLoss) {
+  // Loss: pull node 0's output toward node 5's. Gradient descent through
+  // the encoder must reduce it.
+  Rng rng(3);
+  GcnOptions options;
+  options.dim = 8;
+  options.learning_rate = 0.1f;
+  GcnEncoder gcn(10, RingEdges(10), options, rng);
+
+  auto loss_of = [&](const math::Matrix& out) {
+    return math::SquaredEuclideanDistance(out.Row(0), out.Row(5));
+  };
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    const math::Matrix& out = gcn.Forward();
+    const float loss = loss_of(out);
+    if (step == 0) first = loss;
+    last = loss;
+    math::Matrix grad(out.rows(), out.cols(), 0.0f);
+    for (size_t j = 0; j < out.cols(); ++j) {
+      const float diff = out.At(0, j) - out.At(5, j);
+      grad.At(0, j) = 2.0f * diff;
+      grad.At(5, j) = -2.0f * diff;
+    }
+    gcn.Backward(grad);
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(GcnEncoderTest, HighwayVariantAlsoLearns) {
+  Rng rng(3);
+  GcnOptions options;
+  options.dim = 8;
+  options.learning_rate = 0.1f;
+  options.highway = true;
+  GcnEncoder gcn(10, RingEdges(10), options, rng);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    const math::Matrix& out = gcn.Forward();
+    const float loss =
+        math::SquaredEuclideanDistance(out.Row(1), out.Row(7));
+    if (step == 0) first = loss;
+    last = loss;
+    math::Matrix grad(out.rows(), out.cols(), 0.0f);
+    for (size_t j = 0; j < out.cols(); ++j) {
+      const float diff = out.At(1, j) - out.At(7, j);
+      grad.At(1, j) = 2.0f * diff;
+      grad.At(7, j) = -2.0f * diff;
+    }
+    gcn.Backward(grad);
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST(GcnEncoderTest, FixedFeaturesStayFixed) {
+  Rng rng(3);
+  GcnOptions options;
+  options.dim = 8;
+  options.trainable_features = false;
+  GcnEncoder gcn(10, RingEdges(10), options, rng);
+  math::Matrix features(10, 8);
+  features.FillUniform(rng, 1.0f);
+  gcn.SetInputFeatures(features);
+  gcn.Forward();
+  math::Matrix grad(10, 8, 1.0f);
+  gcn.Backward(grad);
+  for (size_t i = 0; i < features.size(); ++i) {
+    EXPECT_FLOAT_EQ(gcn.input_features().Data()[i], features.Data()[i]);
+  }
+}
+
+TEST(GcnEncoderTest, TrainableFeaturesMove) {
+  Rng rng(3);
+  GcnOptions options;
+  options.dim = 8;
+  options.trainable_features = true;
+  GcnEncoder gcn(10, RingEdges(10), options, rng);
+  const std::vector<float> before(gcn.input_features().Data().begin(),
+                                  gcn.input_features().Data().end());
+  gcn.Forward();
+  math::Matrix grad(10, 8, 1.0f);
+  gcn.Backward(grad);
+  const std::vector<float> after(gcn.input_features().Data().begin(),
+                                 gcn.input_features().Data().end());
+  EXPECT_NE(before, after);
+}
+
+}  // namespace
+}  // namespace openea::embedding

@@ -1,0 +1,148 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/align/blocking.h"
+#include "src/common/rng.h"
+#include "src/datagen/kg_pair.h"
+#include "src/kg/io.h"
+#include "src/math/vec.h"
+
+namespace openea {
+namespace {
+
+datagen::DatasetPair MakePair() {
+  datagen::SyntheticKgConfig config;
+  config.num_entities = 200;
+  config.num_relations = 10;
+  config.num_attributes = 8;
+  config.vocabulary_size = 100;
+  config.seed = 13;
+  return GenerateDatasetPair(config, datagen::HeterogeneityProfile::EnFr(),
+                             13);
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "openea_io_test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, SaveLoadRoundTrip) {
+  const auto pair = MakePair();
+  ASSERT_TRUE(kg::SaveDatasetPair(pair, dir_.string()).ok());
+
+  datagen::DatasetPair loaded;
+  const Status status = kg::LoadDatasetPair(dir_.string(), &loaded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_EQ(loaded.kg1.NumEntities(), pair.kg1.NumEntities());
+  EXPECT_EQ(loaded.kg1.NumTriples(), pair.kg1.NumTriples());
+  EXPECT_EQ(loaded.kg2.NumAttributeTriples(),
+            pair.kg2.NumAttributeTriples());
+  EXPECT_EQ(loaded.reference.size(), pair.reference.size());
+
+  // Name-level equivalence of the reference alignment survives id
+  // reassignment.
+  std::set<std::pair<std::string, std::string>> expected, actual;
+  for (const auto& p : pair.reference) {
+    expected.emplace(pair.kg1.entities().Name(p.left),
+                     pair.kg2.entities().Name(p.right));
+  }
+  for (const auto& p : loaded.reference) {
+    actual.emplace(loaded.kg1.entities().Name(p.left),
+                   loaded.kg2.entities().Name(p.right));
+  }
+  EXPECT_EQ(expected, actual);
+
+  // Descriptions round-trip by entity name.
+  size_t with_desc = 0;
+  for (size_t e = 0; e < loaded.kg1.NumEntities(); ++e) {
+    if (!loaded.kg1.Description(static_cast<kg::EntityId>(e)).empty()) {
+      ++with_desc;
+    }
+  }
+  EXPECT_GT(with_desc, 0u);
+}
+
+TEST_F(IoTest, LoadMissingDirectoryFails) {
+  datagen::DatasetPair loaded;
+  const Status status =
+      kg::LoadDatasetPair((dir_ / "nope").string(), &loaded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, SaveAlignmentWritesTsv) {
+  const auto pair = MakePair();
+  std::filesystem::create_directories(dir_);
+  const std::string path = (dir_ / "links").string();
+  ASSERT_TRUE(kg::SaveAlignment(pair.kg1, pair.kg2, pair.reference, path)
+                  .ok());
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find('\t'), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, pair.reference.size());
+}
+
+TEST(LshBlockerTest, SelfQueryFindsSelf) {
+  Rng rng(3);
+  math::Matrix emb(100, 16);
+  emb.FillUniform(rng, 1.0f);
+  align::LshBlocker blocker(16, 10, 4, 7);
+  blocker.Index(emb);
+  size_t found_self = 0;
+  for (size_t i = 0; i < emb.rows(); ++i) {
+    const auto candidates = blocker.Candidates(emb.Row(i));
+    for (int c : candidates) {
+      if (c == static_cast<int>(i)) {
+        ++found_self;
+        break;
+      }
+    }
+  }
+  // A vector always hashes into its own buckets.
+  EXPECT_EQ(found_self, emb.rows());
+}
+
+TEST(LshBlockerTest, CandidateSetsAreMuchSmallerThanFullSpace) {
+  Rng rng(3);
+  math::Matrix emb(500, 16);
+  emb.FillUniform(rng, 1.0f);
+  align::LshBlocker blocker(16, 12, 2, 7);
+  blocker.Index(emb);
+  size_t total = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    total += blocker.Candidates(emb.Row(i)).size();
+  }
+  EXPECT_LT(total / 100, 250u);  // Far below the full 500.
+}
+
+TEST(BlockedGreedyMatchTest, NearExactOnWellSeparatedData) {
+  // Identical source/target embeddings: blocked matching must recover the
+  // identity mapping for (almost) every row; tolerate tiny recall loss.
+  Rng rng(3);
+  math::Matrix emb(200, 32);
+  emb.FillUniform(rng, 1.0f);
+  for (size_t r = 0; r < emb.rows(); ++r) math::NormalizeL2(emb.Row(r));
+  const auto match = align::BlockedGreedyMatch(emb, emb, 10, 4, 7);
+  size_t correct = 0;
+  for (size_t i = 0; i < match.size(); ++i) {
+    if (match[i] == static_cast<int>(i)) ++correct;
+  }
+  EXPECT_GT(correct, 195u);
+}
+
+}  // namespace
+}  // namespace openea

@@ -1,0 +1,166 @@
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/kg/alignment_util.h"
+#include "src/kg/graph_stats.h"
+#include "src/kg/knowledge_graph.h"
+#include "src/kg/vocab.h"
+
+namespace openea::kg {
+namespace {
+
+KnowledgeGraph MakeTriangleGraph() {
+  KnowledgeGraph g;
+  const EntityId a = g.AddEntity("a");
+  const EntityId b = g.AddEntity("b");
+  const EntityId c = g.AddEntity("c");
+  const EntityId d = g.AddEntity("d");  // Isolated.
+  (void)d;
+  const RelationId r = g.AddRelation("r");
+  g.AddTriple(a, r, b);
+  g.AddTriple(b, r, c);
+  g.AddTriple(a, r, c);
+  g.BuildIndex();
+  return g;
+}
+
+TEST(VocabTest, GetOrAddIsIdempotent) {
+  Vocab v;
+  EXPECT_EQ(v.GetOrAdd("x"), 0);
+  EXPECT_EQ(v.GetOrAdd("y"), 1);
+  EXPECT_EQ(v.GetOrAdd("x"), 0);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.Name(1), "y");
+  EXPECT_EQ(v.Find("z"), kInvalidId);
+}
+
+TEST(KnowledgeGraphTest, CountsAndDegrees) {
+  KnowledgeGraph g = MakeTriangleGraph();
+  EXPECT_EQ(g.NumEntities(), 4u);
+  EXPECT_EQ(g.NumRelations(), 1u);
+  EXPECT_EQ(g.NumTriples(), 3u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(3), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 6.0 / 4.0);
+}
+
+TEST(KnowledgeGraphTest, NeighborsDirectionality) {
+  KnowledgeGraph g = MakeTriangleGraph();
+  // Entity b: outgoing to c, incoming from a.
+  bool saw_out = false, saw_in = false;
+  for (const NeighborEdge& e : g.Neighbors(1)) {
+    if (e.outgoing && e.neighbor == 2) saw_out = true;
+    if (!e.outgoing && e.neighbor == 0) saw_in = true;
+  }
+  EXPECT_TRUE(saw_out);
+  EXPECT_TRUE(saw_in);
+}
+
+TEST(KnowledgeGraphTest, HasTriple) {
+  KnowledgeGraph g = MakeTriangleGraph();
+  EXPECT_TRUE(g.HasTriple({0, 0, 1}));
+  EXPECT_FALSE(g.HasTriple({1, 0, 0}));  // Direction matters.
+}
+
+TEST(KnowledgeGraphTest, AttributesAndDescriptions) {
+  KnowledgeGraph g;
+  const EntityId e = g.AddEntity("e");
+  const AttributeId a = g.AddAttribute("population");
+  const LiteralId v = g.AddLiteral("12345");
+  g.AddAttributeTriple(e, a, v);
+  g.SetDescription(e, "a small town");
+  g.BuildIndex();
+  ASSERT_EQ(g.EntityAttributes(e).size(), 1u);
+  EXPECT_EQ(g.EntityAttributes(e)[0].attribute, a);
+  EXPECT_EQ(g.Description(e), "a small town");
+  EXPECT_EQ(g.NumAttributeTriples(), 1u);
+}
+
+TEST(KnowledgeGraphTest, InducedSubgraphKeepsInternalTriples) {
+  KnowledgeGraph g = MakeTriangleGraph();
+  std::unordered_set<EntityId> kept = {0, 1};  // a, b.
+  std::vector<EntityId> remap;
+  KnowledgeGraph sub = g.InducedSubgraph(kept, &remap);
+  EXPECT_EQ(sub.NumEntities(), 2u);
+  EXPECT_EQ(sub.NumTriples(), 1u);  // Only a->b survives.
+  EXPECT_EQ(remap[2], kInvalidId);
+  EXPECT_NE(remap[0], kInvalidId);
+  // Names preserved.
+  EXPECT_EQ(sub.entities().Name(remap[0]), "a");
+}
+
+TEST(GraphStatsTest, DegreeDistributionSumsToOne) {
+  KnowledgeGraph g = MakeTriangleGraph();
+  const DegreeDistribution dist = ComputeDegreeDistribution(g);
+  double sum = 0;
+  for (double p : dist.proportion) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dist.At(2), 0.75);  // a, b, c all have degree 2.
+  EXPECT_DOUBLE_EQ(dist.At(0), 0.25);  // d isolated.
+  EXPECT_DOUBLE_EQ(dist.At(99), 0.0);
+}
+
+TEST(GraphStatsTest, JsDivergenceProperties) {
+  DegreeDistribution p, q;
+  p.proportion = {0.5, 0.5};
+  q.proportion = {0.5, 0.5};
+  EXPECT_NEAR(JensenShannonDivergence(p, q), 0.0, 1e-12);
+  DegreeDistribution r;
+  r.proportion = {0.0, 0.0, 1.0};
+  const double js = JensenShannonDivergence(p, r);
+  EXPECT_GT(js, 0.0);
+  EXPECT_LE(js, std::log(2.0) + 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(js, JensenShannonDivergence(r, p), 1e-12);
+}
+
+TEST(GraphStatsTest, IsolatedRatio) {
+  KnowledgeGraph g = MakeTriangleGraph();
+  EXPECT_DOUBLE_EQ(IsolatedEntityRatio(g), 0.25);
+}
+
+TEST(GraphStatsTest, ClusteringCoefficientOfTriangle) {
+  KnowledgeGraph g = MakeTriangleGraph();
+  // a, b, c form a triangle: each has clustering 1; d contributes 0.
+  EXPECT_NEAR(AverageClusteringCoefficient(g), 0.75, 1e-12);
+}
+
+TEST(GraphStatsTest, PageRankSumsToOneAndRanksHubs) {
+  KnowledgeGraph g;
+  const EntityId hub = g.AddEntity("hub");
+  const RelationId r = g.AddRelation("r");
+  for (int i = 0; i < 10; ++i) {
+    const EntityId leaf = g.AddEntity("leaf" + std::to_string(i));
+    g.AddTriple(leaf, r, hub);
+  }
+  g.BuildIndex();
+  const auto pr = PageRank(g);
+  double sum = 0;
+  for (double v : pr) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  for (size_t i = 1; i < pr.size(); ++i) EXPECT_GT(pr[hub], pr[i]);
+}
+
+TEST(AlignmentUtilTest, RemapDropsDeletedEndpoints) {
+  Alignment a = {{0, 0}, {1, 1}, {2, 2}};
+  std::vector<EntityId> left_map = {5, kInvalidId, 7};
+  std::vector<EntityId> right_map = {9, 8, kInvalidId};
+  const Alignment out = RemapAlignment(a, left_map, right_map);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].left, 5);
+  EXPECT_EQ(out[0].right, 9);
+}
+
+TEST(AlignmentUtilTest, FilterKeepsOnlyFullyPresentPairs) {
+  Alignment a = {{0, 0}, {1, 1}, {2, 2}};
+  std::unordered_set<EntityId> left = {0, 1};
+  std::unordered_set<EntityId> right = {1, 2};
+  const Alignment out = FilterAlignment(a, left, right);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].left, 1);
+}
+
+}  // namespace
+}  // namespace openea::kg

@@ -1,0 +1,239 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/math/embedding_table.h"
+#include "src/math/matrix.h"
+#include "src/math/vec.h"
+
+namespace openea::math {
+namespace {
+
+TEST(VecTest, DotAndNorms) {
+  std::vector<float> a = {1, 2, 3};
+  std::vector<float> b = {4, -5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b), 4 - 10 + 18);
+  EXPECT_FLOAT_EQ(SquaredL2Norm(a), 14.0f);
+  EXPECT_FLOAT_EQ(L2Norm(a), std::sqrt(14.0f));
+  EXPECT_FLOAT_EQ(L1Norm(b), 15.0f);
+}
+
+TEST(VecTest, AxpyAndScale) {
+  std::vector<float> x = {1, 1};
+  std::vector<float> y = {2, 3};
+  Axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 4.0f);
+  EXPECT_FLOAT_EQ(y[1], 5.0f);
+  Scale(0.5f, std::span<float>(y));
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+}
+
+TEST(VecTest, AddSubHadamard) {
+  std::vector<float> a = {1, 2}, b = {3, 4}, out(2);
+  Add(a, b, out);
+  EXPECT_FLOAT_EQ(out[1], 6.0f);
+  Sub(a, b, out);
+  EXPECT_FLOAT_EQ(out[0], -2.0f);
+  Hadamard(a, b, out);
+  EXPECT_FLOAT_EQ(out[1], 8.0f);
+}
+
+TEST(VecTest, Distances) {
+  std::vector<float> a = {0, 0}, b = {3, 4};
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, b), 5.0f);
+  EXPECT_FLOAT_EQ(SquaredEuclideanDistance(a, b), 25.0f);
+  EXPECT_FLOAT_EQ(ManhattanDistance(a, b), 7.0f);
+}
+
+TEST(VecTest, CosineSimilarityProperties) {
+  std::vector<float> a = {1, 0}, b = {0, 1}, c = {2, 0}, zero = {0, 0};
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0f, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.0f, 1e-6);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, zero), 0.0f);
+}
+
+TEST(VecTest, NormalizeL2MakesUnitNorm) {
+  std::vector<float> a = {3, 4};
+  NormalizeL2(std::span<float>(a));
+  EXPECT_NEAR(L2Norm(a), 1.0f, 1e-6);
+  std::vector<float> zero = {0, 0};
+  NormalizeL2(std::span<float>(zero));  // Must not produce NaN.
+  EXPECT_FLOAT_EQ(zero[0], 0.0f);
+}
+
+TEST(VecTest, SoftmaxSumsToOneAndIsStable) {
+  std::vector<float> x = {1000.0f, 1001.0f, 999.0f};
+  SoftmaxInPlace(std::span<float>(x));
+  float sum = 0;
+  for (float v : x) {
+    EXPECT_FALSE(std::isnan(v));
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+  EXPECT_GT(x[1], x[0]);
+  EXPECT_GT(x[0], x[2]);
+}
+
+TEST(VecTest, SigmoidSymmetricAndBounded) {
+  EXPECT_NEAR(Sigmoid(0.0f), 0.5f, 1e-6);
+  EXPECT_NEAR(Sigmoid(50.0f), 1.0f, 1e-6);
+  EXPECT_NEAR(Sigmoid(-50.0f), 0.0f, 1e-6);
+  EXPECT_NEAR(Sigmoid(2.0f) + Sigmoid(-2.0f), 1.0f, 1e-6);
+}
+
+TEST(MatrixTest, GemmMatchesHandComputation) {
+  Matrix a(2, 3), b(3, 2), c;
+  float va[] = {1, 2, 3, 4, 5, 6};
+  float vb[] = {7, 8, 9, 10, 11, 12};
+  std::copy(va, va + 6, a.Data().begin());
+  std::copy(vb, vb + 6, b.Data().begin());
+  Gemm(a, b, c);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(MatrixTest, TransposedGemmsAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  Matrix a(4, 3), b(4, 5);
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  Matrix expected, got;
+  Gemm(a.Transposed(), b, expected);
+  GemmTransposeA(a, b, got);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(got.Data()[i], expected.Data()[i], 1e-5);
+  }
+  Matrix c(5, 3);
+  c.FillUniform(rng, 1.0f);
+  Gemm(a, c.Transposed(), expected);
+  GemmTransposeB(a, c, got);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(got.Data()[i], expected.Data()[i], 1e-5);
+  }
+}
+
+TEST(MatrixTest, MatVecAndTransposeVec) {
+  Matrix m(2, 3);
+  float vm[] = {1, 2, 3, 4, 5, 6};
+  std::copy(vm, vm + 6, m.Data().begin());
+  std::vector<float> x = {1, 1, 1}, y(2);
+  MatVec(m, x, y);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], 15.0f);
+  std::vector<float> z(3);
+  MatTransposeVec(m, y, z);
+  EXPECT_FLOAT_EQ(z[0], 6.0f + 60.0f);
+}
+
+TEST(MatrixTest, IdentityAndFrobenius) {
+  Matrix m(3, 3);
+  m.FillIdentity();
+  EXPECT_FLOAT_EQ(m.FrobeniusNorm(), std::sqrt(3.0f));
+  Matrix a(2, 2);
+  a.Fill(2.0f);
+  a.AddScaled(a, 1.0f);  // a = 2a.
+  EXPECT_FLOAT_EQ(a.At(0, 0), 4.0f);
+  a.Scale(0.25f);
+  EXPECT_FLOAT_EQ(a.At(1, 1), 1.0f);
+}
+
+TEST(MatrixTest, LeastSquaresMapRecoversLinearMap) {
+  // Build y = x * M_true and check LeastSquaresMap recovers M_true.
+  Rng rng(11);
+  const size_t n = 50, d = 6;
+  Matrix x(n, d), m_true(d, d), y;
+  x.FillUniform(rng, 1.0f);
+  m_true.FillUniform(rng, 1.0f);
+  Gemm(x, m_true, y);
+  Matrix m = LeastSquaresMap(x, y, 1e-6f);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      EXPECT_NEAR(m.At(i, j), m_true.At(i, j), 1e-2);
+    }
+  }
+}
+
+TEST(EmbeddingTableTest, UnitInitHasUnitRows) {
+  Rng rng(5);
+  EmbeddingTable table(10, 8, InitScheme::kUnit, rng);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_NEAR(L2Norm(table.Row(r)), 1.0f, 1e-5);
+  }
+}
+
+TEST(EmbeddingTableTest, OrthogonalInitHasOrthonormalRows) {
+  Rng rng(5);
+  EmbeddingTable table(6, 8, InitScheme::kOrthogonal, rng);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(L2Norm(table.Row(i)), 1.0f, 1e-4);
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(Dot(table.Row(i), table.Row(j)), 0.0f, 1e-4);
+    }
+  }
+}
+
+TEST(EmbeddingTableTest, AdaGradStepReducesLossDirection) {
+  Rng rng(5);
+  EmbeddingTable table(1, 4, InitScheme::kXavier, rng);
+  std::vector<float> before(table.Row(0).begin(), table.Row(0).end());
+  std::vector<float> grad = {1.0f, -1.0f, 0.5f, 0.0f};
+  table.ApplyGradient(0, grad, 0.1f);
+  const auto after = table.Row(0);
+  EXPECT_LT(after[0], before[0]);   // Positive gradient -> decrease.
+  EXPECT_GT(after[1], before[1]);   // Negative gradient -> increase.
+  EXPECT_FLOAT_EQ(after[3], before[3]);  // Zero gradient -> unchanged.
+}
+
+TEST(EmbeddingTableTest, AdaGradShrinksEffectiveStep) {
+  Rng rng(5);
+  EmbeddingTable table(1, 1, InitScheme::kXavier, rng);
+  std::vector<float> grad = {1.0f};
+  const float x0 = table.Row(0)[0];
+  table.ApplyGradient(0, grad, 0.1f);
+  const float step1 = x0 - table.Row(0)[0];
+  const float x1 = table.Row(0)[0];
+  table.ApplyGradient(0, grad, 0.1f);
+  const float step2 = x1 - table.Row(0)[0];
+  EXPECT_GT(step1, step2);  // Accumulated squared gradient shrinks steps.
+}
+
+TEST(EmbeddingTableTest, ClampRowNormOnlyShrinks) {
+  Rng rng(5);
+  EmbeddingTable table(2, 4, InitScheme::kXavier, rng);
+  auto row = table.Row(0);
+  Fill(row, 10.0f);
+  table.ClampRowNorm(0);
+  EXPECT_NEAR(L2Norm(table.Row(0)), 1.0f, 1e-5);
+  auto small = table.Row(1);
+  Fill(small, 0.01f);
+  table.ClampRowNorm(1);
+  EXPECT_LT(L2Norm(table.Row(1)), 0.5f);  // Unchanged, not scaled up.
+}
+
+TEST(EmbeddingTableTest, CloneValuesCopiesDataResetsState) {
+  Rng rng(5);
+  EmbeddingTable table(3, 4, InitScheme::kXavier, rng);
+  std::vector<float> grad = {1, 1, 1, 1};
+  table.ApplyGradient(0, grad, 0.1f);
+  EmbeddingTable clone = table.CloneValues();
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_FLOAT_EQ(clone.Row(r)[i], table.Row(r)[i]);
+    }
+  }
+  // Fresh AdaGrad state: first clone step is larger than table's next step.
+  const float t0 = table.Row(0)[0];
+  table.ApplyGradient(0, grad, 0.1f);
+  const float table_step = t0 - table.Row(0)[0];
+  const float c0 = clone.Row(0)[0];
+  clone.ApplyGradient(0, grad, 0.1f);
+  const float clone_step = c0 - clone.Row(0)[0];
+  EXPECT_GT(clone_step, table_step);
+}
+
+}  // namespace
+}  // namespace openea::math

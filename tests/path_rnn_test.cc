@@ -1,0 +1,127 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/embedding/path_rnn.h"
+
+namespace openea::embedding {
+namespace {
+
+constexpr size_t kEntities = 30;
+constexpr size_t kRelations = 4;
+
+std::vector<kg::Triple> RingTriples() {
+  std::vector<kg::Triple> triples;
+  for (size_t e = 0; e < kEntities; ++e) {
+    triples.push_back({static_cast<kg::EntityId>(e),
+                       static_cast<kg::RelationId>(e % kRelations),
+                       static_cast<kg::EntityId>((e + 1) % kEntities)});
+  }
+  return triples;
+}
+
+std::vector<std::vector<int>> OutIndex(const std::vector<kg::Triple>& ts) {
+  std::vector<std::vector<int>> index(kEntities);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    index[ts[i].head].push_back(static_cast<int>(i));
+  }
+  return index;
+}
+
+TEST(RsnModelTest, ChainLossDecreases) {
+  Rng rng(5);
+  RsnOptions options;
+  options.dim = 16;
+  options.learning_rate = 0.1f;
+  RsnModel model(kEntities, kRelations, options, rng);
+  const auto triples = RingTriples();
+  const auto index = OutIndex(triples);
+  Rng train_rng(7);
+  float first = 0.0f, last = 0.0f;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    float total = 0.0f;
+    for (size_t c = 0; c < triples.size(); ++c) {
+      const auto chain =
+          RsnModel::SampleChain(triples, index, train_rng, 2);
+      total += model.TrainOnChain(chain, train_rng);
+    }
+    model.PostEpoch();
+    if (epoch == 0) first = total;
+    last = total;
+  }
+  EXPECT_LT(last, first * 0.8f);
+}
+
+TEST(RsnModelTest, PredictsTrueNextEntityOverRandom) {
+  Rng rng(5);
+  RsnOptions options;
+  options.dim = 16;
+  options.learning_rate = 0.1f;
+  RsnModel model(kEntities, kRelations, options, rng);
+  const auto triples = RingTriples();
+  const auto index = OutIndex(triples);
+  Rng train_rng(7);
+  for (int epoch = 0; epoch < 80; ++epoch) {
+    for (size_t c = 0; c < triples.size(); ++c) {
+      const auto chain =
+          RsnModel::SampleChain(triples, index, train_rng, 2);
+      model.TrainOnChain(chain, train_rng);
+    }
+    model.PostEpoch();
+  }
+  // The true successor should outscore random candidates at step 0.
+  Rng check(13);
+  size_t wins = 0, total = 0;
+  for (const kg::Triple& t : triples) {
+    const std::vector<kg::Triple> chain = {t};
+    const float s_true = model.ScoreNext(chain, 0, t.tail);
+    for (int k = 0; k < 5; ++k) {
+      const auto cand =
+          static_cast<kg::EntityId>(check.NextBounded(kEntities));
+      if (s_true >= model.ScoreNext(chain, 0, cand)) ++wins;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(wins) / total, 0.8);
+}
+
+TEST(RsnModelTest, SampleChainFollowsEdges) {
+  const auto triples = RingTriples();
+  const auto index = OutIndex(triples);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto chain = RsnModel::SampleChain(triples, index, rng, 3);
+    ASSERT_FALSE(chain.empty());
+    EXPECT_LE(chain.size(), 3u);
+    for (size_t j = 1; j < chain.size(); ++j) {
+      EXPECT_EQ(chain[j].head, chain[j - 1].tail);
+    }
+  }
+}
+
+TEST(RsnModelTest, EmbeddingsStayFinite) {
+  Rng rng(5);
+  RsnOptions options;
+  options.dim = 8;
+  options.learning_rate = 0.5f;
+  RsnModel model(kEntities, kRelations, options, rng);
+  const auto triples = RingTriples();
+  const auto index = OutIndex(triples);
+  Rng train_rng(7);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    for (size_t c = 0; c < triples.size(); ++c) {
+      model.TrainOnChain(RsnModel::SampleChain(triples, index, train_rng, 3),
+                         train_rng);
+    }
+    model.PostEpoch();
+  }
+  for (size_t e = 0; e < kEntities; ++e) {
+    for (float v : model.entity_table().Row(e)) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace openea::embedding

@@ -1,0 +1,283 @@
+// Property-style tests: invariants that must hold across sweeps of random
+// inputs, sizes, seeds, metrics, and modes — complementing the example-
+// based unit tests.
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/align/inference.h"
+#include "src/align/similarity.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/datagen/synthetic_kg.h"
+#include "src/eval/folds.h"
+#include "src/eval/metrics.h"
+#include "src/interaction/unified_kg.h"
+#include "src/kg/graph_stats.h"
+#include "src/math/matrix.h"
+#include "src/math/vec.h"
+#include "src/text/translation.h"
+
+namespace openea {
+namespace {
+
+math::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  math::Matrix m(rows, cols);
+  m.FillUniform(rng, 1.0f);
+  return m;
+}
+
+double MatchWeight(const math::Matrix& sim, const std::vector<int>& match) {
+  double total = 0.0;
+  for (size_t i = 0; i < match.size(); ++i) {
+    if (match[i] >= 0) total += sim.At(i, static_cast<size_t>(match[i]));
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Matching invariants across random similarity matrices.
+// ---------------------------------------------------------------------------
+
+class MatchingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchingPropertyTest, KuhnMunkresDominatesEveryOneToOneMatching) {
+  const auto sim = RandomMatrix(12, 12, GetParam());
+  const double km = MatchWeight(sim, align::KuhnMunkres(sim));
+  const double sm = MatchWeight(sim, align::StableMarriage(sim));
+  EXPECT_GE(km, sm - 1e-5);
+}
+
+TEST_P(MatchingPropertyTest, GreedyDominatesAnyMatchingPerRow) {
+  // Greedy picks each row's max, so its (conflicting) total weight is an
+  // upper bound on any 1-to-1 matching's weight.
+  const auto sim = RandomMatrix(10, 10, GetParam());
+  const double greedy = MatchWeight(sim, align::GreedyMatch(sim));
+  const double km = MatchWeight(sim, align::KuhnMunkres(sim));
+  EXPECT_GE(greedy, km - 1e-5);
+}
+
+TEST_P(MatchingPropertyTest, StableMarriageIsOneToOne) {
+  const auto sim = RandomMatrix(15, 9, GetParam());  // Rectangular.
+  const auto match = align::StableMarriage(sim);
+  std::vector<bool> used(9, false);
+  size_t matched = 0;
+  for (int j : match) {
+    if (j < 0) continue;
+    EXPECT_FALSE(used[j]);
+    used[j] = true;
+    ++matched;
+  }
+  EXPECT_EQ(matched, 9u);  // All columns get matched (more rows than cols).
+}
+
+TEST_P(MatchingPropertyTest, CslsPreservesMatrixShape) {
+  math::Matrix sim = RandomMatrix(8, 14, GetParam());
+  const auto before_rows = sim.rows();
+  align::ApplyCsls(sim, 3);
+  EXPECT_EQ(sim.rows(), before_rows);
+  for (float v : sim.Data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Ranking-metric invariants across random models.
+// ---------------------------------------------------------------------------
+
+class RankingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RankingPropertyTest, MetricOrderingsHold) {
+  core::AlignmentModel model;
+  model.emb1 = RandomMatrix(30, 8, GetParam());
+  model.emb2 = RandomMatrix(30, 8, GetParam() ^ 0xABC);
+  kg::Alignment pairs;
+  for (int i = 0; i < 30; ++i) pairs.push_back({i, i});
+  for (const auto metric :
+       {align::DistanceMetric::kCosine, align::DistanceMetric::kEuclidean,
+        align::DistanceMetric::kManhattan, align::DistanceMetric::kInner}) {
+    const auto m = eval::EvaluateRanking(model, pairs, metric);
+    EXPECT_LE(m.hits1, m.hits5);
+    EXPECT_GE(m.mrr, m.hits1);
+    EXPECT_LE(m.mrr, 1.0);
+    EXPECT_GE(m.mr, 1.0);
+    EXPECT_LE(m.mr, 30.0);
+  }
+}
+
+TEST_P(RankingPropertyTest, CslsNeverBreaksPerfectModel) {
+  core::AlignmentModel model;
+  model.emb1 = RandomMatrix(20, 8, GetParam());
+  model.emb2 = model.emb1;
+  kg::Alignment pairs;
+  for (int i = 0; i < 20; ++i) pairs.push_back({i, i});
+  const auto m = eval::EvaluateRanking(model, pairs,
+                                       align::DistanceMetric::kCosine,
+                                       /*csls=*/true);
+  EXPECT_DOUBLE_EQ(m.hits1, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankingPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// Fold protocol invariants across fold counts.
+// ---------------------------------------------------------------------------
+
+class FoldPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldPropertyTest, PartitionsAreExactAndDisjoint) {
+  kg::Alignment ref;
+  for (int i = 0; i < 500; ++i) ref.push_back({i, i});
+  const auto folds = eval::MakeFolds(ref, GetParam(), 0.1, 9);
+  ASSERT_EQ(folds.size(), static_cast<size_t>(GetParam()));
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.valid.size() + fold.test.size(),
+              ref.size());
+    std::set<int> seen;
+    for (const auto* part : {&fold.train, &fold.valid, &fold.test}) {
+      for (const auto& p : *part) {
+        EXPECT_TRUE(seen.insert(p.left).second);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FoldCounts, FoldPropertyTest,
+                         ::testing::Values(2, 4, 5, 10));
+
+// ---------------------------------------------------------------------------
+// Unified-KG invariants across combination modes.
+// ---------------------------------------------------------------------------
+
+class UnifiedKgPropertyTest
+    : public ::testing::TestWithParam<interaction::CombinationMode> {};
+
+TEST_P(UnifiedKgPropertyTest, TriplesStayInBounds) {
+  datagen::SyntheticKgConfig config;
+  config.num_entities = 150;
+  config.seed = 3;
+  const auto gen1 = datagen::GenerateSyntheticKg(config);
+  config.seed = 4;
+  config.namespace_prefix = "x";
+  const auto gen2 = datagen::GenerateSyntheticKg(config);
+  core::AlignmentTask task;
+  task.kg1 = &gen1.graph;
+  task.kg2 = &gen2.graph;
+  kg::Alignment seeds;
+  for (int i = 0; i < 30; ++i) seeds.push_back({i, i});
+  task.train = seeds;
+
+  const auto unified = interaction::BuildUnifiedKg(task, GetParam(), seeds);
+  EXPECT_EQ(unified.num_entities,
+            gen1.graph.NumEntities() + gen2.graph.NumEntities());
+  for (const kg::Triple& t : unified.triples) {
+    EXPECT_GE(t.head, 0);
+    EXPECT_LT(static_cast<size_t>(t.head), unified.num_entities);
+    EXPECT_LT(static_cast<size_t>(t.tail), unified.num_entities);
+    EXPECT_LT(static_cast<size_t>(t.relation), unified.num_relations);
+  }
+  EXPECT_EQ(unified.merged_seeds.size(), seeds.size());
+  // The merged triples always contain at least both KGs' triples.
+  EXPECT_GE(unified.triples.size(),
+            gen1.graph.NumTriples() + gen2.graph.NumTriples());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, UnifiedKgPropertyTest,
+    ::testing::Values(interaction::CombinationMode::kNone,
+                      interaction::CombinationMode::kSharing,
+                      interaction::CombinationMode::kSwapping));
+
+// ---------------------------------------------------------------------------
+// String / text invariants.
+// ---------------------------------------------------------------------------
+
+TEST(StringPropertyTest, EditDistanceTriangleInequality) {
+  const auto words = datagen::GeneratePseudoWords(30, 5);
+  for (size_t i = 0; i < 10; ++i) {
+    const auto& a = words[i];
+    const auto& b = words[i + 10];
+    const auto& c = words[i + 20];
+    EXPECT_LE(EditDistance(a, c),
+              EditDistance(a, b) + EditDistance(b, c));
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));  // Symmetry.
+  }
+}
+
+TEST(TranslationPropertyTest, RoundTripOverWholeVocabulary) {
+  const auto source = datagen::GeneratePseudoWords(100, 7);
+  const auto target = datagen::GeneratePseudoWords(100, 8);
+  text::TranslationDictionary dict;
+  for (size_t i = 0; i < source.size(); ++i) {
+    dict.AddPair(source[i], target[i]);
+  }
+  for (const auto& w : source) {
+    EXPECT_EQ(dict.UntranslateWord(dict.TranslateWord(w)), w);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graph-stat invariants across generator seeds.
+// ---------------------------------------------------------------------------
+
+class GraphStatPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphStatPropertyTest, DistributionsAndRanksAreConsistent) {
+  datagen::SyntheticKgConfig config;
+  config.num_entities = 300;
+  config.seed = GetParam();
+  const auto gen = datagen::GenerateSyntheticKg(config);
+  const auto dist = kg::ComputeDegreeDistribution(gen.graph);
+  double sum = 0.0;
+  for (double p : dist.proportion) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Self-JS is zero; JS to a shifted variant is positive and symmetric.
+  EXPECT_NEAR(kg::JensenShannonDivergence(dist, dist), 0.0, 1e-12);
+  const auto pr = kg::PageRank(gen.graph);
+  double pr_sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_NEAR(pr_sum, 1.0, 1e-6);
+  for (double v : pr) EXPECT_GT(v, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphStatPropertyTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+// ---------------------------------------------------------------------------
+// Linear algebra invariants.
+// ---------------------------------------------------------------------------
+
+TEST(LeastSquaresPropertyTest, IdentityMapRecovered) {
+  const auto x = RandomMatrix(40, 6, 3);
+  const auto m = math::LeastSquaresMap(x, x, 1e-6f);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(m.At(i, j), i == j ? 1.0f : 0.0f, 1e-2);
+    }
+  }
+}
+
+TEST(GemmPropertyTest, AssociativityWithVectors) {
+  Rng rng(5);
+  const auto a = RandomMatrix(7, 5, 1);
+  std::vector<float> x(5), y1(7), tmp(5);
+  for (float& v : x) v = rng.NextFloat(-1, 1);
+  // (A x) computed directly vs. via transpose twice.
+  MatVec(a, x, y1);
+  std::vector<float> y2(7, 0.0f);
+  const auto at = a.Transposed();
+  MatTransposeVec(at, x, y2);
+  for (size_t i = 0; i < 7; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-5);
+  (void)tmp;
+}
+
+}  // namespace
+}  // namespace openea

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "src/datagen/kg_pair.h"
+#include "src/kg/graph_stats.h"
+#include "src/sampling/samplers.h"
+
+namespace openea::sampling {
+namespace {
+
+datagen::DatasetPair MakeSourcePair() {
+  datagen::SyntheticKgConfig config;
+  config.num_entities = 800;
+  config.avg_degree = 5.5;
+  config.num_relations = 25;
+  config.num_attributes = 18;
+  config.vocabulary_size = 250;
+  config.seed = 77;
+  return GenerateDatasetPair(config, datagen::HeterogeneityProfile::EnFr(),
+                             77);
+}
+
+TEST(IdsTest, ReachesTargetSizeWithGoodJs) {
+  const auto source = MakeSourcePair();
+  IdsOptions options;
+  options.target_size = 300;
+  options.mu = 30;
+  options.seed = 3;
+  const auto sample = IterativeDegreeSampling(source, options);
+  // Size lands on the target, up to the 2% isolate-cleanup allowance.
+  EXPECT_LE(sample.kg1.NumEntities(), 300u);
+  EXPECT_GE(sample.kg1.NumEntities(), 294u);
+  EXPECT_EQ(sample.kg1.NumEntities(), sample.kg2.NumEntities());
+  EXPECT_EQ(sample.reference.size(), sample.kg1.NumEntities());
+
+  const auto q = EvaluateSampleQuality(sample, source);
+  // Degree distribution should stay close to the source (paper: <= 5%;
+  // at our much smaller scales a slightly looser bound is statistically
+  // appropriate).
+  EXPECT_LT(q.js1, 0.10);
+  EXPECT_LT(q.js2, 0.10);
+  // Average degree should be in the same ballpark as the source.
+  EXPECT_NEAR(q.avg_degree1, source.kg1.AverageDegree(), 2.0);
+}
+
+TEST(IdsTest, SampleIsSubsetWithConsistentAlignment) {
+  const auto source = MakeSourcePair();
+  IdsOptions options;
+  options.target_size = 300;
+  options.mu = 30;
+  options.seed = 3;
+  const auto sample = IterativeDegreeSampling(source, options);
+  // Every sampled pair's names must match an original reference pair.
+  std::unordered_set<std::string> ref_keys;
+  for (const auto& ap : source.reference) {
+    ref_keys.insert(source.kg1.entities().Name(ap.left) + "|" +
+                    source.kg2.entities().Name(ap.right));
+  }
+  for (const auto& ap : sample.reference) {
+    const std::string key = sample.kg1.entities().Name(ap.left) + "|" +
+                            sample.kg2.entities().Name(ap.right);
+    EXPECT_TRUE(ref_keys.count(key) > 0) << key;
+  }
+}
+
+TEST(RasTest, ProducesSparserLowerQualitySample) {
+  const auto source = MakeSourcePair();
+  const auto ras = RandomAlignmentSampling(source, 300, 3);
+  EXPECT_EQ(ras.reference.size(), 300u);
+  const auto q = EvaluateSampleQuality(ras, source);
+  // RAS destroys connectivity (Table 3): much lower degree, many isolates.
+  EXPECT_LT(q.avg_degree1, source.kg1.AverageDegree() / 2.0);
+  EXPECT_GT(q.isolated1, 0.2);
+}
+
+TEST(PrsTest, BetterThanRasWorseThanIds) {
+  const auto source = MakeSourcePair();
+  const auto ras = EvaluateSampleQuality(
+      RandomAlignmentSampling(source, 300, 3), source);
+  const auto prs =
+      EvaluateSampleQuality(PageRankSampling(source, 300, 3), source);
+  IdsOptions options;
+  options.target_size = 300;
+  options.mu = 30;
+  options.seed = 3;
+  const auto ids =
+      EvaluateSampleQuality(IterativeDegreeSampling(source, options), source);
+  // The Table 3 ordering: RAS < PRS < IDS on average degree; IDS has the
+  // fewest isolates.
+  EXPECT_GT(prs.avg_degree1, ras.avg_degree1);
+  EXPECT_GT(ids.avg_degree1, prs.avg_degree1);
+  EXPECT_LT(ids.isolated1, 0.02);
+  EXPECT_LT(ids.js1, prs.js1);
+}
+
+TEST(DensifyTest, DoublesAverageDegree) {
+  const auto source = MakeSourcePair();
+  const double before = source.kg1.AverageDegree();
+  const auto dense = DensifyPair(source, 2.0, 5);
+  EXPECT_GE(dense.kg1.AverageDegree(), before * 1.6);
+  EXPECT_LT(dense.kg1.NumEntities(), source.kg1.NumEntities());
+  // Alignment stays 1-to-1 over surviving entities.
+  std::unordered_set<kg::EntityId> lefts;
+  for (const auto& ap : dense.reference) {
+    EXPECT_TRUE(lefts.insert(ap.left).second);
+  }
+}
+
+TEST(RestrictPairTest, EmptySetsGiveEmptyPair) {
+  const auto source = MakeSourcePair();
+  const auto empty = RestrictPair(source, {}, {});
+  EXPECT_EQ(empty.kg1.NumEntities(), 0u);
+  EXPECT_EQ(empty.reference.size(), 0u);
+}
+
+}  // namespace
+}  // namespace openea::sampling

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "src/math/vec.h"
+#include "src/text/translation.h"
+#include "src/text/word_embeddings.h"
+
+namespace openea::text {
+namespace {
+
+TEST(TranslationTest, RoundTripAndPassThrough) {
+  TranslationDictionary dict;
+  dict.AddPair("house", "maison");
+  dict.AddPair("red", "rouge");
+  EXPECT_EQ(dict.TranslateWord("house"), "maison");
+  EXPECT_EQ(dict.UntranslateWord("maison"), "house");
+  EXPECT_EQ(dict.TranslateWord("unknown"), "unknown");
+  EXPECT_EQ(dict.TranslateText("red house today"), "rouge maison today");
+  EXPECT_EQ(dict.UntranslateText("rouge maison"), "red house");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(HashedNGramVectorTest, DeterministicAndNormalized) {
+  const auto a = HashedNGramVector("knowledge", 32, 7);
+  const auto b = HashedNGramVector("knowledge", 32, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_NEAR(math::L2Norm(a), 1.0f, 1e-5);
+  const auto c = HashedNGramVector("knowledge", 32, 8);
+  EXPECT_NE(a, c);  // Different seed, different space.
+}
+
+TEST(HashedNGramVectorTest, SimilarStringsAreCloser) {
+  const auto a = HashedNGramVector("alignment", 64, 1);
+  const auto b = HashedNGramVector("alignments", 64, 1);
+  const auto c = HashedNGramVector("zxqwvu", 64, 1);
+  EXPECT_GT(math::CosineSimilarity(a, b), math::CosineSimilarity(a, c));
+  EXPECT_GT(math::CosineSimilarity(a, b), 0.5f);
+}
+
+TEST(HashedNGramVectorTest, EmptyTokenIsZero) {
+  const auto v = HashedNGramVector("", 16, 1);
+  EXPECT_FLOAT_EQ(math::L2Norm(v), 0.0f);
+}
+
+TEST(PseudoWordEmbeddingsTest, TranslationPairsAreNearlyIdentical) {
+  TranslationDictionary dict;
+  dict.AddPair("house", "maison");
+  PseudoWordEmbeddings emb(32, 42, &dict, 0.05f);
+  const auto en = emb.WordVector("house");
+  const auto fr = emb.WordVector("maison");
+  EXPECT_GT(math::CosineSimilarity(en, fr), 0.9f);
+  // Without the dictionary the two words are unrelated.
+  PseudoWordEmbeddings mono(32, 42);
+  const auto fr_mono = mono.WordVector("maison");
+  EXPECT_LT(math::CosineSimilarity(en, fr_mono), 0.5f);
+}
+
+TEST(PseudoWordEmbeddingsTest, NoiseIsDeterministic) {
+  TranslationDictionary dict;
+  dict.AddPair("house", "maison");
+  PseudoWordEmbeddings emb(32, 42, &dict, 0.1f);
+  EXPECT_EQ(emb.WordVector("maison"), emb.WordVector("maison"));
+}
+
+TEST(PseudoWordEmbeddingsTest, TextVectorAveragesWords) {
+  PseudoWordEmbeddings emb(32, 42);
+  const auto text = emb.TextVector("red house");
+  const auto red = emb.WordVector("red");
+  const auto house = emb.WordVector("house");
+  // The mean should be positively correlated with both constituents.
+  EXPECT_GT(math::CosineSimilarity(text, red), 0.3f);
+  EXPECT_GT(math::CosineSimilarity(text, house), 0.3f);
+  const auto empty = emb.TextVector("");
+  EXPECT_FLOAT_EQ(math::L2Norm(empty), 0.0f);
+}
+
+}  // namespace
+}  // namespace openea::text

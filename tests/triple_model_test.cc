@@ -1,0 +1,193 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/embedding/negative_sampling.h"
+#include "src/embedding/translational.h"
+#include "src/embedding/triple_model.h"
+#include "src/math/vec.h"
+
+namespace openea::embedding {
+namespace {
+
+constexpr size_t kEntities = 40;
+constexpr size_t kRelations = 6;
+
+/// A small deterministic KG: a ring plus some chords, so every entity has
+/// structure to learn.
+std::vector<kg::Triple> MakeTriples() {
+  std::vector<kg::Triple> triples;
+  for (size_t e = 0; e < kEntities; ++e) {
+    triples.push_back({static_cast<kg::EntityId>(e),
+                       static_cast<kg::RelationId>(e % kRelations),
+                       static_cast<kg::EntityId>((e + 1) % kEntities)});
+    triples.push_back({static_cast<kg::EntityId>(e),
+                       static_cast<kg::RelationId>((e + 2) % kRelations),
+                       static_cast<kg::EntityId>((e + 7) % kEntities)});
+  }
+  return triples;
+}
+
+/// Trains `model` for a few epochs and returns the fraction of positive
+/// triples whose score beats a fixed corrupted counterpart. Every
+/// implemented model must learn to discriminate on this toy KG.
+double TrainAndMeasure(TripleModel& model, int epochs, uint64_t seed) {
+  const auto triples = MakeTriples();
+  Rng rng(seed);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const kg::Triple& pos : triples) {
+      const kg::Triple neg = CorruptUniform(pos, kEntities, rng);
+      model.TrainOnPair(pos, neg);
+    }
+    model.PostEpoch();
+  }
+  // Discrimination check with fresh corruptions: the model's own score of a
+  // true triple should beat that of a corrupted one.
+  Rng check_rng(seed ^ 0x1234);
+  size_t wins = 0, total = 0;
+  for (const kg::Triple& pos : triples) {
+    const float score_true = model.ScoreTriple(pos);
+    for (int k = 0; k < 4; ++k) {
+      const kg::Triple neg = CorruptUniform(pos, kEntities, check_rng);
+      if (score_true >= model.ScoreTriple(neg)) ++wins;
+      ++total;
+    }
+  }
+  return static_cast<double>(wins) / static_cast<double>(total);
+}
+
+class TripleModelTest : public ::testing::TestWithParam<TripleModelKind> {};
+
+TEST_P(TripleModelTest, LearnsToDiscriminateOnToyKg) {
+  Rng rng(7);
+  TripleModelOptions options;
+  options.dim = 16;
+  options.learning_rate = 0.1f;
+  options.margin = 1.0f;
+  auto model =
+      CreateTripleModel(GetParam(), kEntities, kRelations, options, rng);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->num_entities(), kEntities);
+  EXPECT_EQ(model->dim(), options.dim);
+  const double accuracy = TrainAndMeasure(*model, 150, 5);
+  // True triples should outscore corruptions far more often than chance.
+  EXPECT_GT(accuracy, 0.75) << model->name();
+}
+
+TEST_P(TripleModelTest, TrainingChangesEmbeddings) {
+  Rng rng(7);
+  TripleModelOptions options;
+  options.dim = 16;
+  auto model =
+      CreateTripleModel(GetParam(), kEntities, kRelations, options, rng);
+  std::vector<float> before(model->EntityEmbedding(0).begin(),
+                            model->EntityEmbedding(0).end());
+  TrainAndMeasure(*model, 3, 5);
+  std::vector<float> after(model->EntityEmbedding(0).begin(),
+                           model->EntityEmbedding(0).end());
+  EXPECT_NE(before, after) << model->name();
+}
+
+TEST_P(TripleModelTest, EmbeddingsStayFinite) {
+  Rng rng(7);
+  TripleModelOptions options;
+  options.dim = 16;
+  options.learning_rate = 0.5f;  // Aggressive on purpose.
+  auto model =
+      CreateTripleModel(GetParam(), kEntities, kRelations, options, rng);
+  TrainAndMeasure(*model, 30, 5);
+  for (size_t e = 0; e < kEntities; ++e) {
+    for (float v : model->EntityEmbedding(static_cast<kg::EntityId>(e))) {
+      EXPECT_TRUE(std::isfinite(v)) << model->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, TripleModelTest,
+    ::testing::Values(TripleModelKind::kTransE, TripleModelKind::kTransH,
+                      TripleModelKind::kTransR, TripleModelKind::kTransD,
+                      TripleModelKind::kHolE, TripleModelKind::kSimplE,
+                      TripleModelKind::kComplEx,
+                      TripleModelKind::kRotatE, TripleModelKind::kDistMult,
+                      TripleModelKind::kProjE, TripleModelKind::kConvE),
+    [](const ::testing::TestParamInfo<TripleModelKind>& info) {
+      return TripleModelKindName(info.param);
+    });
+
+TEST(TransENoNegativesTest, PositiveOnlyTrainingCollapsesTowardLowEnergy) {
+  Rng rng(7);
+  TripleModelOptions options;
+  options.dim = 16;
+  TransEModel model(kEntities, kRelations, options, rng);
+  const auto triples = MakeTriples();
+  float first_epoch_loss = 0, last_epoch_loss = 0;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    float total = 0;
+    for (const auto& t : triples) total += model.TrainOnPositive(t);
+    model.PostEpoch();
+    if (epoch == 0) first_epoch_loss = total;
+    last_epoch_loss = total;
+  }
+  EXPECT_LT(last_epoch_loss, first_epoch_loss);
+}
+
+TEST(LimitLossTest, PushesPositiveEnergyBelowLimit) {
+  Rng rng(7);
+  TripleModelOptions options;
+  options.dim = 16;
+  options.learning_rate = 0.1f;
+  TransEModel::LimitLoss limit;
+  limit.enabled = true;
+  limit.limit_pos = 0.2f;
+  limit.limit_neg = 2.0f;
+  TransEModel model(kEntities, kRelations, options, rng, limit);
+  const double acc = TrainAndMeasure(model, 60, 5);
+  EXPECT_GT(acc, 0.62);
+}
+
+TEST(NegativeSamplingTest, UniformCorruptsExactlyOneSlot) {
+  Rng rng(3);
+  const kg::Triple pos{5, 2, 9};
+  for (int i = 0; i < 100; ++i) {
+    const kg::Triple neg = CorruptUniform(pos, kEntities, rng);
+    EXPECT_EQ(neg.relation, pos.relation);
+    const bool head_changed = neg.head != pos.head;
+    const bool tail_changed = neg.tail != pos.tail;
+    EXPECT_FALSE(head_changed && tail_changed);
+  }
+}
+
+TEST(NegativeSamplingTest, TruncatedSamplesFromNeighborhood) {
+  Rng rng(3);
+  math::EmbeddingTable table(20, 8, math::InitScheme::kUnit, rng);
+  TruncatedNegativeSampler sampler(4);
+  EXPECT_FALSE(sampler.initialized());
+  sampler.Refresh(table);
+  EXPECT_TRUE(sampler.initialized());
+  const kg::Triple pos{0, 0, 1};
+  // Every corruption must replace head or tail with one of the victim's 4
+  // nearest neighbours.
+  for (int i = 0; i < 50; ++i) {
+    const kg::Triple neg = sampler.Corrupt(pos, 20, rng);
+    const bool head_changed = neg.head != pos.head;
+    const kg::EntityId victim = head_changed ? pos.head : pos.tail;
+    const kg::EntityId replacement = head_changed ? neg.head : neg.tail;
+    const float sim = math::CosineSimilarity(table.Row(victim),
+                                             table.Row(replacement));
+    // The replacement is among the nearest: it should beat most entities.
+    size_t beaten = 0;
+    for (size_t e = 0; e < 20; ++e) {
+      if (static_cast<kg::EntityId>(e) == victim) continue;
+      if (sim >= math::CosineSimilarity(table.Row(victim),
+                                        table.Row(static_cast<int>(e)))) {
+        ++beaten;
+      }
+    }
+    EXPECT_GE(beaten, 15u);
+  }
+}
+
+}  // namespace
+}  // namespace openea::embedding

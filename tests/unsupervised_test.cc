@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "src/approaches/unsupervised.h"
+#include "src/datagen/kg_pair.h"
+#include "src/eval/folds.h"
+#include "src/eval/metrics.h"
+
+namespace openea::approaches {
+namespace {
+
+core::AlignmentTask MakeTask(const datagen::DatasetPair& pair,
+                             const eval::FoldSplit& fold) {
+  core::AlignmentTask task;
+  task.kg1 = &pair.kg1;
+  task.kg2 = &pair.kg2;
+  task.train = fold.train;
+  task.valid = fold.valid;
+  task.test = fold.test;
+  return task;
+}
+
+TEST(UnsupervisedEaTest, BeatsRandomWithoutSeeds) {
+  datagen::SyntheticKgConfig config;
+  config.num_entities = 300;
+  config.num_relations = 15;
+  config.num_attributes = 12;
+  config.vocabulary_size = 150;
+  config.seed = 31;
+  const auto pair = GenerateDatasetPair(
+      config, datagen::HeterogeneityProfile::DbpYg(), 31);
+  const auto folds = eval::MakeFolds(pair.reference);
+  core::AlignmentTask task = MakeTask(pair, folds[0]);
+
+  core::TrainConfig train_config;
+  train_config.dim = 16;
+  train_config.max_epochs = 60;
+  UnsupervisedEa approach(train_config);
+  EXPECT_EQ(approach.requirements().pre_aligned_entities,
+            core::Requirement::kNotApplicable);
+
+  const auto model = approach.Train(task);
+  const auto metrics = eval::EvaluateRanking(
+      model, task.test, align::DistanceMetric::kCosine);
+  // Random Hits@1 would be ~1/|test|; literal harvest must do far better
+  // on the literal-rich D-Y profile.
+  EXPECT_GT(metrics.hits1, 0.2);
+}
+
+TEST(UnsupervisedEaTest, IgnoresProvidedSeeds) {
+  // Identical results with and without train seeds (they must be unused).
+  datagen::SyntheticKgConfig config;
+  config.num_entities = 250;
+  config.num_relations = 12;
+  config.num_attributes = 10;
+  config.vocabulary_size = 120;
+  config.seed = 17;
+  const auto pair = GenerateDatasetPair(
+      config, datagen::HeterogeneityProfile::DbpYg(), 17);
+  const auto folds = eval::MakeFolds(pair.reference);
+  core::AlignmentTask with_seeds = MakeTask(pair, folds[0]);
+  core::AlignmentTask without_seeds = with_seeds;
+  without_seeds.train.clear();
+
+  core::TrainConfig train_config;
+  train_config.dim = 16;
+  train_config.max_epochs = 30;
+  const auto model_a = UnsupervisedEa(train_config).Train(with_seeds);
+  const auto model_b = UnsupervisedEa(train_config).Train(without_seeds);
+  ASSERT_EQ(model_a.emb1.size(), model_b.emb1.size());
+  for (size_t i = 0; i < model_a.emb1.size(); ++i) {
+    ASSERT_FLOAT_EQ(model_a.emb1.Data()[i], model_b.emb1.Data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace openea::approaches
