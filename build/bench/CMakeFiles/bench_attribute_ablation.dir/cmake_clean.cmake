@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attribute_ablation.dir/bench_attribute_ablation.cc.o"
+  "CMakeFiles/bench_attribute_ablation.dir/bench_attribute_ablation.cc.o.d"
+  "bench_attribute_ablation"
+  "bench_attribute_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attribute_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complementarity.dir/bench_complementarity.cc.o"
+  "CMakeFiles/bench_complementarity.dir/bench_complementarity.cc.o.d"
+  "bench_complementarity"
+  "bench_complementarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complementarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conventional_comparison.dir/bench_conventional_comparison.cc.o"
+  "CMakeFiles/bench_conventional_comparison.dir/bench_conventional_comparison.cc.o.d"
+  "bench_conventional_comparison"
+  "bench_conventional_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conventional_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degree_distributions.dir/bench_degree_distributions.cc.o"
+  "CMakeFiles/bench_degree_distributions.dir/bench_degree_distributions.cc.o.d"
+  "bench_degree_distributions"
+  "bench_degree_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degree_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_study.dir/bench_feature_study.cc.o"
+  "CMakeFiles/bench_feature_study.dir/bench_feature_study.cc.o.d"
+  "bench_feature_study"
+  "bench_feature_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

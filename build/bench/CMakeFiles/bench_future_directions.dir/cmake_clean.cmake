@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_directions.dir/bench_future_directions.cc.o"
+  "CMakeFiles/bench_future_directions.dir/bench_future_directions.cc.o.d"
+  "bench_future_directions"
+  "bench_future_directions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_directions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hubness_isolation.dir/bench_hubness_isolation.cc.o"
+  "CMakeFiles/bench_hubness_isolation.dir/bench_hubness_isolation.cc.o.d"
+  "bench_hubness_isolation"
+  "bench_hubness_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hubness_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ids_ablation.dir/bench_ids_ablation.cc.o"
+  "CMakeFiles/bench_ids_ablation.dir/bench_ids_ablation.cc.o.d"
+  "bench_ids_ablation"
+  "bench_ids_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ids_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inference_strategies.dir/bench_inference_strategies.cc.o"
+  "CMakeFiles/bench_inference_strategies.dir/bench_inference_strategies.cc.o.d"
+  "bench_inference_strategies"
+  "bench_inference_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inference_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

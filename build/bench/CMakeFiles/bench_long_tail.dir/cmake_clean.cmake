@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_long_tail.dir/bench_long_tail.cc.o"
+  "CMakeFiles/bench_long_tail.dir/bench_long_tail.cc.o.d"
+  "bench_long_tail"
+  "bench_long_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_long_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sampling_quality.dir/bench_sampling_quality.cc.o"
+  "CMakeFiles/bench_sampling_quality.dir/bench_sampling_quality.cc.o.d"
+  "bench_sampling_quality"
+  "bench_sampling_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sampling_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_similarity_distribution.dir/bench_similarity_distribution.cc.o"
+  "CMakeFiles/bench_similarity_distribution.dir/bench_similarity_distribution.cc.o.d"
+  "bench_similarity_distribution"
+  "bench_similarity_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_similarity_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_approaches.dir/compare_approaches.cpp.o"
+  "CMakeFiles/example_compare_approaches.dir/compare_approaches.cpp.o.d"
+  "example_compare_approaches"
+  "example_compare_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

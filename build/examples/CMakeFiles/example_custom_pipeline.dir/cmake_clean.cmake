@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_pipeline.dir/custom_pipeline.cpp.o"
+  "CMakeFiles/example_custom_pipeline.dir/custom_pipeline.cpp.o.d"
+  "example_custom_pipeline"
+  "example_custom_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

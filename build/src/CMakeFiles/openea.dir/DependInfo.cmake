@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/blocking.cc" "src/CMakeFiles/openea.dir/align/blocking.cc.o" "gcc" "src/CMakeFiles/openea.dir/align/blocking.cc.o.d"
+  "/root/repo/src/align/inference.cc" "src/CMakeFiles/openea.dir/align/inference.cc.o" "gcc" "src/CMakeFiles/openea.dir/align/inference.cc.o.d"
+  "/root/repo/src/align/similarity.cc" "src/CMakeFiles/openea.dir/align/similarity.cc.o" "gcc" "src/CMakeFiles/openea.dir/align/similarity.cc.o.d"
+  "/root/repo/src/approaches/alinet.cc" "src/CMakeFiles/openea.dir/approaches/alinet.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/alinet.cc.o.d"
+  "/root/repo/src/approaches/attre.cc" "src/CMakeFiles/openea.dir/approaches/attre.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/attre.cc.o.d"
+  "/root/repo/src/approaches/bootea.cc" "src/CMakeFiles/openea.dir/approaches/bootea.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/bootea.cc.o.d"
+  "/root/repo/src/approaches/common.cc" "src/CMakeFiles/openea.dir/approaches/common.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/common.cc.o.d"
+  "/root/repo/src/approaches/gcn_align.cc" "src/CMakeFiles/openea.dir/approaches/gcn_align.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/gcn_align.cc.o.d"
+  "/root/repo/src/approaches/imuse.cc" "src/CMakeFiles/openea.dir/approaches/imuse.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/imuse.cc.o.d"
+  "/root/repo/src/approaches/iptranse.cc" "src/CMakeFiles/openea.dir/approaches/iptranse.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/iptranse.cc.o.d"
+  "/root/repo/src/approaches/jape.cc" "src/CMakeFiles/openea.dir/approaches/jape.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/jape.cc.o.d"
+  "/root/repo/src/approaches/kdcoe.cc" "src/CMakeFiles/openea.dir/approaches/kdcoe.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/kdcoe.cc.o.d"
+  "/root/repo/src/approaches/mtranse.cc" "src/CMakeFiles/openea.dir/approaches/mtranse.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/mtranse.cc.o.d"
+  "/root/repo/src/approaches/multike.cc" "src/CMakeFiles/openea.dir/approaches/multike.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/multike.cc.o.d"
+  "/root/repo/src/approaches/rdgcn.cc" "src/CMakeFiles/openea.dir/approaches/rdgcn.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/rdgcn.cc.o.d"
+  "/root/repo/src/approaches/rsn4ea.cc" "src/CMakeFiles/openea.dir/approaches/rsn4ea.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/rsn4ea.cc.o.d"
+  "/root/repo/src/approaches/unsupervised.cc" "src/CMakeFiles/openea.dir/approaches/unsupervised.cc.o" "gcc" "src/CMakeFiles/openea.dir/approaches/unsupervised.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/openea.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/openea.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/openea.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/openea.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/openea.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/openea.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/conventional/logmap.cc" "src/CMakeFiles/openea.dir/conventional/logmap.cc.o" "gcc" "src/CMakeFiles/openea.dir/conventional/logmap.cc.o.d"
+  "/root/repo/src/conventional/paris.cc" "src/CMakeFiles/openea.dir/conventional/paris.cc.o" "gcc" "src/CMakeFiles/openea.dir/conventional/paris.cc.o.d"
+  "/root/repo/src/core/benchmark.cc" "src/CMakeFiles/openea.dir/core/benchmark.cc.o" "gcc" "src/CMakeFiles/openea.dir/core/benchmark.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/openea.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/openea.dir/core/registry.cc.o.d"
+  "/root/repo/src/datagen/kg_pair.cc" "src/CMakeFiles/openea.dir/datagen/kg_pair.cc.o" "gcc" "src/CMakeFiles/openea.dir/datagen/kg_pair.cc.o.d"
+  "/root/repo/src/datagen/synthetic_kg.cc" "src/CMakeFiles/openea.dir/datagen/synthetic_kg.cc.o" "gcc" "src/CMakeFiles/openea.dir/datagen/synthetic_kg.cc.o.d"
+  "/root/repo/src/embedding/attribute.cc" "src/CMakeFiles/openea.dir/embedding/attribute.cc.o" "gcc" "src/CMakeFiles/openea.dir/embedding/attribute.cc.o.d"
+  "/root/repo/src/embedding/deep_models.cc" "src/CMakeFiles/openea.dir/embedding/deep_models.cc.o" "gcc" "src/CMakeFiles/openea.dir/embedding/deep_models.cc.o.d"
+  "/root/repo/src/embedding/gcn.cc" "src/CMakeFiles/openea.dir/embedding/gcn.cc.o" "gcc" "src/CMakeFiles/openea.dir/embedding/gcn.cc.o.d"
+  "/root/repo/src/embedding/negative_sampling.cc" "src/CMakeFiles/openea.dir/embedding/negative_sampling.cc.o" "gcc" "src/CMakeFiles/openea.dir/embedding/negative_sampling.cc.o.d"
+  "/root/repo/src/embedding/path_rnn.cc" "src/CMakeFiles/openea.dir/embedding/path_rnn.cc.o" "gcc" "src/CMakeFiles/openea.dir/embedding/path_rnn.cc.o.d"
+  "/root/repo/src/embedding/semantic_matching.cc" "src/CMakeFiles/openea.dir/embedding/semantic_matching.cc.o" "gcc" "src/CMakeFiles/openea.dir/embedding/semantic_matching.cc.o.d"
+  "/root/repo/src/embedding/translational.cc" "src/CMakeFiles/openea.dir/embedding/translational.cc.o" "gcc" "src/CMakeFiles/openea.dir/embedding/translational.cc.o.d"
+  "/root/repo/src/embedding/triple_model.cc" "src/CMakeFiles/openea.dir/embedding/triple_model.cc.o" "gcc" "src/CMakeFiles/openea.dir/embedding/triple_model.cc.o.d"
+  "/root/repo/src/eval/folds.cc" "src/CMakeFiles/openea.dir/eval/folds.cc.o" "gcc" "src/CMakeFiles/openea.dir/eval/folds.cc.o.d"
+  "/root/repo/src/eval/geometry.cc" "src/CMakeFiles/openea.dir/eval/geometry.cc.o" "gcc" "src/CMakeFiles/openea.dir/eval/geometry.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/openea.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/openea.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/interaction/bootstrapping.cc" "src/CMakeFiles/openea.dir/interaction/bootstrapping.cc.o" "gcc" "src/CMakeFiles/openea.dir/interaction/bootstrapping.cc.o.d"
+  "/root/repo/src/interaction/trainer.cc" "src/CMakeFiles/openea.dir/interaction/trainer.cc.o" "gcc" "src/CMakeFiles/openea.dir/interaction/trainer.cc.o.d"
+  "/root/repo/src/interaction/unified_kg.cc" "src/CMakeFiles/openea.dir/interaction/unified_kg.cc.o" "gcc" "src/CMakeFiles/openea.dir/interaction/unified_kg.cc.o.d"
+  "/root/repo/src/kg/alignment_util.cc" "src/CMakeFiles/openea.dir/kg/alignment_util.cc.o" "gcc" "src/CMakeFiles/openea.dir/kg/alignment_util.cc.o.d"
+  "/root/repo/src/kg/graph_stats.cc" "src/CMakeFiles/openea.dir/kg/graph_stats.cc.o" "gcc" "src/CMakeFiles/openea.dir/kg/graph_stats.cc.o.d"
+  "/root/repo/src/kg/io.cc" "src/CMakeFiles/openea.dir/kg/io.cc.o" "gcc" "src/CMakeFiles/openea.dir/kg/io.cc.o.d"
+  "/root/repo/src/kg/knowledge_graph.cc" "src/CMakeFiles/openea.dir/kg/knowledge_graph.cc.o" "gcc" "src/CMakeFiles/openea.dir/kg/knowledge_graph.cc.o.d"
+  "/root/repo/src/kg/vocab.cc" "src/CMakeFiles/openea.dir/kg/vocab.cc.o" "gcc" "src/CMakeFiles/openea.dir/kg/vocab.cc.o.d"
+  "/root/repo/src/math/embedding_table.cc" "src/CMakeFiles/openea.dir/math/embedding_table.cc.o" "gcc" "src/CMakeFiles/openea.dir/math/embedding_table.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/CMakeFiles/openea.dir/math/matrix.cc.o" "gcc" "src/CMakeFiles/openea.dir/math/matrix.cc.o.d"
+  "/root/repo/src/math/vec.cc" "src/CMakeFiles/openea.dir/math/vec.cc.o" "gcc" "src/CMakeFiles/openea.dir/math/vec.cc.o.d"
+  "/root/repo/src/sampling/samplers.cc" "src/CMakeFiles/openea.dir/sampling/samplers.cc.o" "gcc" "src/CMakeFiles/openea.dir/sampling/samplers.cc.o.d"
+  "/root/repo/src/text/translation.cc" "src/CMakeFiles/openea.dir/text/translation.cc.o" "gcc" "src/CMakeFiles/openea.dir/text/translation.cc.o.d"
+  "/root/repo/src/text/word_embeddings.cc" "src/CMakeFiles/openea.dir/text/word_embeddings.cc.o" "gcc" "src/CMakeFiles/openea.dir/text/word_embeddings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align_test.cc" "tests/CMakeFiles/openea_tests.dir/align_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/align_test.cc.o.d"
+  "/root/repo/tests/approaches_test.cc" "tests/CMakeFiles/openea_tests.dir/approaches_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/approaches_test.cc.o.d"
+  "/root/repo/tests/attribute_test.cc" "tests/CMakeFiles/openea_tests.dir/attribute_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/attribute_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/openea_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/conventional_test.cc" "tests/CMakeFiles/openea_tests.dir/conventional_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/conventional_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/openea_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/openea_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/openea_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/gcn_test.cc" "tests/CMakeFiles/openea_tests.dir/gcn_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/gcn_test.cc.o.d"
+  "/root/repo/tests/interaction_test.cc" "tests/CMakeFiles/openea_tests.dir/interaction_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/interaction_test.cc.o.d"
+  "/root/repo/tests/io_blocking_test.cc" "tests/CMakeFiles/openea_tests.dir/io_blocking_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/io_blocking_test.cc.o.d"
+  "/root/repo/tests/kg_test.cc" "tests/CMakeFiles/openea_tests.dir/kg_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/kg_test.cc.o.d"
+  "/root/repo/tests/math_test.cc" "tests/CMakeFiles/openea_tests.dir/math_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/math_test.cc.o.d"
+  "/root/repo/tests/path_rnn_test.cc" "tests/CMakeFiles/openea_tests.dir/path_rnn_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/path_rnn_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/openea_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sampling_test.cc" "tests/CMakeFiles/openea_tests.dir/sampling_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/sampling_test.cc.o.d"
+  "/root/repo/tests/text_test.cc" "tests/CMakeFiles/openea_tests.dir/text_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/text_test.cc.o.d"
+  "/root/repo/tests/triple_model_test.cc" "tests/CMakeFiles/openea_tests.dir/triple_model_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/triple_model_test.cc.o.d"
+  "/root/repo/tests/unsupervised_test.cc" "tests/CMakeFiles/openea_tests.dir/unsupervised_test.cc.o" "gcc" "tests/CMakeFiles/openea_tests.dir/unsupervised_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/openea.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
