@@ -7,6 +7,8 @@
 //   --folds=N             cross-validation folds to run (default varies)
 //   --epochs=N            training epoch budget (default varies)
 //   --seed=N              master seed (default 7)
+//   --threads=N           compute-core worker threads (default 1 = the
+//                         exact serial path; 0 = all hardware threads)
 // Every binary prints the rows of its paper table/figure and finishes with
 // a short "shape check" note restating the paper's qualitative claim.
 
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/parallel.h"
 #include "src/common/strings.h"
 #include "src/core/benchmark.h"
 
@@ -25,6 +28,7 @@ struct BenchArgs {
   int folds = 2;
   int epochs = 200;
   uint64_t seed = 7;
+  int threads = 1;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv, int default_folds,
@@ -32,6 +36,7 @@ inline BenchArgs ParseArgs(int argc, char** argv, int default_folds,
   BenchArgs args;
   args.folds = default_folds;
   args.epochs = default_epochs;
+  args.threads = Threads();  // OPENEA_THREADS default; --threads overrides.
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--scale=large") {
@@ -44,11 +49,15 @@ inline BenchArgs ParseArgs(int argc, char** argv, int default_folds,
       args.epochs = std::atoi(arg.c_str() + 9);
     } else if (StartsWith(arg, "--seed=")) {
       args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (StartsWith(arg, "--threads=")) {
+      args.threads = std::atoi(arg.c_str() + 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
     }
   }
+  SetThreads(args.threads);
+  args.threads = Threads();  // Resolve 0 -> hardware thread count.
   return args;
 }
 
@@ -57,6 +66,7 @@ inline core::TrainConfig MakeTrainConfig(const BenchArgs& args) {
   config.dim = 32;
   config.max_epochs = args.epochs;
   config.seed = args.seed;
+  config.threads = args.threads;
   return config;
 }
 

@@ -6,6 +6,7 @@
 
 #include "src/align/inference.h"
 #include "src/align/similarity.h"
+#include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/datagen/synthetic_kg.h"
 #include "src/embedding/negative_sampling.h"
@@ -55,6 +56,28 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
 
+// Same kernel at a fixed thread count (second arg). Restores the serial
+// default afterwards so the remaining benchmarks in this process are
+// unaffected. Compare against BM_Gemm for the serial baseline.
+void BM_GemmParallel(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  math::Matrix a(n, n), b(n, n), c;
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  SetThreads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    Gemm(a, b, c);
+    benchmark::DoNotOptimize(c.Data().data());
+  }
+  SetThreads(1);
+}
+BENCHMARK(BM_GemmParallel)
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
 math::Matrix RandomSim(size_t n, uint64_t seed) {
   Rng rng(seed);
   math::Matrix sim(n, n);
@@ -75,6 +98,26 @@ void BM_SimilarityMatrix(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimilarityMatrix)->Arg(100)->Arg(400);
+
+void BM_SimilarityMatrixParallel(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  math::Matrix emb1(n, 32), emb2(n, 32);
+  emb1.FillUniform(rng, 1.0f);
+  emb2.FillUniform(rng, 1.0f);
+  SetThreads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto sim = align::SimilarityMatrix(emb1, emb2,
+                                       align::DistanceMetric::kCosine);
+    benchmark::DoNotOptimize(sim.Data().data());
+  }
+  SetThreads(1);
+}
+BENCHMARK(BM_SimilarityMatrixParallel)
+    ->Args({400, 2})
+    ->Args({400, 4})
+    ->Args({800, 2})
+    ->Args({800, 4});
 
 void BM_ApplyCsls(benchmark::State& state) {
   const auto base = RandomSim(static_cast<size_t>(state.range(0)), 5);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/common/parallel.h"
 #include "src/math/vec.h"
 
 namespace openea::align {
@@ -23,27 +24,31 @@ math::Matrix SimilarityMatrix(const math::Matrix& src,
                               DistanceMetric metric) {
   OPENEA_CHECK_EQ(src.cols(), tgt.cols());
   math::Matrix sim(src.rows(), tgt.rows());
-  for (size_t i = 0; i < src.rows(); ++i) {
-    const auto a = src.Row(i);
-    auto out = sim.Row(i);
-    for (size_t j = 0; j < tgt.rows(); ++j) {
-      const auto b = tgt.Row(j);
-      switch (metric) {
-        case DistanceMetric::kCosine:
-          out[j] = math::CosineSimilarity(a, b);
-          break;
-        case DistanceMetric::kEuclidean:
-          out[j] = -math::EuclideanDistance(a, b);
-          break;
-        case DistanceMetric::kManhattan:
-          out[j] = -math::ManhattanDistance(a, b);
-          break;
-        case DistanceMetric::kInner:
-          out[j] = math::Dot(a, b);
-          break;
+  // Row-parallel: every similarity cell is written exactly once, so the
+  // result is bit-identical at any thread count.
+  ParallelFor(0, src.rows(), 0, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const auto a = src.Row(i);
+      auto out = sim.Row(i);
+      for (size_t j = 0; j < tgt.rows(); ++j) {
+        const auto b = tgt.Row(j);
+        switch (metric) {
+          case DistanceMetric::kCosine:
+            out[j] = math::CosineSimilarity(a, b);
+            break;
+          case DistanceMetric::kEuclidean:
+            out[j] = -math::EuclideanDistance(a, b);
+            break;
+          case DistanceMetric::kManhattan:
+            out[j] = -math::ManhattanDistance(a, b);
+            break;
+          case DistanceMetric::kInner:
+            out[j] = math::Dot(a, b);
+            break;
+        }
       }
     }
-  }
+  });
   return sim;
 }
 
@@ -63,28 +68,35 @@ void ApplyCsls(math::Matrix& sim, int k) {
     return take > 0 ? sum / static_cast<float>(take) : 0.0f;
   };
 
+  // Both neighbourhood means and the final rescaling are per-row /
+  // per-column independent, so each phase parallelizes with bit-identical
+  // results at any thread count.
   // psi_t(s): mean similarity of source row s to its k nearest targets.
   std::vector<float> psi_src(rows, 0.0f);
-  for (size_t i = 0; i < rows; ++i) {
-    std::vector<float> row(sim.Row(i).begin(), sim.Row(i).end());
-    psi_src[i] = mean_topk(row, kk);
-  }
+  ParallelFor(0, rows, 0, [&](size_t begin, size_t end) {
+    std::vector<float> row;
+    for (size_t i = begin; i < end; ++i) {
+      row.assign(sim.Row(i).begin(), sim.Row(i).end());
+      psi_src[i] = mean_topk(row, kk);
+    }
+  });
   // psi_s(t): mean similarity of target column t to its k nearest sources.
   std::vector<float> psi_tgt(cols, 0.0f);
-  {
+  ParallelFor(0, cols, 0, [&](size_t begin, size_t end) {
     std::vector<float> column(rows);
-    for (size_t j = 0; j < cols; ++j) {
+    for (size_t j = begin; j < end; ++j) {
       for (size_t i = 0; i < rows; ++i) column[i] = sim.At(i, j);
-      std::vector<float> copy = column;
-      psi_tgt[j] = mean_topk(copy, kk);
+      psi_tgt[j] = mean_topk(column, kk);
     }
-  }
-  for (size_t i = 0; i < rows; ++i) {
-    auto row = sim.Row(i);
-    for (size_t j = 0; j < cols; ++j) {
-      row[j] = 2.0f * row[j] - psi_src[i] - psi_tgt[j];
+  });
+  ParallelFor(0, rows, 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      auto row = sim.Row(i);
+      for (size_t j = 0; j < cols; ++j) {
+        row[j] = 2.0f * row[j] - psi_src[i] - psi_tgt[j];
+      }
     }
-  }
+  });
 }
 
 }  // namespace openea::align

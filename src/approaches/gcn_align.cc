@@ -82,7 +82,11 @@ core::AlignmentModel GcnAlign::Train(const core::AlignmentTask& task) {
     AlignmentLossGrad(output, unified.merged_seeds, config_.margin,
                       3 * config_.negatives_per_positive, rng, grad);
     gcn.Backward(grad);
-    if (epoch % config_.eval_every != 0) continue;
+    // Always evaluate on the last epoch so that short runs (max_epochs <
+    // eval_every) still snapshot a model instead of returning empty
+    // embeddings.
+    const bool last_epoch = epoch == config_.max_epochs;
+    if (epoch % config_.eval_every != 0 && !last_epoch) continue;
 
     gcn.Forward();
     core::AlignmentModel current = GatherUnifiedModel(unified, gcn.output());

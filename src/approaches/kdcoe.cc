@@ -71,7 +71,11 @@ core::AlignmentModel KdCoE::Train(const core::AlignmentTask& task) {
     interaction::CalibrateEpoch(model.entity_table(), merged_seeds,
                                 config_.learning_rate, config_.margin, 1,
                                 rng);
-    if (epoch % config_.eval_every != 0) continue;
+    // Always evaluate on the last epoch so that short runs (max_epochs <
+    // eval_every) still snapshot a model instead of returning empty
+    // embeddings.
+    const bool last_epoch = epoch == config_.max_epochs;
+    if (epoch % config_.eval_every != 0 && !last_epoch) continue;
 
     core::AlignmentModel relation_view =
         GatherUnifiedModel(unified, model.entity_table());

@@ -85,7 +85,11 @@ core::AlignmentModel MTransE::Train(const core::AlignmentTask& task) {
       interaction::TrainEpoch(*model2, task.kg2->triples(),
                               config_.negatives_per_positive, rng);
     }
-    if (epoch % config_.eval_every != 0) continue;
+    // Always evaluate on the last epoch so that short runs (max_epochs <
+    // eval_every) still snapshot a model instead of returning empty
+    // embeddings.
+    const bool last_epoch = epoch == config_.max_epochs;
+    if (epoch % config_.eval_every != 0 && !last_epoch) continue;
 
     core::AlignmentModel current;
     current.emb2 = TableToMatrix(model2->entity_table());
@@ -133,7 +137,11 @@ core::AlignmentModel Sea::Train(const core::AlignmentTask& task) {
                             config_.negatives_per_positive, rng);
     interaction::TrainEpoch(*model2, task.kg2->triples(),
                             config_.negatives_per_positive, rng);
-    if (epoch % config_.eval_every != 0) continue;
+    // Always evaluate on the last epoch so that short runs (max_epochs <
+    // eval_every) still snapshot a model instead of returning empty
+    // embeddings.
+    const bool last_epoch = epoch == config_.max_epochs;
+    if (epoch % config_.eval_every != 0 && !last_epoch) continue;
 
     const math::Matrix emb1 = TableToMatrix(model1->entity_table());
     const math::Matrix emb2 = TableToMatrix(model2->entity_table());

@@ -67,7 +67,11 @@ core::AlignmentModel MultiKe::Train(const core::AlignmentTask& task) {
       interaction::TrainEpoch(model, unified.triples,
                               config_.negatives_per_positive, rng);
     }
-    if (epoch % config_.eval_every != 0) continue;
+    // Always evaluate on the last epoch so that short runs (max_epochs <
+    // eval_every) still snapshot a model instead of returning empty
+    // embeddings.
+    const bool last_epoch = epoch == config_.max_epochs;
+    if (epoch % config_.eval_every != 0 && !last_epoch) continue;
 
     core::AlignmentModel current =
         GatherUnifiedModel(unified, model.entity_table());

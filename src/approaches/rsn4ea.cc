@@ -50,7 +50,11 @@ core::AlignmentModel Rsn4Ea::Train(const core::AlignmentTask& task) {
     model.PostEpoch();
     // Keep the seed entities calibrated (sharing already merges them; this
     // covers nothing extra but mirrors the library structure).
-    if (epoch % config_.eval_every != 0) continue;
+    // Always evaluate on the last epoch so that short runs (max_epochs <
+    // eval_every) still snapshot a model instead of returning empty
+    // embeddings.
+    const bool last_epoch = epoch == config_.max_epochs;
+    if (epoch % config_.eval_every != 0 && !last_epoch) continue;
 
     core::AlignmentModel current =
         GatherUnifiedModel(unified, model.entity_table());

@@ -1,0 +1,182 @@
+#include "src/common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace openea {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+int ClampThreads(int threads) {
+  if (threads == 0) return HardwareThreads();
+  return threads < 1 ? 1 : threads;
+}
+
+std::atomic<int>& ThreadConfig() {
+  static std::atomic<int> config = [] {
+    const char* env = std::getenv("OPENEA_THREADS");
+    return env != nullptr ? ClampThreads(std::atoi(env)) : 1;
+  }();
+  return config;
+}
+
+/// Fork-join pool. Workers park on a condition variable between jobs; a job
+/// is a shared chunk counter that workers and the submitting thread drain
+/// together. Job state lives in a shared_ptr so a worker that wakes late
+/// (after the job completed and a new one was published) can never touch a
+/// stale function or corrupt a newer job's counters: it claims from its own
+/// snapshot, finds the counter exhausted, and goes back to sleep.
+class ThreadPool {
+ public:
+  static ThreadPool& Global() {
+    // Leaked on purpose: workers must outlive all static destructors.
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  /// Grows or shrinks the worker set to `workers` threads. Shrinking stops
+  /// and joins everyone first; both directions are cheap no-ops when the
+  /// size already matches.
+  void Resize(size_t workers) {
+    if (workers == workers_.size()) return;
+    if (workers < workers_.size()) StopAll();
+    while (workers_.size() < workers) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Runs fn(chunk) for every chunk in [0, num_chunks). The calling thread
+  /// participates; returns after the last chunk finished executing.
+  void Run(size_t num_chunks, const std::function<void(size_t)>& fn) {
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->num_chunks = num_chunks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+    }
+    work_cv_.notify_all();
+    DrainChunks(*job);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return job->completed.load() == num_chunks; });
+    job_ = nullptr;
+  }
+
+  /// Serializes top-level jobs: a second thread submitting concurrently
+  /// falls back to inline execution instead of corrupting the active job.
+  bool TryAcquire() { return run_mu_.try_lock(); }
+  void Release() { run_mu_.unlock(); }
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_chunks = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+  };
+
+  void DrainChunks(Job& job) {
+    for (;;) {
+      const size_t chunk = job.next.fetch_add(1);
+      if (chunk >= job.num_chunks) return;
+      (*job.fn)(chunk);
+      if (job.completed.fetch_add(1) + 1 == job.num_chunks) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    t_in_worker = true;
+    std::shared_ptr<Job> last_seen;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] {
+          return stop_ || (job_ != nullptr && job_ != last_seen);
+        });
+        if (stop_) return;
+        job = job_;
+      }
+      last_seen = job;
+      DrainChunks(*job);
+    }
+  }
+
+  void StopAll() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+    stop_ = false;
+  }
+
+  std::mutex mu_;
+  std::mutex run_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;  // Guarded by mu_.
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void SetThreads(int threads) { ThreadConfig().store(ClampThreads(threads)); }
+
+int Threads() { return ThreadConfig().load(); }
+
+bool InParallelWorker() { return t_in_worker; }
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t range = end - begin;
+  const int threads = Threads();
+  if (grain == 0) {
+    // Auto grain: ~4 chunks per thread for load balance.
+    const size_t target = static_cast<size_t>(threads) * 4;
+    grain = (range + target - 1) / target;
+    if (grain == 0) grain = 1;
+  }
+  const size_t num_chunks = (range + grain - 1) / grain;
+  if (threads <= 1 || num_chunks <= 1 || t_in_worker) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Global();
+  if (!pool.TryAcquire()) {
+    fn(begin, end);  // Another thread's job is in flight; run inline.
+    return;
+  }
+  pool.Resize(static_cast<size_t>(threads) - 1);
+  const std::function<void(size_t)> chunk_fn = [&](size_t chunk) {
+    const size_t lo = begin + chunk * grain;
+    const size_t hi = lo + grain < end ? lo + grain : end;
+    fn(lo, hi);
+  };
+  // The submitting thread participates in the job; flag it as a worker so a
+  // nested ParallelFor inside its own chunks runs inline instead of
+  // re-entering run_mu_ (try_lock on an owned mutex is undefined).
+  t_in_worker = true;
+  pool.Run(num_chunks, chunk_fn);
+  t_in_worker = false;
+  pool.Release();
+}
+
+}  // namespace openea

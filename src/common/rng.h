@@ -127,9 +127,27 @@ class Rng {
   /// by) this generator's state. Useful to give submodules their own streams.
   Rng Fork() { return Rng(NextU64()); }
 
+  /// Derives the generator for logical shard `shard` as a pure function of
+  /// the current state and the shard index, without advancing this
+  /// generator. Because the derivation is state-only, shard streams are
+  /// bit-identical no matter how many threads execute the shards — the
+  /// determinism contract of the parallel compute core (DESIGN.md).
+  Rng Fork(uint64_t shard) const {
+    uint64_t h = SplitMix(shard + 0x9e3779b97f4a7c15ULL);
+    h ^= state_[0] ^ Rotl(state_[1], 13) ^ Rotl(state_[2], 29) ^
+         Rotl(state_[3], 41);
+    return Rng(SplitMix(h));
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+
+  static uint64_t SplitMix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
   }
 
   uint64_t state_[4] = {0, 0, 0, 0};

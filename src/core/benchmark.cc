@@ -1,6 +1,7 @@
 #include "src/core/benchmark.h"
 
 #include "src/common/logging.h"
+#include "src/common/parallel.h"
 #include "src/common/stopwatch.h"
 #include "src/core/registry.h"
 #include "src/sampling/samplers.h"
@@ -89,6 +90,7 @@ CrossValidationResult RunCrossValidation(const std::string& approach_name,
   CrossValidationResult result;
   result.approach = approach_name;
   result.dataset = dataset.name;
+  SetThreads(config.threads);
 
   const auto folds = eval::MakeFolds(dataset.pair.reference, 5, 0.1,
                                      config.seed ^ 0xF01D);

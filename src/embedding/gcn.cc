@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/parallel.h"
 #include "src/math/vec.h"
 
 namespace openea::embedding {
@@ -18,11 +19,18 @@ GcnEncoder::GcnEncoder(size_t num_nodes, const std::vector<GcnEdge>& edges,
     degree[e.u] += e.weight;
     degree[e.v] += e.weight;
   }
+  // Gather the nonzeros in COO insertion order (self loops first, then both
+  // directions of each edge), then regroup by row into CSR with a stable
+  // counting sort, preserving the relative order within each row — and with
+  // it the exact floating-point accumulation order of the original serial
+  // SpMM.
+  std::vector<int> coo_row, coo_col;
+  std::vector<float> coo_val;
   auto push = [&](int u, int v, float w) {
-    coo_row_.push_back(u);
-    coo_col_.push_back(v);
-    coo_val_.push_back(w / static_cast<float>(
-                               std::sqrt(degree[u]) * std::sqrt(degree[v])));
+    coo_row.push_back(u);
+    coo_col.push_back(v);
+    coo_val.push_back(w / static_cast<float>(
+                              std::sqrt(degree[u]) * std::sqrt(degree[v])));
   };
   for (size_t i = 0; i < num_nodes; ++i) {
     push(static_cast<int>(i), static_cast<int>(i), 1.0f);
@@ -30,6 +38,19 @@ GcnEncoder::GcnEncoder(size_t num_nodes, const std::vector<GcnEdge>& edges,
   for (const GcnEdge& e : edges) {
     push(e.u, e.v, e.weight);
     push(e.v, e.u, e.weight);
+  }
+  csr_row_ptr_.assign(num_nodes + 1, 0);
+  for (int r : coo_row) ++csr_row_ptr_[static_cast<size_t>(r) + 1];
+  for (size_t i = 1; i <= num_nodes; ++i) {
+    csr_row_ptr_[i] += csr_row_ptr_[i - 1];
+  }
+  csr_col_.resize(coo_col.size());
+  csr_val_.resize(coo_val.size());
+  std::vector<size_t> cursor(csr_row_ptr_.begin(), csr_row_ptr_.end() - 1);
+  for (size_t k = 0; k < coo_row.size(); ++k) {
+    const size_t slot = cursor[coo_row[k]]++;
+    csr_col_[slot] = coo_col[k];
+    csr_val_[slot] = coo_val[k];
   }
 
   features_ = math::Matrix(num_nodes, options_.dim);
@@ -57,13 +78,18 @@ void GcnEncoder::SetInputFeatures(const math::Matrix& features) {
 }
 
 void GcnEncoder::SpMM(const math::Matrix& in, math::Matrix& out) const {
-  out = math::Matrix(num_nodes_, in.cols(), 0.0f);
-  for (size_t k = 0; k < coo_val_.size(); ++k) {
-    const float w = coo_val_[k];
-    const auto src = in.Row(coo_col_[k]);
-    auto dst = out.Row(coo_row_[k]);
-    for (size_t j = 0; j < src.size(); ++j) dst[j] += w * src[j];
-  }
+  out.Reshape(num_nodes_, in.cols());
+  ParallelFor(0, num_nodes_, 0, [&](size_t row_begin, size_t row_end) {
+    for (size_t r = row_begin; r < row_end; ++r) {
+      auto dst = out.Row(r);
+      std::fill(dst.begin(), dst.end(), 0.0f);
+      for (size_t k = csr_row_ptr_[r]; k < csr_row_ptr_[r + 1]; ++k) {
+        const float w = csr_val_[k];
+        const auto src = in.Row(csr_col_[k]);
+        for (size_t j = 0; j < dst.size(); ++j) dst[j] += w * src[j];
+      }
+    }
+  });
 }
 
 const math::Matrix& GcnEncoder::Forward() {
@@ -80,21 +106,26 @@ const math::Matrix& GcnEncoder::Forward() {
     // Convolution-path output (tanh on hidden layers, linear at the top).
     math::Matrix conv = pre;
     if (!last) {
-      for (float& v : conv.Data()) v = std::tanh(v);
+      auto data = conv.Data();
+      ParallelFor(0, data.size(), 0, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) data[i] = std::tanh(data[i]);
+      });
     }
     pre_acts_[l] = conv;  // tanh' = 1 - conv^2; linear' = 1.
     if (options_.highway) {
       math::Matrix h_out(num_nodes_, options_.dim);
       const auto gate = gates_[l].Row(0);
-      for (size_t i = 0; i < num_nodes_; ++i) {
-        const auto in_row = h_in.Row(i);
-        const auto conv_row = conv.Row(i);
-        auto out_row = h_out.Row(i);
-        for (size_t j = 0; j < options_.dim; ++j) {
-          const float s = math::Sigmoid(gate[j]);
-          out_row[j] = s * in_row[j] + (1.0f - s) * conv_row[j];
+      ParallelFor(0, num_nodes_, 0, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const auto in_row = h_in.Row(i);
+          const auto conv_row = conv.Row(i);
+          auto out_row = h_out.Row(i);
+          for (size_t j = 0; j < options_.dim; ++j) {
+            const float s = math::Sigmoid(gate[j]);
+            out_row[j] = s * in_row[j] + (1.0f - s) * conv_row[j];
+          }
         }
-      }
+      });
       activations_.push_back(std::move(h_out));
     } else {
       activations_.push_back(std::move(conv));
@@ -117,22 +148,35 @@ void GcnEncoder::Backward(const math::Matrix& grad_output) {
     math::Matrix g_in_part(num_nodes_, options_.dim, 0.0f);
     if (options_.highway) {
       g_conv = math::Matrix(num_nodes_, options_.dim);
-      math::Matrix grad_gate(1, options_.dim, 0.0f);
       const auto gate = gates_[l].Row(0);
-      auto gg = grad_gate.Row(0);
-      for (size_t i = 0; i < num_nodes_; ++i) {
-        const auto go = g_out.Row(i);
-        const auto in_row = h_in.Row(i);
-        const auto conv_row = conv.Row(i);
-        auto gc = g_conv.Row(i);
-        auto gi = g_in_part.Row(i);
-        for (size_t j = 0; j < options_.dim; ++j) {
-          const float s = math::Sigmoid(gate[j]);
-          gc[j] = (1.0f - s) * go[j];
-          gi[j] = s * go[j];
-          gg[j] += go[j] * (in_row[j] - conv_row[j]) * s * (1.0f - s);
-        }
-      }
+      // The per-node gradients write disjoint rows; the gate gradient sums
+      // over nodes, so it goes through the ordered reduction with a fixed
+      // grain to stay bit-identical at any thread count.
+      constexpr size_t kGateGrain = 256;
+      math::Matrix grad_gate = ParallelReduceOrdered(
+          0, num_nodes_, kGateGrain, math::Matrix(1, options_.dim, 0.0f),
+          [&](size_t begin, size_t end) {
+            math::Matrix partial(1, options_.dim, 0.0f);
+            auto gg = partial.Row(0);
+            for (size_t i = begin; i < end; ++i) {
+              const auto go = g_out.Row(i);
+              const auto in_row = h_in.Row(i);
+              const auto conv_row = conv.Row(i);
+              auto gc = g_conv.Row(i);
+              auto gi = g_in_part.Row(i);
+              for (size_t j = 0; j < options_.dim; ++j) {
+                const float s = math::Sigmoid(gate[j]);
+                gc[j] = (1.0f - s) * go[j];
+                gi[j] = s * go[j];
+                gg[j] += go[j] * (in_row[j] - conv_row[j]) * s * (1.0f - s);
+              }
+            }
+            return partial;
+          },
+          [](math::Matrix acc, math::Matrix partial) {
+            acc.AddScaled(partial, 1.0f);
+            return acc;
+          });
       gates_state_[l].Apply(gates_[l], grad_gate, options_.learning_rate);
     } else {
       g_conv = g_out;
@@ -142,7 +186,9 @@ void GcnEncoder::Backward(const math::Matrix& grad_output) {
     if (!last) {
       auto gc = g_conv.Data();
       const auto c = conv.Data();
-      for (size_t i = 0; i < gc.size(); ++i) gc[i] *= 1.0f - c[i] * c[i];
+      ParallelFor(0, gc.size(), 0, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) gc[i] *= 1.0f - c[i] * c[i];
+      });
     }
 
     // grad_W = (A_norm H_in)^T G_pre; G_agg = G_pre W^T (with the

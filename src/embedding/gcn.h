@@ -67,10 +67,12 @@ class GcnEncoder {
 
   size_t num_nodes_;
   GcnOptions options_;
-  // Normalized adjacency in COO form.
-  std::vector<int> coo_row_;
-  std::vector<int> coo_col_;
-  std::vector<float> coo_val_;
+  // Normalized adjacency in CSR form (row-grouped, insertion order kept
+  // within each row) so SpMM can run row-parallel with one writer per
+  // output row and a fixed per-row accumulation order.
+  std::vector<size_t> csr_row_ptr_;
+  std::vector<int> csr_col_;
+  std::vector<float> csr_val_;
 
   math::Matrix features_;                  // H^0.
   std::vector<math::Matrix> weights_;      // W^l, dim x dim.

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/common/logging.h"
+#include "src/common/parallel.h"
 
 namespace openea::eval {
 namespace {
@@ -32,11 +33,13 @@ math::Matrix TestSimilarity(const core::AlignmentModel& model,
 math::Matrix GatherRows(const math::Matrix& emb,
                         const std::vector<kg::EntityId>& ids) {
   math::Matrix out(ids.size(), emb.cols());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    OPENEA_CHECK_LT(static_cast<size_t>(ids[i]), emb.rows());
-    const auto src = emb.Row(ids[i]);
-    std::copy(src.begin(), src.end(), out.Row(i).begin());
-  }
+  ParallelFor(0, ids.size(), 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      OPENEA_CHECK_LT(static_cast<size_t>(ids[i]), emb.rows());
+      const auto src = emb.Row(ids[i]);
+      std::copy(src.begin(), src.end(), out.Row(i).begin());
+    }
+  });
   return out;
 }
 
@@ -46,24 +49,50 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
   RankingMetrics metrics;
   if (test_pairs.empty()) return metrics;
   const math::Matrix sim = TestSimilarity(model, test_pairs, metric, csls);
-  double hits1 = 0, hits5 = 0, mr = 0, mrr = 0;
-  for (size_t i = 0; i < test_pairs.size(); ++i) {
-    const auto row = sim.Row(i);
-    const float true_sim = row[i];  // Pair i's counterpart is column i.
-    size_t rank = 1;
-    for (size_t j = 0; j < row.size(); ++j) {
-      if (j != i && row[j] > true_sim) ++rank;
-    }
-    if (rank == 1) hits1 += 1;
-    if (rank <= 5) hits5 += 1;
-    mr += static_cast<double>(rank);
-    mrr += 1.0 / static_cast<double>(rank);
-  }
+
+  // Per-pair ranks accumulate via the ordered reduction with a fixed grain,
+  // so the sums (and therefore the metrics) are bit-identical at any thread
+  // count.
+  struct Accum {
+    double hits1 = 0, hits5 = 0, mr = 0, mrr = 0;
+  };
+  constexpr size_t kGrain = 64;
+  const Accum total = ParallelReduceOrdered(
+      0, test_pairs.size(), kGrain, Accum{},
+      [&](size_t begin, size_t end) {
+        Accum acc;
+        for (size_t i = begin; i < end; ++i) {
+          const auto row = sim.Row(i);
+          const float true_sim = row[i];  // Pair i's counterpart is col i.
+          size_t greater = 0, ties = 0;
+          for (size_t j = 0; j < row.size(); ++j) {
+            if (j == i) continue;
+            if (row[j] > true_sim) ++greater;
+            else if (row[j] == true_sim) ++ties;
+          }
+          // Mid-rank tie convention (see EvaluateRanking docs): candidates
+          // tied with the true counterpart contribute half a rank each.
+          const double rank = 1.0 + static_cast<double>(greater) +
+                              0.5 * static_cast<double>(ties);
+          if (rank <= 1.0) acc.hits1 += 1;
+          if (rank <= 5.0) acc.hits5 += 1;
+          acc.mr += rank;
+          acc.mrr += 1.0 / rank;
+        }
+        return acc;
+      },
+      [](Accum acc, Accum part) {
+        acc.hits1 += part.hits1;
+        acc.hits5 += part.hits5;
+        acc.mr += part.mr;
+        acc.mrr += part.mrr;
+        return acc;
+      });
   const double n = static_cast<double>(test_pairs.size());
-  metrics.hits1 = hits1 / n;
-  metrics.hits5 = hits5 / n;
-  metrics.mr = mr / n;
-  metrics.mrr = mrr / n;
+  metrics.hits1 = total.hits1 / n;
+  metrics.hits5 = total.hits5 / n;
+  metrics.mr = total.mr / n;
+  metrics.mrr = total.mrr / n;
   return metrics;
 }
 
@@ -81,9 +110,15 @@ std::vector<bool> CorrectlyMatched(const core::AlignmentModel& model,
   const math::Matrix sim =
       TestSimilarity(model, test_pairs, metric, /*csls=*/false);
   const std::vector<int> match = align::InferAlignment(sim, strategy);
-  for (size_t i = 0; i < test_pairs.size(); ++i) {
-    correct[i] = match[i] == static_cast<int>(i);
-  }
+  // Byte buffer rather than vector<bool>: adjacent bits share a byte, so
+  // parallel writes to distinct indices of vector<bool> would race.
+  std::vector<uint8_t> flags(test_pairs.size(), 0);
+  ParallelFor(0, test_pairs.size(), 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      flags[i] = match[i] == static_cast<int>(i) ? 1 : 0;
+    }
+  });
+  correct.assign(flags.begin(), flags.end());
   return correct;
 }
 

@@ -27,6 +27,15 @@ math::Matrix GatherRows(const math::Matrix& emb,
 /// by all right-side test entities (the paper's evaluation protocol) and
 /// aggregates Hits@1/Hits@5/MR/MRR. Set `csls` to rank under CSLS-adjusted
 /// similarities.
+///
+/// Tie convention: candidates whose similarity exactly equals the true
+/// pair's count half a rank each (mid-rank), i.e.
+/// rank = 1 + #strictly-better + #ties / 2. The optimistic convention
+/// (ties never advance the rank) would report Hits@1 = 1 on collapsed
+/// embeddings where every candidate is equidistant; mid-rank instead
+/// yields the expected rank of a uniformly random tie-break, so degenerate
+/// models score at chance level. Ranks (and MR) are therefore half-integral
+/// in the presence of ties.
 RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
                                const kg::Alignment& test_pairs,
                                align::DistanceMetric metric,

@@ -1,30 +1,83 @@
 #include "src/interaction/trainer.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/common/parallel.h"
 #include "src/math/vec.h"
 
 namespace openea::interaction {
+namespace {
+
+/// Positives per shard for the sharded epoch paths. Fixed (never derived
+/// from the thread count) so the shard → RNG-stream assignment, and with it
+/// every drawn corruption, is identical no matter how many threads run.
+constexpr size_t kEpochShardSize = 256;
+
+bool UseShardedPath(EpochMode mode) {
+  switch (mode) {
+    case EpochMode::kSerial: return false;
+    case EpochMode::kSharded: return true;
+    case EpochMode::kAuto: return Threads() > 1;
+  }
+  return false;
+}
+
+}  // namespace
 
 float TrainEpoch(embedding::TripleModel& model,
                  const std::vector<kg::Triple>& triples, int negatives,
                  Rng& rng,
-                 const embedding::TruncatedNegativeSampler* truncated) {
+                 const embedding::TruncatedNegativeSampler* truncated,
+                 EpochMode mode) {
   if (triples.empty()) return 0.0f;
   std::vector<size_t> order(triples.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng.Shuffle(order);
   const size_t n = model.num_entities();
+  const bool use_truncated = truncated != nullptr && truncated->initialized();
+  auto draw = [&](const kg::Triple& pos, Rng& stream) {
+    return use_truncated ? truncated->Corrupt(pos, n, stream)
+                         : embedding::CorruptUniform(pos, n, stream);
+  };
+
   float total = 0.0f;
-  for (size_t idx : order) {
-    const kg::Triple& pos = triples[idx];
-    for (int k = 0; k < negatives; ++k) {
-      const kg::Triple neg =
-          truncated != nullptr && truncated->initialized()
-              ? truncated->Corrupt(pos, n, rng)
-              : embedding::CorruptUniform(pos, n, rng);
-      total += model.TrainOnPair(pos, neg);
+  if (!UseShardedPath(mode)) {
+    for (size_t idx : order) {
+      const kg::Triple& pos = triples[idx];
+      for (int k = 0; k < negatives; ++k) {
+        total += model.TrainOnPair(pos, draw(pos, rng));
+      }
+    }
+  } else {
+    // Shard-and-merge: corruptions are drawn shard-parallel from forked
+    // streams, then the (sequentially dependent) gradient updates replay
+    // serially in shuffle order. Sharding over shard *indices* (not raw
+    // ParallelFor chunks) keeps the stream assignment exact even on the
+    // pool's serial fast path.
+    const size_t per_positive = static_cast<size_t>(std::max(negatives, 0));
+    std::vector<kg::Triple> negs(order.size() * per_positive);
+    const size_t num_shards =
+        (order.size() + kEpochShardSize - 1) / kEpochShardSize;
+    ParallelFor(0, num_shards, 1, [&](size_t shard_begin, size_t shard_end) {
+      for (size_t s = shard_begin; s < shard_end; ++s) {
+        Rng stream = rng.Fork(s);
+        const size_t lo = s * kEpochShardSize;
+        const size_t hi = std::min(order.size(), lo + kEpochShardSize);
+        for (size_t i = lo; i < hi; ++i) {
+          const kg::Triple& pos = triples[order[i]];
+          for (size_t k = 0; k < per_positive; ++k) {
+            negs[i * per_positive + k] = draw(pos, stream);
+          }
+        }
+      }
+    });
+    for (size_t i = 0; i < order.size(); ++i) {
+      const kg::Triple& pos = triples[order[i]];
+      for (size_t k = 0; k < per_positive; ++k) {
+        total += model.TrainOnPair(pos, negs[i * per_positive + k]);
+      }
     }
   }
   model.PostEpoch();
@@ -47,12 +100,36 @@ float TrainEpochPositiveOnly(embedding::TripleModel& model,
 float CalibrateEpoch(
     math::EmbeddingTable& entities,
     const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs,
-    float learning_rate, float margin, int negatives, Rng& rng) {
+    float learning_rate, float margin, int negatives, Rng& rng,
+    EpochMode mode) {
   const size_t d = entities.dim();
   const size_t n = entities.num_rows();
+
+  // Sharded path: presample the negative candidates shard-parallel from
+  // forked streams, then apply the (sequentially dependent) updates in pair
+  // order, consuming the presampled ids instead of the live stream.
+  const size_t per_pair = static_cast<size_t>(std::max(negatives, 0));
+  std::vector<kg::EntityId> candidates;
+  if (UseShardedPath(mode) && per_pair > 0 && n > 0) {
+    candidates.resize(pairs.size() * per_pair);
+    const size_t num_shards =
+        (pairs.size() + kEpochShardSize - 1) / kEpochShardSize;
+    ParallelFor(0, num_shards, 1, [&](size_t shard_begin, size_t shard_end) {
+      for (size_t s = shard_begin; s < shard_end; ++s) {
+        Rng stream = rng.Fork(s);
+        const size_t lo = s * kEpochShardSize;
+        const size_t hi = std::min(pairs.size(), lo + kEpochShardSize);
+        for (size_t i = lo * per_pair; i < hi * per_pair; ++i) {
+          candidates[i] = static_cast<kg::EntityId>(stream.NextBounded(n));
+        }
+      }
+    });
+  }
+
   std::vector<float> grad(d);
   float total = 0.0f;
-  for (const auto& [a, b] : pairs) {
+  for (size_t pair_index = 0; pair_index < pairs.size(); ++pair_index) {
+    const auto& [a, b] = pairs[pair_index];
     if (a == b) continue;  // Shared rows need no calibration.
     // Positive: pull together. grad_a = 2 (a - b).
     {
@@ -71,7 +148,10 @@ float CalibrateEpoch(
     }
     // Negatives: push a away from random entities within the margin.
     for (int k = 0; k < negatives; ++k) {
-      const kg::EntityId c = static_cast<kg::EntityId>(rng.NextBounded(n));
+      const kg::EntityId c =
+          candidates.empty()
+              ? static_cast<kg::EntityId>(rng.NextBounded(n))
+              : candidates[pair_index * per_pair + static_cast<size_t>(k)];
       if (c == a || c == b) continue;
       const auto va = entities.Row(a);
       const auto vc = entities.Row(c);

@@ -11,6 +11,23 @@
 
 namespace openea::interaction {
 
+/// How an epoch maps onto the parallel compute core (see DESIGN.md,
+/// "Compute core").
+enum class EpochMode {
+  /// kSerial when Threads() == 1, else kSharded.
+  kAuto,
+  /// The historical single-stream loop: sampling and updates interleave on
+  /// one RNG stream, exactly seed-compatible with pre-parallel releases.
+  kSerial,
+  /// Shard-and-merge: the shuffled order is cut into fixed-size shards,
+  /// each shard draws its corruptions from its own forked RNG stream
+  /// (Rng::Fork(shard)) in parallel, and the updates are applied serially
+  /// in shuffle order. The shard layout is independent of the thread
+  /// count, so results are bit-identical at 1, 2, or N threads (but differ
+  /// from kSerial, whose draws interleave differently).
+  kSharded,
+};
+
 /// One epoch of pair-based training over `triples`: for each positive,
 /// `negatives` corruptions are drawn (from `truncated` when provided and
 /// initialized, else uniformly) and fed to the model. Returns the mean
@@ -19,7 +36,8 @@ float TrainEpoch(embedding::TripleModel& model,
                  const std::vector<kg::Triple>& triples, int negatives,
                  Rng& rng,
                  const embedding::TruncatedNegativeSampler* truncated =
-                     nullptr);
+                     nullptr,
+                 EpochMode mode = EpochMode::kAuto);
 
 /// One epoch of positive-only training (MTransE regime).
 float TrainEpochPositiveOnly(embedding::TripleModel& model,
@@ -33,7 +51,8 @@ float TrainEpochPositiveOnly(embedding::TripleModel& model,
 float CalibrateEpoch(
     math::EmbeddingTable& entities,
     const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs,
-    float learning_rate, float margin, int negatives, Rng& rng);
+    float learning_rate, float margin, int negatives, Rng& rng,
+    EpochMode mode = EpochMode::kAuto);
 
 /// Learns a path-composition constraint (IPTransE): for every 2-hop path
 /// (e1 -r1-> e2 -r2-> e3) with a direct relation r3 between e1 and e3,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/parallel.h"
 
 namespace openea::math {
 
@@ -53,58 +54,70 @@ Matrix Matrix::Transposed() const {
 
 void Gemm(const Matrix& a, const Matrix& b, Matrix& out) {
   OPENEA_CHECK_EQ(a.cols(), b.rows());
-  out = Matrix(a.rows(), b.cols(), 0.0f);
-  // i-k-j loop order for row-major cache friendliness.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const float aik = a.At(i, k);
-      if (aik == 0.0f) continue;
-      const auto b_row = b.Row(k);
+  out.Reshape(a.rows(), b.cols());
+  // Row-blocked across the pool; i-k-j loop order inside each block for
+  // row-major cache friendliness.
+  ParallelFor(0, a.rows(), 0, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
       auto out_row = out.Row(i);
-      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+      std::fill(out_row.begin(), out_row.end(), 0.0f);
+      for (size_t k = 0; k < a.cols(); ++k) {
+        const float aik = a.At(i, k);
+        if (aik == 0.0f) continue;
+        const auto b_row = b.Row(k);
+        for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+      }
     }
-  }
+  });
 }
 
 void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& out) {
   OPENEA_CHECK_EQ(a.rows(), b.rows());
-  out = Matrix(a.cols(), b.cols(), 0.0f);
-  for (size_t k = 0; k < a.rows(); ++k) {
-    const auto a_row = a.Row(k);
-    const auto b_row = b.Row(k);
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const float aki = a_row[i];
-      if (aki == 0.0f) continue;
+  out.Reshape(a.cols(), b.cols());
+  // Blocked over output rows (columns of a); k ascends inside each output
+  // row, preserving the serial accumulation order.
+  ParallelFor(0, a.cols(), 0, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
       auto out_row = out.Row(i);
-      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+      std::fill(out_row.begin(), out_row.end(), 0.0f);
+      for (size_t k = 0; k < a.rows(); ++k) {
+        const float aki = a.At(k, i);
+        if (aki == 0.0f) continue;
+        const auto b_row = b.Row(k);
+        for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+      }
     }
-  }
+  });
 }
 
 void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& out) {
   OPENEA_CHECK_EQ(a.cols(), b.cols());
-  out = Matrix(a.rows(), b.rows(), 0.0f);
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const auto a_row = a.Row(i);
-    auto out_row = out.Row(i);
-    for (size_t j = 0; j < b.rows(); ++j) {
-      const auto b_row = b.Row(j);
-      float sum = 0.0f;
-      for (size_t k = 0; k < a.cols(); ++k) sum += a_row[k] * b_row[k];
-      out_row[j] = sum;
+  out.Reshape(a.rows(), b.rows());
+  ParallelFor(0, a.rows(), 0, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const auto a_row = a.Row(i);
+      auto out_row = out.Row(i);
+      for (size_t j = 0; j < b.rows(); ++j) {
+        const auto b_row = b.Row(j);
+        float sum = 0.0f;
+        for (size_t k = 0; k < a.cols(); ++k) sum += a_row[k] * b_row[k];
+        out_row[j] = sum;
+      }
     }
-  }
+  });
 }
 
 void MatVec(const Matrix& m, std::span<const float> x, std::span<float> y) {
   OPENEA_CHECK_EQ(m.cols(), x.size());
   OPENEA_CHECK_EQ(m.rows(), y.size());
-  for (size_t r = 0; r < m.rows(); ++r) {
-    const auto row = m.Row(r);
-    float sum = 0.0f;
-    for (size_t c = 0; c < row.size(); ++c) sum += row[c] * x[c];
-    y[r] = sum;
-  }
+  ParallelFor(0, m.rows(), 0, [&](size_t row_begin, size_t row_end) {
+    for (size_t r = row_begin; r < row_end; ++r) {
+      const auto row = m.Row(r);
+      float sum = 0.0f;
+      for (size_t c = 0; c < row.size(); ++c) sum += row[c] * x[c];
+      y[r] = sum;
+    }
+  });
 }
 
 void MatTransposeVec(const Matrix& m, std::span<const float> x,

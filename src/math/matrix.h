@@ -37,6 +37,16 @@ class Matrix {
     return std::span<const float>(data_);
   }
 
+  /// Reshapes to (rows x cols), reusing the existing allocation when the
+  /// element count allows. Contents are unspecified afterwards; used by the
+  /// GEMM kernels to avoid per-call allocation churn on preallocated
+  /// outputs.
+  void Reshape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Sets all entries to `value`.
   void Fill(float value);
 
@@ -66,6 +76,13 @@ class Matrix {
   size_t cols_;
   std::vector<float> data_;
 };
+
+/// The GEMM family runs row-blocked on the global thread pool (see
+/// src/common/parallel.h) and reuses `out`'s allocation when its shape
+/// already matches, so steady-state callers pay no allocation per call.
+/// Every output row is produced by exactly one chunk with the same
+/// per-row accumulation order as the serial loop, so results are
+/// bit-identical at any thread count. `out` must not alias `a` or `b`.
 
 /// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is overwritten.
 void Gemm(const Matrix& a, const Matrix& b, Matrix& out);

@@ -55,6 +55,28 @@ TEST(EvaluateRankingTest, PartialModelScoresProportionally) {
   EXPECT_GE(metrics.mr, 1.0);
 }
 
+TEST(EvaluateRankingTest, CollapsedEmbeddingsScoreAtChanceLevel) {
+  // Every embedding is the same vector, so all n candidates tie with the
+  // true counterpart. Mid-rank scoring gives rank = 1 + (n-1)/2 for every
+  // pair; the optimistic convention would wrongly report Hits@1 = 1 here.
+  const size_t n = 11;
+  core::AlignmentModel model;
+  model.emb1 = math::Matrix(n, 4);
+  model.emb2 = math::Matrix(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      model.emb1.Row(i)[j] = 0.5f;
+      model.emb2.Row(i)[j] = 0.5f;
+    }
+  }
+  const auto metrics = EvaluateRanking(model, IdentityPairs(n),
+                                       align::DistanceMetric::kCosine);
+  EXPECT_DOUBLE_EQ(metrics.hits1, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.hits5, 0.0);  // rank = 6 > 5.
+  EXPECT_DOUBLE_EQ(metrics.mr, (n + 1) / 2.0);
+  EXPECT_DOUBLE_EQ(metrics.mrr, 2.0 / (n + 1));
+}
+
 TEST(EvaluateRankingTest, EmptyTestIsZero) {
   const auto model = MakeModel(5, 5, 4, 3);
   const auto metrics =
