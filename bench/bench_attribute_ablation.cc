@@ -10,7 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 150);
+  const auto args = bench::ParseArgs("attribute_ablation", argc, argv, 1, 150);
 
   const char* kAttributeApproaches[] = {"JAPE",  "GCNAlign", "KDCoE",
                                         "AttrE", "IMUSE",    "MultiKE",
@@ -46,5 +46,5 @@ int main(int argc, char** argv) {
       "D-Y (similar literals); on D-W the symbolic heterogeneity of\n"
       "Wikidata attributes shrinks or erases the gains; the\n"
       "attribute-correlation signal of JAPE/GCNAlign helps least.\n");
-  return 0;
+  return bench::Finish(args);
 }

@@ -2,44 +2,85 @@
 #define OPENEA_BENCH_BENCH_COMMON_H_
 
 // Shared helpers for the per-table/figure benchmark binaries. Each binary
-// accepts:
+// accepts the same flag set (hand-rolled flag loops are gone):
 //   --scale=small|large   dataset scale preset (default small)
 //   --folds=N             cross-validation folds to run (default varies)
 //   --epochs=N            training epoch budget (default varies)
 //   --seed=N              master seed (default 7)
 //   --threads=N           compute-core worker threads (default 1 = the
 //                         exact serial path; 0 = all hardware threads)
-// Every binary prints the rows of its paper table/figure and finishes with
-// a short "shape check" note restating the paper's qualitative claim.
+//   --approaches=csv      subset of registered approaches to run (default:
+//                         the paper's 12; benches pinned to specific
+//                         approaches ignore it)
+//   --json=path           write BENCH_<name>.json telemetry (metrics, trace
+//                         spans, config, seed, thread count) on Finish()
+//   --help                print usage and exit
+// Unknown flags are rejected with the usage text. Every binary prints the
+// rows of its paper table/figure, finishes with a short "shape check" note
+// restating the paper's qualitative claim, and ends with
+// `return bench::Finish(args);` so --json telemetry reaches disk.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/parallel.h"
 #include "src/common/strings.h"
+#include "src/common/telemetry.h"
 #include "src/core/benchmark.h"
+#include "src/core/registry.h"
 
 namespace openea::bench {
 
 struct BenchArgs {
+  std::string bench_name;  // e.g. "running_time".
   core::ScalePreset scale = core::ScalePreset::Small();
   int folds = 2;
   int epochs = 200;
   uint64_t seed = 7;
   int threads = 1;
+  std::string json_path;  // Empty = no JSON telemetry.
+  /// Approaches to iterate for "all approaches" benches.
+  std::vector<std::string> approaches = core::ApproachNames();
 };
 
-inline BenchArgs ParseArgs(int argc, char** argv, int default_folds,
+inline void PrintUsage(const std::string& bench_name, int default_folds,
+                       int default_epochs, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: bench_%s [flags]\n"
+      "  --scale=small|large  dataset scale preset (default small)\n"
+      "  --folds=N            cross-validation folds (default %d)\n"
+      "  --epochs=N           training epoch budget (default %d)\n"
+      "  --seed=N             master seed (default 7)\n"
+      "  --threads=N          worker threads (default 1; 0 = all hardware)\n"
+      "  --approaches=csv     approaches to run (default: the paper's 12)\n"
+      "  --json=path          write BENCH_%s.json telemetry on exit\n"
+      "  --help               this text\n",
+      bench_name.c_str(), default_folds, default_epochs, bench_name.c_str());
+}
+
+/// Parses the shared flag set, attaches the JSON telemetry sink when
+/// requested, and records the run configuration in the telemetry context.
+/// Exits with usage on --help (status 0) or any unknown/invalid flag
+/// (status 2).
+inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
+                           char** argv, int default_folds,
                            int default_epochs) {
   BenchArgs args;
+  args.bench_name = bench_name;
   args.folds = default_folds;
   args.epochs = default_epochs;
   args.threads = Threads();  // OPENEA_THREADS default; --threads overrides.
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--scale=large") {
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(bench_name, default_folds, default_epochs, stdout);
+      std::exit(0);
+    } else if (arg == "--scale=large") {
       args.scale = core::ScalePreset::Large();
     } else if (arg == "--scale=small") {
       args.scale = core::ScalePreset::Small();
@@ -51,14 +92,65 @@ inline BenchArgs ParseArgs(int argc, char** argv, int default_folds,
       args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (StartsWith(arg, "--threads=")) {
       args.threads = std::atoi(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--json=")) {
+      args.json_path = arg.substr(7);
+      if (args.json_path.empty()) {
+        std::fprintf(stderr, "--json requires a path\n");
+        std::exit(2);
+      }
+    } else if (StartsWith(arg, "--approaches=")) {
+      args.approaches = Split(arg.substr(13), ',');
+      const std::vector<std::string> registered =
+          core::RegisteredApproachNames();
+      for (const std::string& name : args.approaches) {
+        if (std::find(registered.begin(), registered.end(), name) !=
+            registered.end()) {
+          continue;
+        }
+        std::fprintf(stderr, "unknown approach \"%s\"; valid: %s\n",
+                     name.c_str(), Join(registered, ", ").c_str());
+        std::exit(2);
+      }
+      if (args.approaches.empty()) {
+        std::fprintf(stderr, "--approaches requires at least one name\n");
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      PrintUsage(bench_name, default_folds, default_epochs, stderr);
       std::exit(2);
     }
   }
   SetThreads(args.threads);
   args.threads = Threads();  // Resolve 0 -> hardware thread count.
+
+  if (!args.json_path.empty()) {
+    telemetry::AttachSink(
+        std::make_unique<telemetry::JsonSink>(args.json_path));
+    json::Value::Object config;
+    config.emplace("scale", args.scale.label);
+    config.emplace("folds", args.folds);
+    config.emplace("epochs", args.epochs);
+    config.emplace("seed", args.seed);
+    config.emplace("threads", args.threads);
+    config.emplace("approaches", json::Value::Array(args.approaches.begin(),
+                                                    args.approaches.end()));
+    json::Value::Object context;
+    context.emplace("bench", args.bench_name);
+    context.emplace("config", std::move(config));
+    telemetry::SetContext(json::Value(std::move(context)));
+  }
   return args;
+}
+
+/// Flushes telemetry to the --json sink (no-op without one) and returns the
+/// process exit code. Call as the last statement of main().
+inline int Finish(const BenchArgs& args) {
+  if (!args.json_path.empty()) {
+    telemetry::Flush();
+    std::fprintf(stderr, "telemetry: wrote %s\n", args.json_path.c_str());
+  }
+  return 0;
 }
 
 inline core::TrainConfig MakeTrainConfig(const BenchArgs& args) {

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const auto args = bench::ParseArgs("complementarity", argc, argv, 1, 200);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   const auto dataset = core::BuildBenchmarkDataset(
@@ -99,5 +99,5 @@ int main(int argc, char** argv) {
       "\nShape check (paper Fig. 12): a large core is found by all three\n"
       "systems; each system also finds alignment the others miss; a\n"
       "residual fraction is found by none — motivating hybrid systems.\n");
-  return 0;
+  return bench::Finish(args);
 }

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const auto args = bench::ParseArgs("conventional_comparison", argc, argv, 1, 200);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   // The paper compares against the best OpenEA approach per dataset; we
@@ -64,5 +64,5 @@ int main(int argc, char** argv) {
       "LogMap is competitive except on D-W, where Wikidata's opaque local\n"
       "names starve its lexical index; the best embedding approach shows no\n"
       "superiority over the conventional systems.\n");
-  return 0;
+  return bench::Finish(args);
 }

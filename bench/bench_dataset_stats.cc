@@ -10,7 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 0);
+  const auto args = bench::ParseArgs("dataset_stats", argc, argv, 1, 0);
 
   std::printf("== Table 2: dataset statistics (%s) ==\n",
               args.scale.label.c_str());
@@ -39,5 +39,5 @@ int main(int argc, char** argv) {
       "Shape check (paper Table 2): V2 datasets are roughly twice as dense\n"
       "as V1; D-Y's KG2 (YAGO-like) has far fewer relations/attributes than\n"
       "its KG1; D-W's KG2 (Wikidata-like) is attribute/value rich.\n");
-  return 0;
+  return bench::Finish(args);
 }

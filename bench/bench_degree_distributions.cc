@@ -28,7 +28,7 @@ void PrintHistogram(const char* label, const openea::kg::KnowledgeGraph& g,
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 0);
+  const auto args = bench::ParseArgs("degree_distributions", argc, argv, 1, 0);
 
   datagen::SyntheticKgConfig config;
   config.num_entities = args.scale.source_entities;
@@ -75,5 +75,5 @@ int main(int argc, char** argv) {
       "\nShape check (paper Fig. 2/3): biased samples shift mass to high\n"
       "degrees and inflate the average degree; IDS samples track the source\n"
       "distribution closely (JS of a few percent) at both sizes.\n");
-  return 0;
+  return bench::Finish(args);
 }

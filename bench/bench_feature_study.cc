@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const auto args = bench::ParseArgs("feature_study", argc, argv, 1, 200);
 
   const auto dataset = core::BuildBenchmarkDataset(
       datagen::HeterogeneityProfile::EnFr(), args.scale, false, args.seed);
@@ -68,5 +68,5 @@ int main(int argc, char** argv) {
       "BootEA is unaffected by dropping attributes (it never uses them);\n"
       "MultiKE and RDGCN lose much of their lead without literals but can\n"
       "still learn from relations.\n");
-  return 0;
+  return bench::Finish(args);
 }

@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const auto args = bench::ParseArgs("future_directions", argc, argv, 1, 200);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   const auto dataset = core::BuildBenchmarkDataset(
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
             .hits1;
     const double h_sup =
         eval::EvaluateRanking(
-            core::CreateApproach("IMUSE", config)->Train(task), task.test,
+            core::CreateApproachOrDie("IMUSE", config)->Train(task), task.test,
             align::DistanceMetric::kCosine)
             .hits1;
     std::printf("Unsupervised (0 seeds):    Hits@1 = %.3f\n", h_unsup);
@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   // ---- (2) LSH blocking --------------------------------------------------------
   std::printf("== Future direction 2: LSH blocking for large-scale EA ==\n");
   {
-    auto approach = core::CreateApproach("MultiKE", config);
+    auto approach = core::CreateApproachOrDie("MultiKE", config);
     const core::AlignmentModel model = approach->Train(task);
     std::vector<kg::EntityId> lefts, rights;
     for (const auto& p : task.test) {
@@ -92,5 +92,5 @@ int main(int argc, char** argv) {
         "benchmark's tiny scale the wall-clock win is modest; the pruning\n"
         "ratio is what transfers to the paper's very-large-KG setting.\n");
   }
-  return 0;
+  return bench::Finish(args);
 }

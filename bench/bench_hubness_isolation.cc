@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const auto args = bench::ParseArgs("hubness_isolation", argc, argv, 1, 200);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   const auto dataset = core::BuildBenchmarkDataset(
@@ -26,8 +26,8 @@ int main(int argc, char** argv) {
               dataset.name.c_str());
   TablePrinter table(
       {"Approach", "0 (isolated)", "1", "[2,4] (hubs)", ">=5", "Hits@1"});
-  for (const auto& name : core::ApproachNames()) {
-    auto approach = core::CreateApproach(name, config);
+  for (const auto& name : args.approaches) {
+    auto approach = core::CreateApproachOrDie(name, config);
     const core::AlignmentModel model = approach->Train(task);
     const auto stats = eval::AnalyzeHubness(model, task.test,
                                             align::DistanceMetric::kCosine);
@@ -50,5 +50,5 @@ int main(int argc, char** argv) {
       "and a considerable fraction claimed by multiple sources (hubness);\n"
       "the approaches with fewer isolated/hub entities achieve the higher\n"
       "Hits@1.\n");
-  return 0;
+  return bench::Finish(args);
 }

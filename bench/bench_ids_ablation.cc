@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 0);
+  const auto args = bench::ParseArgs("ids_ablation", argc, argv, 1, 0);
 
   datagen::SyntheticKgConfig config;
   config.num_entities = args.scale.source_entities;
@@ -78,5 +78,5 @@ int main(int argc, char** argv) {
   std::printf(
       "Reading: both ingredients matter — degree-aware deletion keeps the\n"
       "distribution, and the influence weighting keeps connectivity.\n");
-  return 0;
+  return bench::Finish(args);
 }

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const auto args = bench::ParseArgs("inference_strategies", argc, argv, 1, 200);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   const auto dataset = core::BuildBenchmarkDataset(
@@ -26,8 +26,8 @@ int main(int argc, char** argv) {
   TablePrinter table({"Approach", "Greedy", "Greedy+CSLS", "SM", "SM+CSLS",
                       "Kuhn-Munkres"});
   double gain_csls = 0.0, gain_sm = 0.0;
-  for (const auto& name : core::ApproachNames()) {
-    auto approach = core::CreateApproach(name, config);
+  for (const auto& name : args.approaches) {
+    auto approach = core::CreateApproachOrDie(name, config);
     const core::AlignmentModel model = approach->Train(task);
     const auto accuracy = [&](align::InferenceStrategy strategy) {
       return eval::MatchAccuracy(model, task.test,
@@ -56,5 +56,5 @@ int main(int argc, char** argv) {
       "nearly every approach (hubness mitigation); stable matching brings a\n"
       "further, larger improvement (isolated entities get considered); CSLS\n"
       "on top of SM changes little.\n");
-  return 0;
+  return bench::Finish(args);
 }

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const auto args = bench::ParseArgs("long_tail", argc, argv, 1, 200);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   const auto dataset = core::BuildBenchmarkDataset(
@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
               dataset.name.c_str());
   TablePrinter table({"Approach", "[1,6)", "[6,11)", "[11,16)", "[16,inf)"});
   eval::DegreeBucketRecall counts;
-  for (const auto& name : core::ApproachNames()) {
-    auto approach = core::CreateApproach(name, config);
+  for (const auto& name : args.approaches) {
+    auto approach = core::CreateApproachOrDie(name, config);
     const core::AlignmentModel model = approach->Train(task);
     const auto buckets = eval::RecallByAlignmentDegree(
         model, task, align::DistanceMetric::kCosine);
@@ -46,5 +46,5 @@ int main(int argc, char** argv) {
       "bucket (long-tail entities); relation-based approaches recall far\n"
       "more high-degree pairs than long-tail ones, while the literal-using\n"
       "approaches (KDCoE, AttrE, IMUSE, MultiKE, RDGCN) are flatter.\n");
-  return 0;
+  return bench::Finish(args);
 }

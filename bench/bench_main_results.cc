@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, /*default_folds=*/2,
+  const auto args = bench::ParseArgs("main_results", argc, argv, /*default_folds=*/2,
                                      /*default_epochs=*/200);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
       }
       return "";
     };
-    for (const auto& name : core::ApproachNames()) {
-      const auto approach = core::CreateApproach(name, config);
+    for (const auto& name : args.approaches) {
+      const auto approach = core::CreateApproachOrDie(name, config);
       const auto req = approach->requirements();
       table.AddRow({name, cell(req.relation_triples),
                     cell(req.attribute_triples),
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     TablePrinter table({"Approach", "Hits@1", "Hits@5", "MRR", "sec/fold"});
     std::string best_name;
     double best_hits1 = -1.0;
-    for (const auto& name : core::ApproachNames()) {
+    for (const auto& name : args.approaches) {
       const auto result =
           core::RunCrossValidation(name, dataset, config, args.folds);
       table.AddRow({name, bench::Cell(result.hits1),
@@ -76,5 +76,5 @@ int main(int argc, char** argv) {
       "is close behind; purely relation-based approaches (MTransE, IPTransE,\n"
       "SEA, GCNAlign) trail; relation-based approaches improve on the dense\n"
       "V2 variants while literal-based leaders are less sensitive.\n");
-  return 0;
+  return bench::Finish(args);
 }

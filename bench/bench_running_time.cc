@@ -74,7 +74,7 @@ void PrintKernelSpeedup(int threads) {
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 150);
+  const auto args = bench::ParseArgs("running_time", argc, argv, 1, 150);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   PrintKernelSpeedup(args.threads);
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
   std::printf("== Figure 8: running time on the V1 datasets (%s) ==\n",
               args.scale.label.c_str());
   TablePrinter table({"Approach", "Mean sec", "Log bar"});
-  for (const auto& name : core::ApproachNames()) {
+  for (const auto& name : args.approaches) {
     double total = 0.0;
     for (const auto& dataset : datasets) {
       total += core::RunCrossValidation(name, dataset, config, 1)
@@ -105,5 +105,5 @@ int main(int argc, char** argv) {
       "sampling + bootstrapping); RSN4EA is also slow (path training);\n"
       "KDCoE/AttrE pay for literal encoding; MTransE and GCNAlign are the\n"
       "cheapest.\n");
-  return 0;
+  return bench::Finish(args);
 }

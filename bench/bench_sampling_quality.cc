@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 0);
+  const auto args = bench::ParseArgs("sampling_quality", argc, argv, 1, 0);
 
   datagen::SyntheticKgConfig config;
   config.num_entities = args.scale.source_entities;
@@ -72,5 +72,5 @@ int main(int argc, char** argv) {
       "Shape check (paper Table 3): RAS destroys connectivity (low degree,\n"
       "many isolates); PRS is better but still sparse with high JS; IDS\n"
       "matches the source degree distribution with (near-)zero isolates.\n");
-  return 0;
+  return bench::Finish(args);
 }

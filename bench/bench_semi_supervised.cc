@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 300);
+  const auto args = bench::ParseArgs("semi_supervised", argc, argv, 1, 300);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   const auto dataset = core::BuildBenchmarkDataset(
@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   std::printf("== Figure 7: augmented-alignment quality on %s ==\n",
               dataset.name.c_str());
   for (const char* name : {"IPTransE", "BootEA", "KDCoE"}) {
-    auto approach = core::CreateApproach(name, config);
+    auto approach = core::CreateApproachOrDie(name, config);
     const core::AlignmentModel model = approach->Train(task);
     std::printf("\n%s (final test Hits@1 = %.3f):\n", name,
                 eval::EvaluateRanking(model, task.test,
@@ -67,5 +67,5 @@ int main(int argc, char** argv) {
       "BootEA's editable bootstrapping keeps precision stable while recall\n"
       "grows, yielding a clear Hits@1 boost over the no-bootstrapping\n"
       "variant.\n");
-  return 0;
+  return bench::Finish(args);
 }

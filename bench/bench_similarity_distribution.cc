@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 200);
+  const auto args = bench::ParseArgs("similarity_distribution", argc, argv, 1, 200);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   const auto dataset = core::BuildBenchmarkDataset(
@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
               dataset.name.c_str());
   TablePrinter table({"Approach", "1st", "2nd", "3rd", "4th", "5th",
                       "Top1-Top5 gap"});
-  for (const auto& name : core::ApproachNames()) {
-    auto approach = core::CreateApproach(name, config);
+  for (const auto& name : args.approaches) {
+    auto approach = core::CreateApproachOrDie(name, config);
     const core::AlignmentModel model = approach->Train(task);
     const auto dist = eval::AnalyzeSimilarityDistribution(model, task.test);
     table.AddRow({name, FormatDouble(dist.mean_topk[0], 3),
@@ -43,5 +43,5 @@ int main(int argc, char** argv) {
       "MultiKE, RDGCN) pair a high top-1 similarity with a large gap to the\n"
       "5th neighbour (discriminative embeddings); MTransE/IPTransE/JAPE\n"
       "show flat, non-discriminative neighbour similarities.\n");
-  return 0;
+  return bench::Finish(args);
 }

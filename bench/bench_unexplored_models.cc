@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace openea;
-  const auto args = bench::ParseArgs(argc, argv, 1, 150);
+  const auto args = bench::ParseArgs("unexplored_models", argc, argv, 1, 150);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   const char* kModels[] = {"MTransE",        "MTransE-TransH",
@@ -47,5 +47,5 @@ int main(int argc, char** argv) {
       "transformation chassis (their multiplicative/rotational geometry\n"
       "does not survive a least-squares map at our scale), whereas the\n"
       "paper's RotatE was the best semantic-matching model.\n");
-  return 0;
+  return bench::Finish(args);
 }

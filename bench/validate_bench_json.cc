@@ -1,0 +1,118 @@
+// Schema validator for the BENCH_<name>.json telemetry documents the bench
+// binaries emit under --json (bench/bench_common.h). Used by the
+// `bench_smoke` ctest label to pin the export schema; exits 0 when the file
+// matches, 1 with a diagnostic otherwise.
+//
+//   ./build/bench/validate_bench_json path/to/BENCH_foo.json
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/json.h"
+
+namespace {
+
+using openea::json::Value;
+
+int Fail(const std::string& path, const std::string& why) {
+  std::fprintf(stderr, "%s: schema violation: %s\n", path.c_str(),
+               why.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: validate_bench_json BENCH_<name>.json\n");
+    return 1;
+  }
+  const std::string path = argv[1];
+  Value doc;
+  const openea::Status read = openea::json::ReadFile(path, &doc);
+  if (!read.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), read.ToString().c_str());
+    return 1;
+  }
+  if (!doc.is_object()) return Fail(path, "top level is not an object");
+
+  const Value* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number() || version->number() != 1) {
+    return Fail(path, "schema_version must be the number 1");
+  }
+  const Value* bench = doc.Find("bench");
+  if (bench == nullptr || !bench->is_string() ||
+      bench->string_value().empty()) {
+    return Fail(path, "bench must be a non-empty string");
+  }
+
+  const Value* config = doc.Find("config");
+  if (config == nullptr || !config->is_object()) {
+    return Fail(path, "config must be an object");
+  }
+  for (const char* key : {"folds", "epochs", "seed", "threads"}) {
+    const Value* v = config->Find(key);
+    if (v == nullptr || !v->is_number()) {
+      return Fail(path, std::string("config.") + key + " must be a number");
+    }
+  }
+  const Value* scale = config->Find("scale");
+  if (scale == nullptr || !scale->is_string()) {
+    return Fail(path, "config.scale must be a string");
+  }
+  const Value* approaches = config->Find("approaches");
+  if (approaches == nullptr || !approaches->is_array()) {
+    return Fail(path, "config.approaches must be an array");
+  }
+  for (const Value& name : approaches->array()) {
+    if (!name.is_string()) {
+      return Fail(path, "config.approaches entries must be strings");
+    }
+  }
+
+  for (const char* key : {"counters", "gauges", "histograms", "series"}) {
+    const Value* section = doc.Find(key);
+    if (section == nullptr || !section->is_object()) {
+      return Fail(path, std::string(key) + " must be an object");
+    }
+  }
+  for (const auto& [name, counter] : doc.Find("counters")->object()) {
+    if (!counter.is_number()) {
+      return Fail(path, "counter " + name + " must be a number");
+    }
+  }
+  for (const auto& [name, hist] : doc.Find("histograms")->object()) {
+    for (const char* key :
+         {"bounds", "bucket_counts", "count", "sum", "min", "max"}) {
+      if (hist.Find(key) == nullptr) {
+        return Fail(path,
+                    "histogram " + name + " is missing \"" + key + "\"");
+      }
+    }
+    const size_t bounds = hist.Find("bounds")->array().size();
+    const size_t buckets = hist.Find("bucket_counts")->array().size();
+    if (buckets != bounds + 1) {
+      return Fail(path, "histogram " + name +
+                            " needs bounds+1 bucket_counts (overflow)");
+    }
+  }
+
+  const Value* spans = doc.Find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return Fail(path, "spans must be an array");
+  }
+  for (const Value& span : spans->array()) {
+    for (const char* key : {"path", "count", "total_ms", "min_ms", "max_ms"}) {
+      if (span.Find(key) == nullptr) {
+        return Fail(path, std::string("span is missing \"") + key + "\"");
+      }
+    }
+    if (span.Find("count")->number() < 1) {
+      return Fail(path, "span count must be >= 1");
+    }
+  }
+
+  std::printf("%s: ok (%zu counters, %zu spans)\n", path.c_str(),
+              doc.Find("counters")->object().size(), spans->array().size());
+  return 0;
+}

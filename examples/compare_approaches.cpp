@@ -44,7 +44,7 @@ int main() {
   for (const char* name : kCandidates) {
     const auto r_dw = core::RunCrossValidation(name, dw, config, 1);
     const auto r_dy = core::RunCrossValidation(name, dy, config, 1);
-    const auto req = core::CreateApproach(name, config)->requirements();
+    const auto req = core::CreateApproachOrDie(name, config)->requirements();
     auto needs = [](core::Requirement r) {
       return r == core::Requirement::kMandatory
                  ? "mandatory"

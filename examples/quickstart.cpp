@@ -37,7 +37,14 @@ int main() {
   core::TrainConfig config;
   config.dim = 32;
   config.max_epochs = 200;
-  auto approach = core::CreateApproach("BootEA", config);
+  //    CreateApproach validates the config and resolves the name against
+  //    the factory registry; branch on ok() at this fallible boundary.
+  auto made = core::CreateApproach("BootEA", config);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  auto approach = std::move(made).value();
   std::printf("Training %s ...\n", approach->name().c_str());
   const core::AlignmentModel model = approach->Train(task);
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/telemetry.h"
 #include "src/core/task.h"
 #include "src/embedding/gcn.h"
 #include "src/interaction/unified_kg.h"
@@ -44,7 +45,14 @@ class EarlyStopper {
       ++bad_checks_;
       improved_ = false;
     }
-    return bad_checks_ >= patience_;
+    const bool stop = bad_checks_ >= patience_;
+    if (telemetry::Enabled()) {
+      telemetry::IncrCounter("train/early_stop_checks");
+      telemetry::AppendSeries("train/valid_hits1", hits1);
+      telemetry::SetGauge("train/best_valid_hits1", best_);
+      if (stop) telemetry::IncrCounter("train/early_stops");
+    }
+    return stop;
   }
 
   /// True when the last ShouldStop call improved the best score (snapshot

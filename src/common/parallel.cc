@@ -1,11 +1,15 @@
 #include "src/common/parallel.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <thread>
+
+#include "src/common/telemetry.h"
 
 namespace openea {
 namespace {
@@ -165,10 +169,30 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
     return;
   }
   pool.Resize(static_cast<size_t>(threads) - 1);
+
+  // Telemetry (only when a sink is attached): per-job wall time plus the
+  // chunk-imbalance ratio max_chunk_ms / mean_chunk_ms. Each chunk writes
+  // its own duration slot, so the timing never reorders or serializes the
+  // work — determinism is untouched.
+  const bool telem = telemetry::Enabled();
+  std::vector<double> chunk_ms;
+  if (telem) chunk_ms.assign(num_chunks, 0.0);
+  using TelemetryClock = std::chrono::steady_clock;
+  const TelemetryClock::time_point job_start =
+      telem ? TelemetryClock::now() : TelemetryClock::time_point();
+
   const std::function<void(size_t)> chunk_fn = [&](size_t chunk) {
     const size_t lo = begin + chunk * grain;
     const size_t hi = lo + grain < end ? lo + grain : end;
+    if (!telem) {
+      fn(lo, hi);
+      return;
+    }
+    const TelemetryClock::time_point start = TelemetryClock::now();
     fn(lo, hi);
+    chunk_ms[chunk] = std::chrono::duration<double, std::milli>(
+                          TelemetryClock::now() - start)
+                          .count();
   };
   // The submitting thread participates in the job; flag it as a worker so a
   // nested ParallelFor inside its own chunks runs inline instead of
@@ -177,6 +201,24 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   pool.Run(num_chunks, chunk_fn);
   t_in_worker = false;
   pool.Release();
+
+  if (telem) {
+    const double job_wall_ms = std::chrono::duration<double, std::milli>(
+                                   TelemetryClock::now() - job_start)
+                                   .count();
+    double total = 0.0, max_chunk = 0.0;
+    for (double ms : chunk_ms) {
+      total += ms;
+      max_chunk = std::max(max_chunk, ms);
+    }
+    const double mean_chunk = total / static_cast<double>(num_chunks);
+    telemetry::IncrCounter("parallel/jobs");
+    telemetry::IncrCounter("parallel/chunks", num_chunks);
+    telemetry::Observe("parallel/job_ms", job_wall_ms);
+    if (mean_chunk > 0.0) {
+      telemetry::Observe("parallel/chunk_imbalance", max_chunk / mean_chunk);
+    }
+  }
 }
 
 }  // namespace openea

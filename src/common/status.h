@@ -1,6 +1,9 @@
 #ifndef OPENEA_COMMON_STATUS_H_
 #define OPENEA_COMMON_STATUS_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -60,6 +63,58 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+};
+
+/// Value-or-error result, absl-style: a StatusOr holds either an OK status
+/// plus a T, or a non-OK status and no value. Accessing value() on a non-OK
+/// result aborts with the status message — callers are expected to branch on
+/// ok() at fallible boundaries (CreateApproach, config validation, JSON
+/// parsing).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit from error status by design.
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK without value");
+    }
+  }
+  StatusOr(T value)  // NOLINT: implicit from value by design.
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
 };
 
 }  // namespace openea

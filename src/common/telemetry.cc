@@ -1,0 +1,356 @@
+#include "src/common/telemetry.h"
+
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <mutex>
+
+#include "src/common/logging.h"
+
+namespace openea::telemetry {
+namespace {
+
+constexpr size_t kSeriesCap = 65536;
+
+struct Histogram {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+/// One mutex guards the whole registry. Instrumentation sites fire per job /
+/// per epoch / per eval call — never per element — so contention is not a
+/// hot-path concern, and a single lock keeps snapshots consistent.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  std::map<std::string, std::vector<double>> series;
+  std::map<std::string, SpanStat> spans;
+  json::Value context{json::Value::Object{}};
+  std::unique_ptr<TelemetrySink> sink;
+  bool collect_for_testing = false;
+};
+
+Registry& GetRegistry() {
+  // Leaked on purpose: instrumented code may run during static destruction.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::vector<double> DefaultBounds() {
+  return {0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0};
+}
+
+Histogram& HistogramLocked(Registry& reg, std::string_view name) {
+  auto it = reg.histograms.find(std::string(name));
+  if (it == reg.histograms.end()) {
+    Histogram h;
+    h.bounds = DefaultBounds();
+    h.counts.assign(h.bounds.size() + 1, 0);
+    it = reg.histograms.emplace(std::string(name), std::move(h)).first;
+  }
+  return it->second;
+}
+
+void RefreshEnabled(Registry& reg) {
+  EnabledFlag().store(reg.sink != nullptr || reg.collect_for_testing,
+                      std::memory_order_relaxed);
+}
+
+/// Per-thread span nesting. Pool workers get their own empty stack, so their
+/// spans aggregate under worker-local paths without touching the submitting
+/// thread's stack.
+thread_local std::string t_span_path;
+
+double SafeRatio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+}  // namespace
+
+void IncrCounter(std::string_view name, uint64_t delta) {
+  if (!Enabled()) return;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.counters[std::string(name)] += delta;
+}
+
+void SetGauge(std::string_view name, double value) {
+  if (!Enabled()) return;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.gauges[std::string(name)] = value;
+}
+
+void DefineHistogram(std::string_view name, std::vector<double> bounds) {
+  if (!Enabled()) return;
+  std::sort(bounds.begin(), bounds.end());
+  Histogram h;
+  h.counts.assign(bounds.size() + 1, 0);
+  h.bounds = std::move(bounds);
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.histograms[std::string(name)] = std::move(h);
+}
+
+void Observe(std::string_view name, double value) {
+  if (!Enabled()) return;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Histogram& h = HistogramLocked(reg, name);
+  size_t bucket = h.bounds.size();
+  for (size_t i = 0; i < h.bounds.size(); ++i) {
+    if (value <= h.bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++h.counts[bucket];
+  ++h.count;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+}
+
+void AppendSeries(std::string_view name, double value) {
+  if (!Enabled()) return;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<double>& s = reg.series[std::string(name)];
+  if (s.size() >= kSeriesCap) {
+    ++reg.counters["telemetry/series_dropped"];
+    return;
+  }
+  s.push_back(value);
+}
+
+MetricsSnapshot SnapshotMetrics() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  MetricsSnapshot snap;
+  snap.counters = reg.counters;
+  snap.gauges = reg.gauges;
+  snap.series = reg.series;
+  for (const auto& [name, h] : reg.histograms) {
+    HistogramSnapshot hs;
+    hs.bounds = h.bounds;
+    hs.counts = h.counts;
+    hs.count = h.count;
+    hs.sum = h.sum;
+    hs.min = h.count > 0 ? h.min : 0.0;
+    hs.max = h.count > 0 ? h.max : 0.0;
+    snap.histograms.emplace(name, std::move(hs));
+  }
+  return snap;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  if (!Enabled()) return;
+  active_ = true;
+  if (!t_span_path.empty()) t_span_path.push_back('/');
+  t_span_path.append(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  Registry& reg = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    SpanStat& stat = reg.spans[t_span_path];
+    if (stat.count == 0) {
+      stat.path = t_span_path;
+      stat.min_ms = ms;
+      stat.max_ms = ms;
+    } else {
+      stat.min_ms = std::min(stat.min_ms, ms);
+      stat.max_ms = std::max(stat.max_ms, ms);
+    }
+    ++stat.count;
+    stat.total_ms += ms;
+  }
+  const size_t cut = t_span_path.rfind('/');
+  t_span_path.resize(cut == std::string::npos ? 0 : cut);
+}
+
+std::vector<SpanStat> SnapshotSpans() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<SpanStat> out;
+  out.reserve(reg.spans.size());
+  for (const auto& [path, stat] : reg.spans) out.push_back(stat);
+  return out;
+}
+
+void ConsoleSink::Export(const json::Value& context,
+                         const MetricsSnapshot& metrics,
+                         const std::vector<SpanStat>& spans) {
+  std::ostream& os = out_ != nullptr ? *out_ : std::cerr;
+  os << "== telemetry ==\n";
+  if (context.is_object() && !context.object().empty()) {
+    os << "context: " << context.Dump(/*indent=*/0);
+    os << "\n";
+  }
+  for (const auto& [name, value] : metrics.counters) {
+    os << "counter " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    os << "gauge " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    os << "histogram " << name << ": count=" << h.count << " sum=" << h.sum
+       << " min=" << h.min << " max=" << h.max
+       << " mean=" << SafeRatio(h.sum, static_cast<double>(h.count)) << "\n";
+  }
+  for (const auto& [name, values] : metrics.series) {
+    os << "series " << name << ": " << values.size() << " points";
+    if (!values.empty()) os << ", last=" << values.back();
+    os << "\n";
+  }
+  for (const auto& span : spans) {
+    os << "span " << span.path << ": count=" << span.count
+       << " total_ms=" << span.total_ms << " mean_ms="
+       << SafeRatio(span.total_ms, static_cast<double>(span.count)) << "\n";
+  }
+}
+
+json::Value BuildExportDocument(const json::Value& context,
+                                const MetricsSnapshot& metrics,
+                                const std::vector<SpanStat>& spans) {
+  json::Value::Object doc;
+  doc.emplace("schema_version", 1);
+  if (context.is_object()) {
+    for (const auto& [key, value] : context.object()) {
+      doc.emplace(key, value);
+    }
+  }
+  json::Value::Object counters;
+  for (const auto& [name, value] : metrics.counters) {
+    counters.emplace(name, value);
+  }
+  doc.emplace("counters", std::move(counters));
+
+  json::Value::Object gauges;
+  for (const auto& [name, value] : metrics.gauges) {
+    gauges.emplace(name, value);
+  }
+  doc.emplace("gauges", std::move(gauges));
+
+  json::Value::Object histograms;
+  for (const auto& [name, h] : metrics.histograms) {
+    json::Value::Object entry;
+    entry.emplace("bounds",
+                  json::Value::Array(h.bounds.begin(), h.bounds.end()));
+    json::Value::Array counts;
+    for (uint64_t c : h.counts) counts.emplace_back(c);
+    entry.emplace("bucket_counts", std::move(counts));
+    entry.emplace("count", h.count);
+    entry.emplace("sum", h.sum);
+    entry.emplace("min", h.min);
+    entry.emplace("max", h.max);
+    histograms.emplace(name, std::move(entry));
+  }
+  doc.emplace("histograms", std::move(histograms));
+
+  json::Value::Object series;
+  for (const auto& [name, values] : metrics.series) {
+    series.emplace(name,
+                   json::Value::Array(values.begin(), values.end()));
+  }
+  doc.emplace("series", std::move(series));
+
+  json::Value::Array span_array;
+  for (const auto& span : spans) {
+    json::Value::Object entry;
+    entry.emplace("path", span.path);
+    entry.emplace("count", span.count);
+    entry.emplace("total_ms", span.total_ms);
+    entry.emplace("min_ms", span.min_ms);
+    entry.emplace("max_ms", span.max_ms);
+    span_array.emplace_back(std::move(entry));
+  }
+  doc.emplace("spans", std::move(span_array));
+  return json::Value(std::move(doc));
+}
+
+void JsonSink::Export(const json::Value& context,
+                      const MetricsSnapshot& metrics,
+                      const std::vector<SpanStat>& spans) {
+  const Status status =
+      json::WriteFile(path_, BuildExportDocument(context, metrics, spans));
+  if (!status.ok()) {
+    OPENEA_LOG(kError) << "telemetry JSON export failed: "
+                       << status.ToString();
+  }
+}
+
+void AttachSink(std::unique_ptr<TelemetrySink> sink) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.sink = std::move(sink);
+  RefreshEnabled(reg);
+}
+
+std::unique_ptr<TelemetrySink> DetachSink() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::unique_ptr<TelemetrySink> out = std::move(reg.sink);
+  RefreshEnabled(reg);
+  return out;
+}
+
+void SetContext(json::Value context) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.context = std::move(context);
+}
+
+void AddContext(const std::string& key, json::Value value) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (!reg.context.is_object()) reg.context = json::Value(json::Value::Object{});
+  reg.context.object()[key] = std::move(value);
+}
+
+void Flush() {
+  // Snapshot outside the lock that Export may indirectly re-enter via
+  // instrumented code inside a sink.
+  const MetricsSnapshot metrics = SnapshotMetrics();
+  const std::vector<SpanStat> spans = SnapshotSpans();
+  Registry& reg = GetRegistry();
+  TelemetrySink* sink = nullptr;
+  json::Value context{json::Value::Object{}};
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    sink = reg.sink.get();
+    context = reg.context;
+  }
+  if (sink != nullptr) sink->Export(context, metrics, spans);
+}
+
+void SetCollectForTesting(bool enabled) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.collect_for_testing = enabled;
+  RefreshEnabled(reg);
+}
+
+void ResetForTesting() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.counters.clear();
+  reg.gauges.clear();
+  reg.histograms.clear();
+  reg.series.clear();
+  reg.spans.clear();
+  reg.context = json::Value(json::Value::Object{});
+}
+
+}  // namespace openea::telemetry

@@ -1,0 +1,191 @@
+#ifndef OPENEA_COMMON_TELEMETRY_H_
+#define OPENEA_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace openea::telemetry {
+
+/// Process-wide observability layer (DESIGN.md, "Observability"):
+///
+///  * A metrics registry of named counters, gauges, fixed-bucket histograms,
+///    and bounded append-only series (per-epoch losses etc.).
+///  * RAII trace spans with nesting: each thread keeps its own span stack,
+///    and a span's wall time is aggregated under its slash-joined path
+///    (e.g. "cross_validation/fold/train/train_epoch").
+///  * A TelemetrySink interface with console and JSON exporters.
+///
+/// Contract: everything here is zero-cost when collection is off (a single
+/// relaxed atomic load per call site), never touches any RNG, and never
+/// reorders parallel work — metrics-enabled runs are bit-identical to
+/// metrics-off runs at any thread count.
+
+/// True while a sink is attached or collection was forced on for tests.
+/// Instrumentation sites gate any non-trivial work (clock reads, string
+/// building) on this.
+inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+inline bool Enabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+// ---------------------------------------------------------------------------
+
+/// Snapshot of one fixed-bucket histogram. `bounds` are inclusive upper
+/// bounds; `counts` has bounds.size() + 1 entries, the last one catching
+/// values above every bound.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, std::vector<double>> series;
+};
+
+/// Adds `delta` to the named counter (created at zero on first use).
+void IncrCounter(std::string_view name, uint64_t delta = 1);
+
+/// Sets the named gauge to `value` (last write wins).
+void SetGauge(std::string_view name, double value);
+
+/// Pre-declares the bucket bounds of a histogram. Optional: an undeclared
+/// histogram gets the default decade buckets {1e-3 .. 1e5}. Redefining an
+/// existing histogram resets its contents.
+void DefineHistogram(std::string_view name, std::vector<double> bounds);
+
+/// Records `value` into the named histogram.
+void Observe(std::string_view name, double value);
+
+/// Appends `value` to the named series. Series are capped at 65536 points;
+/// appends beyond the cap are counted in "telemetry/series_dropped".
+void AppendSeries(std::string_view name, double value);
+
+MetricsSnapshot SnapshotMetrics();
+
+// ---------------------------------------------------------------------------
+// Trace spans.
+// ---------------------------------------------------------------------------
+
+/// Aggregated wall time of every span that completed under one path.
+struct SpanStat {
+  std::string path;  // Slash-joined nesting, e.g. "fold/train/train_epoch".
+  uint64_t count = 0;
+  double total_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// RAII span: records the wall time between construction and destruction
+/// under the calling thread's current span path. Nesting is per-thread, so
+/// spans opened inside pool workers aggregate under the worker's own (flat)
+/// path without racing the submitting thread's stack.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// All span aggregates, sorted by path.
+std::vector<SpanStat> SnapshotSpans();
+
+// ---------------------------------------------------------------------------
+// Sinks.
+// ---------------------------------------------------------------------------
+
+/// Receives one export of the collected telemetry. `context` is the
+/// run-level metadata (bench name, config, seed, thread count) set via
+/// SetContext; it is a JSON object (possibly empty).
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void Export(const json::Value& context,
+                      const MetricsSnapshot& metrics,
+                      const std::vector<SpanStat>& spans) = 0;
+};
+
+/// Human-readable summary tables on a std::ostream (default std::cerr).
+class ConsoleSink : public TelemetrySink {
+ public:
+  ConsoleSink() = default;
+  explicit ConsoleSink(std::ostream* out) : out_(out) {}
+  void Export(const json::Value& context, const MetricsSnapshot& metrics,
+              const std::vector<SpanStat>& spans) override;
+
+ private:
+  std::ostream* out_ = nullptr;  // nullptr = std::cerr.
+};
+
+/// Writes the schema-stable BENCH_<name>.json document (see
+/// BuildExportDocument for the schema). Failures are logged, not fatal.
+class JsonSink : public TelemetrySink {
+ public:
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+  void Export(const json::Value& context, const MetricsSnapshot& metrics,
+              const std::vector<SpanStat>& spans) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Assembles the export document shared by every sink:
+/// {"schema_version": 1, <context keys>, "counters": {..}, "gauges": {..},
+///  "histograms": {..}, "series": {..}, "spans": [..]}.
+json::Value BuildExportDocument(const json::Value& context,
+                                const MetricsSnapshot& metrics,
+                                const std::vector<SpanStat>& spans);
+
+/// Attaches `sink` (replacing any previous one) and enables collection.
+void AttachSink(std::unique_ptr<TelemetrySink> sink);
+
+/// Detaches the current sink without exporting; collection stays on only if
+/// it was forced via SetCollectForTesting.
+std::unique_ptr<TelemetrySink> DetachSink();
+
+/// Sets the run-level context object handed to sinks at Flush().
+void SetContext(json::Value context);
+
+/// Merges `value` under `key` into the run context.
+void AddContext(const std::string& key, json::Value value);
+
+/// Exports the current snapshot to the attached sink (no-op without one).
+void Flush();
+
+/// Enables or disables collection without a sink (tests, ad-hoc probes).
+void SetCollectForTesting(bool enabled);
+
+/// Clears every counter, gauge, histogram, series, span aggregate, and the
+/// run context. Does not touch the sink or the enabled state.
+void ResetForTesting();
+
+}  // namespace openea::telemetry
+
+#endif  // OPENEA_COMMON_TELEMETRY_H_

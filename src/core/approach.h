@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/common/status.h"
 #include "src/core/task.h"
 
 namespace openea::core {
@@ -29,6 +30,37 @@ struct TrainConfig {
   /// Ablation switches for Figure 6 and Table 8.
   bool use_attributes = true;
   bool use_relations = true;
+
+  /// Checks the invariants every approach depends on. Called at the
+  /// CreateApproach / RunCrossValidation boundary so a bad configuration
+  /// surfaces before any data generation or training starts.
+  Status Validate() const {
+    if (dim == 0) {
+      return Status::InvalidArgument("TrainConfig.dim must be > 0");
+    }
+    if (max_epochs <= 0) {
+      return Status::InvalidArgument(
+          "TrainConfig.max_epochs must be > 0, got " +
+          std::to_string(max_epochs));
+    }
+    if (eval_every <= 0) {
+      return Status::InvalidArgument(
+          "TrainConfig.eval_every must be > 0, got " +
+          std::to_string(eval_every));
+    }
+    if (threads < 0) {
+      return Status::InvalidArgument(
+          "TrainConfig.threads must be >= 0 (0 = all hardware threads), "
+          "got " +
+          std::to_string(threads));
+    }
+    if (negatives_per_positive < 0) {
+      return Status::InvalidArgument(
+          "TrainConfig.negatives_per_positive must be >= 0, got " +
+          std::to_string(negatives_per_positive));
+    }
+    return Status::OK();
+  }
 };
 
 /// One cell of the Table 9 required-information matrix.
@@ -64,7 +96,16 @@ class EntityAlignmentApproach {
   virtual AlignmentModel Train(const AlignmentTask& task) = 0;
 
   const TrainConfig& config() const { return config_; }
-  TrainConfig& mutable_config() { return config_; }
+
+  /// Deprecated: approaches are configured at construction time (pass the
+  /// final TrainConfig to CreateApproach); mutating a live approach's config
+  /// bypasses Validate() and the factory boundary. Kept only for source
+  /// compatibility and slated for removal.
+  [[deprecated(
+      "configure at construction time via CreateApproach(name, config)")]]
+  TrainConfig& mutable_config() {
+    return config_;
+  }
 
  protected:
   TrainConfig config_;

@@ -3,6 +3,7 @@
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
 #include "src/common/stopwatch.h"
+#include "src/common/telemetry.h"
 #include "src/core/registry.h"
 #include "src/sampling/samplers.h"
 
@@ -37,16 +38,26 @@ BenchmarkDataset BuildBenchmarkDataset(
     config.num_entities = scale.source_entities * 2;
     config.avg_degree *= 1.6;
   }
-  datagen::DatasetPair source = GenerateDatasetPair(config, profile, seed);
-  if (dense_v2) {
-    source = sampling::DensifyPair(source, 1.25, seed ^ 0xD2);
+  datagen::DatasetPair source;
+  {
+    telemetry::ScopedSpan span("datagen");
+    source = GenerateDatasetPair(config, profile, seed);
+    if (dense_v2) {
+      source = sampling::DensifyPair(source, 1.25, seed ^ 0xD2);
+    }
   }
   sampling::IdsOptions ids;
   ids.target_size = scale.sample_entities;
   ids.mu = scale.ids_mu;
   ids.seed = seed ^ 0x1D5;
   BenchmarkDataset out;
-  out.pair = sampling::IterativeDegreeSampling(source, ids);
+  {
+    telemetry::ScopedSpan span("ids");
+    out.pair = sampling::IterativeDegreeSampling(source, ids);
+    telemetry::IncrCounter("datagen/datasets");
+    telemetry::IncrCounter("datagen/sampled_entities",
+                           out.pair.kg1.NumEntities());
+  }
   out.pair.name = profile.name;
   out.name = profile.name + "-" + scale.label + (dense_v2 ? " (V2)" : " (V1)");
   return out;
@@ -87,26 +98,58 @@ CrossValidationResult RunCrossValidation(const std::string& approach_name,
                                          const BenchmarkDataset& dataset,
                                          const TrainConfig& config,
                                          int num_folds) {
+  // Surface configuration errors before any data generation or training.
+  const Status valid = config.Validate();
+  OPENEA_CHECK(valid.ok()) << valid.ToString();
+
   CrossValidationResult result;
   result.approach = approach_name;
   result.dataset = dataset.name;
   SetThreads(config.threads);
+  telemetry::ScopedSpan cv_span("cross_validation");
 
-  const auto folds = eval::MakeFolds(dataset.pair.reference, 5, 0.1,
-                                     config.seed ^ 0xF01D);
+  PhaseSeconds split_phase{"fold_split", 0.0, 0};
+  PhaseSeconds train_phase{"train", 0.0, 0};
+  PhaseSeconds eval_phase{"eval", 0.0, 0};
+
+  Stopwatch phase_watch;
+  std::vector<eval::FoldSplit> folds;
+  {
+    telemetry::ScopedSpan span("fold_split");
+    folds = eval::MakeFolds(dataset.pair.reference, 5, 0.1,
+                            config.seed ^ 0xF01D);
+  }
+  split_phase.total_seconds = phase_watch.ElapsedSeconds();
+  split_phase.count = 1;
   OPENEA_CHECK_LE(static_cast<size_t>(num_folds), folds.size());
 
   std::vector<double> hits1, hits5, mr, mrr;
   double total_seconds = 0.0;
   for (int f = 0; f < num_folds; ++f) {
-    auto approach = CreateApproach(approach_name, config);
-    OPENEA_CHECK(approach != nullptr) << approach_name;
+    telemetry::ScopedSpan fold_span("fold");
+    auto made = CreateApproach(approach_name, config);
+    OPENEA_CHECK(made.ok()) << made.status().ToString();
+    auto approach = std::move(made).value();
     const AlignmentTask task = MakeTask(dataset.pair, folds[f]);
-    Stopwatch watch;
-    AlignmentModel model = approach->Train(task);
-    total_seconds += watch.ElapsedSeconds();
-    const eval::RankingMetrics metrics = eval::EvaluateRanking(
-        model, task.test, align::DistanceMetric::kCosine);
+    AlignmentModel model;
+    {
+      telemetry::ScopedSpan span("train");
+      phase_watch.Reset();
+      model = approach->Train(task);
+    }
+    const double train_seconds = phase_watch.ElapsedSeconds();
+    total_seconds += train_seconds;
+    train_phase.total_seconds += train_seconds;
+    ++train_phase.count;
+    eval::RankingMetrics metrics;
+    {
+      telemetry::ScopedSpan span("eval");
+      phase_watch.Reset();
+      metrics = eval::EvaluateRanking(model, task.test,
+                                      align::DistanceMetric::kCosine);
+    }
+    eval_phase.total_seconds += phase_watch.ElapsedSeconds();
+    ++eval_phase.count;
     hits1.push_back(metrics.hits1);
     hits5.push_back(metrics.hits5);
     mr.push_back(metrics.mr);
@@ -116,12 +159,15 @@ CrossValidationResult RunCrossValidation(const std::string& approach_name,
       result.first_fold_model = std::move(model);
       result.first_fold_test = task.test;
     }
+    telemetry::IncrCounter("cv/folds");
   }
   result.hits1 = eval::Aggregate(hits1);
   result.hits5 = eval::Aggregate(hits5);
   result.mr = eval::Aggregate(mr);
   result.mrr = eval::Aggregate(mrr);
   result.mean_seconds = total_seconds / std::max(num_folds, 1);
+  result.phase_seconds = {split_phase, train_phase, eval_phase};
+  telemetry::SetGauge("cv/last_hits1_mean", result.hits1.mean);
   return result;
 }
 

@@ -48,6 +48,14 @@ std::vector<BenchmarkDataset> BuildBenchmarkSuite(const ScalePreset& scale,
 AlignmentTask MakeTask(const datagen::DatasetPair& pair,
                        const eval::FoldSplit& fold);
 
+/// Wall time of one cross-validation phase aggregated over folds, fed by
+/// the telemetry trace spans RunCrossValidation opens around each phase.
+struct PhaseSeconds {
+  std::string phase;  // "fold_split", "train", "eval".
+  double total_seconds = 0.0;
+  int count = 0;  // Number of spans aggregated (folds, or 1 for the split).
+};
+
 /// Aggregated cross-validation result of one approach on one dataset
 /// (means and standard deviations over folds, as in Table 5).
 struct CrossValidationResult {
@@ -55,6 +63,9 @@ struct CrossValidationResult {
   std::string dataset;
   eval::MeanStd hits1, hits5, mr, mrr;
   double mean_seconds = 0.0;
+  /// Per-phase wall time across the folds (always populated, independent of
+  /// whether a telemetry sink is attached).
+  std::vector<PhaseSeconds> phase_seconds;
   /// Semi-supervised traces of the first fold (Figure 7).
   std::vector<IterationStat> trace;
   /// First-fold artifacts for the geometric analyses.

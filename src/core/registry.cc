@@ -1,5 +1,9 @@
 #include "src/core/registry.h"
 
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
 #include "src/approaches/alinet.h"
 #include "src/approaches/attre.h"
 #include "src/approaches/bootea.h"
@@ -13,9 +17,121 @@
 #include "src/approaches/rdgcn.h"
 #include "src/approaches/rsn4ea.h"
 #include "src/approaches/unsupervised.h"
+#include "src/common/logging.h"
 #include "src/common/strings.h"
 
 namespace openea::core {
+namespace {
+
+/// The factory table: names in registration order plus an index for lookup.
+/// Built-ins are installed on first access; Register() appends behind them.
+class FactoryTable {
+ public:
+  static FactoryTable& Global() {
+    static FactoryTable* table = new FactoryTable();
+    return *table;
+  }
+
+  bool Add(const std::string& name, ApproachFactory factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return AddLocked(name, std::move(factory));
+  }
+
+  const ApproachFactory* Find(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &entries_[it->second].second;
+  }
+
+  std::vector<std::string> Names() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, factory] : entries_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  FactoryTable() { RegisterBuiltins(); }
+
+  bool AddLocked(const std::string& name, ApproachFactory factory) {
+    if (index_.count(name) > 0) return false;
+    index_.emplace(name, entries_.size());
+    entries_.emplace_back(name, std::move(factory));
+    return true;
+  }
+
+  /// Data-driven replacement for the historical if-chain: one row per
+  /// approach, in the paper's Table 5 order, then the extensions.
+  void RegisterBuiltins() {
+    using namespace openea::approaches;  // NOLINT: local factory scope.
+    const std::pair<const char*, ApproachFactory> kBuiltins[] = {
+        {"MTransE",
+         [](const TrainConfig& c) { return std::make_unique<MTransE>(c); }},
+        {"IPTransE",
+         [](const TrainConfig& c) { return std::make_unique<IpTransE>(c); }},
+        {"JAPE",
+         [](const TrainConfig& c) { return std::make_unique<Jape>(c); }},
+        {"KDCoE",
+         [](const TrainConfig& c) { return std::make_unique<KdCoE>(c); }},
+        {"BootEA",
+         [](const TrainConfig& c) { return std::make_unique<BootEa>(c); }},
+        {"GCNAlign",
+         [](const TrainConfig& c) { return std::make_unique<GcnAlign>(c); }},
+        {"AttrE",
+         [](const TrainConfig& c) { return std::make_unique<AttrE>(c); }},
+        {"IMUSE",
+         [](const TrainConfig& c) { return std::make_unique<Imuse>(c); }},
+        {"SEA",
+         [](const TrainConfig& c) { return std::make_unique<Sea>(c); }},
+        {"RSN4EA",
+         [](const TrainConfig& c) { return std::make_unique<Rsn4Ea>(c); }},
+        {"MultiKE",
+         [](const TrainConfig& c) { return std::make_unique<MultiKe>(c); }},
+        {"RDGCN",
+         [](const TrainConfig& c) { return std::make_unique<Rdgcn>(c); }},
+        // Extensions beyond the paper's 12 (see DESIGN.md): the AliNet
+        // approach the paper slates for future OpenEA releases, and the
+        // unsupervised exploration of Sect. 7.2.
+        {"AliNet",
+         [](const TrainConfig& c) { return std::make_unique<AliNet>(c); }},
+        {"UnsupervisedEA",
+         [](const TrainConfig& c) {
+           return std::make_unique<UnsupervisedEa>(c);
+         }},
+    };
+    for (const auto& [name, factory] : kBuiltins) {
+      AddLocked(name, factory);
+    }
+    // Unexplored-model chassis (Figure 11): "MTransE-<ModelName>" swaps the
+    // triple model under the MTransE interaction pipeline.
+    const std::pair<const char*, embedding::TripleModelKind> kKinds[] = {
+        {"TransH", embedding::TripleModelKind::kTransH},
+        {"TransR", embedding::TripleModelKind::kTransR},
+        {"TransD", embedding::TripleModelKind::kTransD},
+        {"HolE", embedding::TripleModelKind::kHolE},
+        {"SimplE", embedding::TripleModelKind::kSimplE},
+        {"ComplEx", embedding::TripleModelKind::kComplEx},
+        {"RotatE", embedding::TripleModelKind::kRotatE},
+        {"DistMult", embedding::TripleModelKind::kDistMult},
+        {"ProjE", embedding::TripleModelKind::kProjE},
+        {"ConvE", embedding::TripleModelKind::kConvE}};
+    for (const auto& [kind_name, kind] : kKinds) {
+      AddLocked(std::string("MTransE-") + kind_name,
+                [kind](const TrainConfig& c) {
+                  MTransE::Options options;
+                  options.model_kind = kind;
+                  return std::make_unique<MTransE>(c, options);
+                });
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<std::pair<std::string, ApproachFactory>> entries_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace
 
 const std::vector<std::string>& ApproachNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
@@ -25,50 +141,33 @@ const std::vector<std::string>& ApproachNames() {
   return *names;
 }
 
-std::unique_ptr<EntityAlignmentApproach> CreateApproach(
-    const std::string& name, const TrainConfig& config) {
-  using namespace openea::approaches;  // NOLINT: local factory scope.
-  if (name == "MTransE") return std::make_unique<MTransE>(config);
-  if (name == "IPTransE") return std::make_unique<IpTransE>(config);
-  if (name == "JAPE") return std::make_unique<Jape>(config);
-  if (name == "KDCoE") return std::make_unique<KdCoE>(config);
-  if (name == "BootEA") return std::make_unique<BootEa>(config);
-  if (name == "GCNAlign") return std::make_unique<GcnAlign>(config);
-  if (name == "AttrE") return std::make_unique<AttrE>(config);
-  if (name == "IMUSE") return std::make_unique<Imuse>(config);
-  if (name == "SEA") return std::make_unique<Sea>(config);
-  if (name == "RSN4EA") return std::make_unique<Rsn4Ea>(config);
-  if (name == "MultiKE") return std::make_unique<MultiKe>(config);
-  if (name == "RDGCN") return std::make_unique<Rdgcn>(config);
-  // Extensions beyond the paper's 12 (see DESIGN.md): the AliNet approach
-  // the paper slates for future OpenEA releases, and the unsupervised
-  // exploration of Sect. 7.2.
-  if (name == "AliNet") return std::make_unique<AliNet>(config);
-  if (name == "UnsupervisedEA") return std::make_unique<UnsupervisedEa>(config);
+std::vector<std::string> RegisteredApproachNames() {
+  return FactoryTable::Global().Names();
+}
 
-  // Unexplored-model chassis: "MTransE-<ModelName>".
-  if (StartsWith(name, "MTransE-")) {
-    const std::string model_name = name.substr(8);
-    static const std::pair<const char*, embedding::TripleModelKind> kKinds[] =
-        {{"TransH", embedding::TripleModelKind::kTransH},
-         {"TransR", embedding::TripleModelKind::kTransR},
-         {"TransD", embedding::TripleModelKind::kTransD},
-         {"HolE", embedding::TripleModelKind::kHolE},
-         {"SimplE", embedding::TripleModelKind::kSimplE},
-         {"ComplEx", embedding::TripleModelKind::kComplEx},
-         {"RotatE", embedding::TripleModelKind::kRotatE},
-         {"DistMult", embedding::TripleModelKind::kDistMult},
-         {"ProjE", embedding::TripleModelKind::kProjE},
-         {"ConvE", embedding::TripleModelKind::kConvE}};
-    for (const auto& [kind_name, kind] : kKinds) {
-      if (model_name == kind_name) {
-        MTransE::Options options;
-        options.model_kind = kind;
-        return std::make_unique<MTransE>(config, options);
-      }
-    }
+bool RegisterApproach(const std::string& name, ApproachFactory factory) {
+  if (name.empty() || factory == nullptr) return false;
+  return FactoryTable::Global().Add(name, std::move(factory));
+}
+
+StatusOr<std::unique_ptr<EntityAlignmentApproach>> CreateApproach(
+    const std::string& name, const TrainConfig& config) {
+  Status valid = config.Validate();
+  if (!valid.ok()) return valid;
+  const ApproachFactory* factory = FactoryTable::Global().Find(name);
+  if (factory == nullptr) {
+    return Status::NotFound(
+        "unknown approach \"" + name + "\"; valid approaches: " +
+        Join(RegisteredApproachNames(), ", "));
   }
-  return nullptr;
+  return (*factory)(config);
+}
+
+std::unique_ptr<EntityAlignmentApproach> CreateApproachOrDie(
+    const std::string& name, const TrainConfig& config) {
+  auto made = CreateApproach(name, config);
+  OPENEA_CHECK(made.ok()) << made.status().ToString();
+  return std::move(made).value();
 }
 
 }  // namespace openea::core

@@ -1,22 +1,50 @@
 #ifndef OPENEA_CORE_REGISTRY_H_
 #define OPENEA_CORE_REGISTRY_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/approach.h"
 
 namespace openea::core {
 
+/// Builds an approach from a validated TrainConfig.
+using ApproachFactory =
+    std::function<std::unique_ptr<EntityAlignmentApproach>(const TrainConfig&)>;
+
 /// Names of the 12 representative approaches integrated by the library, in
-/// the paper's Table 5 order.
+/// the paper's Table 5 order. (The factory table also carries extensions;
+/// see RegisteredApproachNames.)
 const std::vector<std::string>& ApproachNames();
 
-/// Creates an approach by its paper name (e.g. "BootEA"); also accepts
-/// "MTransE-<Model>" for the unexplored-model chassis (Figure 11), e.g.
-/// "MTransE-RotatE". Returns nullptr for unknown names.
-std::unique_ptr<EntityAlignmentApproach> CreateApproach(
+/// Every name CreateApproach currently accepts, in registration order: the
+/// paper's 12, the beyond-the-paper extensions (AliNet, UnsupervisedEA, the
+/// MTransE-<Model> chassis variants), then any custom Register() hooks.
+std::vector<std::string> RegisteredApproachNames();
+
+/// Registers `factory` under `name` so CreateApproach (and the benches'
+/// --approaches flag) can build it. Returns false and leaves the table
+/// unchanged when the name is already taken. Thread-safe; typically called
+/// once at startup from a static initializer:
+///
+///   static const bool registered = core::RegisterApproach(
+///       "MyApproach",
+///       [](const core::TrainConfig& c) { return std::make_unique<My>(c); });
+bool RegisterApproach(const std::string& name, ApproachFactory factory);
+
+/// Creates an approach by its paper name (e.g. "BootEA") or any registered
+/// extension name (e.g. "MTransE-RotatE" for the unexplored-model chassis of
+/// Figure 11). Validates `config` first; returns InvalidArgument on a bad
+/// config and NotFound — listing every valid name — for an unknown name.
+StatusOr<std::unique_ptr<EntityAlignmentApproach>> CreateApproach(
+    const std::string& name, const TrainConfig& config);
+
+/// CHECK-failing convenience for call sites whose name is statically known
+/// (tests, benches, examples): aborts with the error message on failure.
+std::unique_ptr<EntityAlignmentApproach> CreateApproachOrDie(
     const std::string& name, const TrainConfig& config);
 
 }  // namespace openea::core

@@ -6,6 +6,8 @@
 
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
+#include "src/common/stopwatch.h"
+#include "src/common/telemetry.h"
 
 namespace openea::eval {
 namespace {
@@ -48,7 +50,18 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
                                align::DistanceMetric metric, bool csls) {
   RankingMetrics metrics;
   if (test_pairs.empty()) return metrics;
-  const math::Matrix sim = TestSimilarity(model, test_pairs, metric, csls);
+  telemetry::ScopedSpan eval_span("eval_ranking");
+  math::Matrix sim;
+  {
+    telemetry::ScopedSpan span("similarity");
+    sim = TestSimilarity(model, test_pairs, metric, csls);
+  }
+  telemetry::ScopedSpan rank_span("rank_kernel");
+  Stopwatch rank_watch;
+  telemetry::IncrCounter("eval/ranking_calls");
+  telemetry::IncrCounter("eval/test_pairs", test_pairs.size());
+  telemetry::IncrCounter("eval/candidates",
+                         test_pairs.size() * test_pairs.size());
 
   // Per-pair ranks accumulate via the ordered reduction with a fixed grain,
   // so the sums (and therefore the metrics) are bit-identical at any thread
@@ -93,6 +106,9 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
   metrics.hits5 = total.hits5 / n;
   metrics.mr = total.mr / n;
   metrics.mrr = total.mrr / n;
+  if (telemetry::Enabled()) {
+    telemetry::Observe("eval/rank_kernel_ms", rank_watch.ElapsedMillis());
+  }
   return metrics;
 }
 

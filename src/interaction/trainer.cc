@@ -5,10 +5,30 @@
 #include <unordered_set>
 
 #include "src/common/parallel.h"
+#include "src/common/stopwatch.h"
+#include "src/common/telemetry.h"
 #include "src/math/vec.h"
 
 namespace openea::interaction {
 namespace {
+
+/// Per-epoch telemetry shared by the epoch trainers: loss and throughput
+/// series (Figure 7-style convergence traces), epoch wall time, and the
+/// epoch counter. No-op without a sink; never touches any RNG.
+void RecordEpoch(const char* kind, float loss, size_t positives,
+                 double seconds) {
+  if (!telemetry::Enabled()) return;
+  const std::string prefix = std::string("train/") + kind;
+  telemetry::IncrCounter(prefix + "_epochs");
+  telemetry::IncrCounter("train/positives", positives);
+  telemetry::AppendSeries(prefix + "_loss", loss);
+  telemetry::Observe(prefix + "_epoch_ms", seconds * 1e3);
+  if (seconds > 0.0) {
+    telemetry::Observe(prefix + "_positives_per_sec",
+                       static_cast<double>(positives) / seconds);
+  }
+  telemetry::SetGauge(prefix + "_last_loss", loss);
+}
 
 /// Positives per shard for the sharded epoch paths. Fixed (never derived
 /// from the thread count) so the shard → RNG-stream assignment, and with it
@@ -32,6 +52,8 @@ float TrainEpoch(embedding::TripleModel& model,
                  const embedding::TruncatedNegativeSampler* truncated,
                  EpochMode mode) {
   if (triples.empty()) return 0.0f;
+  telemetry::ScopedSpan span("train_epoch");
+  Stopwatch watch;
   std::vector<size_t> order(triples.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng.Shuffle(order);
@@ -81,20 +103,26 @@ float TrainEpoch(embedding::TripleModel& model,
     }
   }
   model.PostEpoch();
-  return total / static_cast<float>(triples.size());
+  const float mean_loss = total / static_cast<float>(triples.size());
+  RecordEpoch("pair", mean_loss, triples.size(), watch.ElapsedSeconds());
+  return mean_loss;
 }
 
 float TrainEpochPositiveOnly(embedding::TripleModel& model,
                              const std::vector<kg::Triple>& triples,
                              Rng& rng) {
   if (triples.empty()) return 0.0f;
+  telemetry::ScopedSpan span("train_epoch");
+  Stopwatch watch;
   std::vector<size_t> order(triples.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng.Shuffle(order);
   float total = 0.0f;
   for (size_t idx : order) total += model.TrainOnPositive(triples[idx]);
   model.PostEpoch();
-  return total / static_cast<float>(triples.size());
+  const float mean_loss = total / static_cast<float>(triples.size());
+  RecordEpoch("positive", mean_loss, triples.size(), watch.ElapsedSeconds());
+  return mean_loss;
 }
 
 float CalibrateEpoch(
@@ -102,6 +130,8 @@ float CalibrateEpoch(
     const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs,
     float learning_rate, float margin, int negatives, Rng& rng,
     EpochMode mode) {
+  telemetry::ScopedSpan span("calibrate_epoch");
+  Stopwatch watch;
   const size_t d = entities.dim();
   const size_t n = entities.num_rows();
 
@@ -168,7 +198,10 @@ float CalibrateEpoch(
       entities.ApplyGradient(c, grad, learning_rate);
     }
   }
-  return pairs.empty() ? 0.0f : total / static_cast<float>(pairs.size());
+  const float mean_loss =
+      pairs.empty() ? 0.0f : total / static_cast<float>(pairs.size());
+  RecordEpoch("calibrate", mean_loss, pairs.size(), watch.ElapsedSeconds());
+  return mean_loss;
 }
 
 size_t PathCompositionEpoch(math::EmbeddingTable& relations,

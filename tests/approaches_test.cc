@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "src/approaches/imuse.h"
+#include "src/approaches/mtranse.h"
 #include "src/core/benchmark.h"
 #include "src/core/registry.h"
 #include "src/datagen/kg_pair.h"
@@ -48,7 +52,7 @@ TEST_P(ApproachTest, TrainsAndBeatsRandomBaseline) {
   config.dim = 16;
   config.max_epochs = 60;
   config.seed = 1;
-  auto approach = core::CreateApproach(GetParam(), config);
+  auto approach = core::CreateApproachOrDie(GetParam(), config);
   ASSERT_NE(approach, nullptr);
   EXPECT_EQ(approach->name(), GetParam());
 
@@ -75,7 +79,7 @@ TEST_P(ApproachTest, TrainsAndBeatsRandomBaseline) {
 
 TEST_P(ApproachTest, RequirementsDeclareSeedAlignment) {
   core::TrainConfig config;
-  auto approach = core::CreateApproach(GetParam(), config);
+  auto approach = core::CreateApproachOrDie(GetParam(), config);
   ASSERT_NE(approach, nullptr);
   // All 12 embedding-based approaches are (semi-)supervised (Table 9).
   EXPECT_EQ(approach->requirements().pre_aligned_entities,
@@ -86,9 +90,73 @@ INSTANTIATE_TEST_SUITE_P(All12, ApproachTest,
                          ::testing::ValuesIn(core::ApproachNames()),
                          [](const auto& info) { return info.param; });
 
-TEST(RegistryTest, UnknownNameGivesNull) {
+TEST(RegistryTest, UnknownNameReturnsNotFoundListingValidNames) {
   core::TrainConfig config;
-  EXPECT_EQ(core::CreateApproach("NoSuchApproach", config), nullptr);
+  const auto made = core::CreateApproach("NoSuchApproach", config);
+  ASSERT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), StatusCode::kNotFound);
+  // The error must name the valid approaches so the caller can self-serve.
+  EXPECT_NE(made.status().message().find("NoSuchApproach"),
+            std::string::npos);
+  for (const auto& name : core::ApproachNames()) {
+    EXPECT_NE(made.status().message().find(name), std::string::npos) << name;
+  }
+}
+
+TEST(RegistryTest, InvalidConfigRejectedBeforeLookup) {
+  core::TrainConfig config;
+  config.dim = 0;
+  const auto made = core::CreateApproach("MTransE", config);
+  ASSERT_FALSE(made.ok());
+  EXPECT_EQ(made.status().code(), StatusCode::kInvalidArgument);
+
+  core::TrainConfig bad_epochs;
+  bad_epochs.max_epochs = 0;
+  EXPECT_FALSE(core::CreateApproach("MTransE", bad_epochs).ok());
+  core::TrainConfig bad_eval;
+  bad_eval.eval_every = -1;
+  EXPECT_FALSE(core::CreateApproach("MTransE", bad_eval).ok());
+  core::TrainConfig bad_threads;
+  bad_threads.threads = -2;
+  EXPECT_FALSE(core::CreateApproach("MTransE", bad_threads).ok());
+}
+
+TEST(RegistryTest, TrainConfigValidateAcceptsDefaults) {
+  EXPECT_TRUE(core::TrainConfig{}.Validate().ok());
+  core::TrainConfig all_hardware;
+  all_hardware.threads = 0;  // 0 = all hardware threads is valid.
+  EXPECT_TRUE(all_hardware.Validate().ok());
+}
+
+TEST(RegistryTest, RegisterHookExtendsTheFactoryTable) {
+  const std::string name = "RegistryTestCustomApproach";
+  ASSERT_TRUE(core::RegisterApproach(name, [](const core::TrainConfig& c) {
+    return std::make_unique<MTransE>(c);
+  }));
+  // Second registration under the same name is rejected.
+  EXPECT_FALSE(core::RegisterApproach(name, [](const core::TrainConfig& c) {
+    return std::make_unique<MTransE>(c);
+  }));
+  const auto registered = core::RegisteredApproachNames();
+  EXPECT_NE(std::find(registered.begin(), registered.end(), name),
+            registered.end());
+  core::TrainConfig config;
+  config.dim = 16;
+  auto made = core::CreateApproach(name, config);
+  ASSERT_TRUE(made.ok()) << made.status().ToString();
+  EXPECT_EQ(made.value()->name(), "MTransE");
+}
+
+TEST(RegistryTest, RegisteredNamesIncludePaperTwelveAndChassis) {
+  const auto registered = core::RegisteredApproachNames();
+  for (const auto& name : core::ApproachNames()) {
+    EXPECT_NE(std::find(registered.begin(), registered.end(), name),
+              registered.end())
+        << name;
+  }
+  EXPECT_NE(std::find(registered.begin(), registered.end(),
+                      std::string("MTransE-RotatE")),
+            registered.end());
 }
 
 TEST(RegistryTest, UnexploredModelChassis) {
@@ -98,7 +166,7 @@ TEST(RegistryTest, UnexploredModelChassis) {
        {"MTransE-TransH", "MTransE-TransD", "MTransE-RotatE",
         "MTransE-SimplE", "MTransE-ProjE", "MTransE-ConvE",
         "MTransE-TransR", "MTransE-HolE", "MTransE-DistMult"}) {
-    auto approach = core::CreateApproach(name, config);
+    auto approach = core::CreateApproachOrDie(name, config);
     ASSERT_NE(approach, nullptr) << name;
     EXPECT_EQ(approach->name(), name);
   }
@@ -109,7 +177,7 @@ TEST(SemiSupervisedTest, TracesAreRecorded) {
   config.dim = 16;
   config.max_epochs = 60;
   for (const char* name : {"BootEA", "IPTransE", "KDCoE"}) {
-    auto approach = core::CreateApproach(name, config);
+    auto approach = core::CreateApproachOrDie(name, config);
     const core::AlignmentModel model = approach->Train(GetSharedTask().task);
     EXPECT_FALSE(model.semi_supervised_trace.empty()) << name;
     for (const auto& stat : model.semi_supervised_trace) {
@@ -134,12 +202,12 @@ TEST(AblationTest, AttributeSwitchChangesLiteralApproaches) {
   for (const char* name : {"MultiKE", "RDGCN"}) {
     const double h1_with =
         eval::EvaluateRanking(
-            core::CreateApproach(name, with_attr)->Train(shared.task),
+            core::CreateApproachOrDie(name, with_attr)->Train(shared.task),
             shared.task.test, align::DistanceMetric::kCosine)
             .hits1;
     const double h1_without =
         eval::EvaluateRanking(
-            core::CreateApproach(name, without_attr)->Train(shared.task),
+            core::CreateApproachOrDie(name, without_attr)->Train(shared.task),
             shared.task.test, align::DistanceMetric::kCosine)
             .hits1;
     EXPECT_GT(h1_with, h1_without) << name;

@@ -14,7 +14,7 @@ TEST(ExtensionsTest, AliNetRegistersAndTrains) {
   core::TrainConfig config;
   config.dim = 16;
   config.max_epochs = 60;
-  auto approach = core::CreateApproach("AliNet", config);
+  auto approach = core::CreateApproachOrDie("AliNet", config);
   ASSERT_NE(approach, nullptr);
   EXPECT_EQ(approach->name(), "AliNet");
   EXPECT_EQ(approach->requirements().relation_triples,
@@ -29,14 +29,14 @@ TEST(ExtensionsTest, AliNetRegistersAndTrains) {
 
 TEST(ExtensionsTest, UnsupervisedEaRegistered) {
   core::TrainConfig config;
-  auto approach = core::CreateApproach("UnsupervisedEA", config);
+  auto approach = core::CreateApproachOrDie("UnsupervisedEA", config);
   ASSERT_NE(approach, nullptr);
   EXPECT_EQ(approach->name(), "UnsupervisedEA");
 }
 
 TEST(ExtensionsTest, ComplExChassisRegistered) {
   core::TrainConfig config;
-  auto approach = core::CreateApproach("MTransE-ComplEx", config);
+  auto approach = core::CreateApproachOrDie("MTransE-ComplEx", config);
   ASSERT_NE(approach, nullptr);
   EXPECT_EQ(approach->name(), "MTransE-ComplEx");
 }
