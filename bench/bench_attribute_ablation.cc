@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace openea;
   const auto args = bench::ParseArgs("attribute_ablation", argc, argv, 1, 150);
+  bench::BeginRun(args);
 
   const char* kAttributeApproaches[] = {"JAPE",  "GCNAlign", "KDCoE",
                                         "AttrE", "IMUSE",    "MultiKE",

@@ -14,6 +14,9 @@
 //                         approaches ignore it)
 //   --json=path           write BENCH_<name>.json telemetry (metrics, trace
 //                         spans, config, seed, thread count) on Finish()
+//   --trace=path          record an event-level timeline and write it as
+//                         Chrome trace JSON (chrome://tracing / Perfetto)
+//                         on Finish()
 //   --help                print usage and exit
 // Unknown flags are rejected with the usage text. Every binary prints the
 // rows of its paper table/figure, finishes with a short "shape check" note
@@ -30,6 +33,7 @@
 #include "src/common/parallel.h"
 #include "src/common/strings.h"
 #include "src/common/telemetry.h"
+#include "src/common/trace.h"
 #include "src/core/benchmark.h"
 #include "src/core/registry.h"
 
@@ -42,7 +46,8 @@ struct BenchArgs {
   int epochs = 200;
   uint64_t seed = 7;
   int threads = 1;
-  std::string json_path;  // Empty = no JSON telemetry.
+  std::string json_path;   // Empty = no JSON telemetry.
+  std::string trace_path;  // Empty = no Chrome trace timeline.
   /// Approaches to iterate for "all approaches" benches.
   std::vector<std::string> approaches = core::ApproachNames();
 };
@@ -59,6 +64,7 @@ inline void PrintUsage(const std::string& bench_name, int default_folds,
       "  --threads=N          worker threads (default 1; 0 = all hardware)\n"
       "  --approaches=csv     approaches to run (default: the paper's 12)\n"
       "  --json=path          write BENCH_%s.json telemetry on exit\n"
+      "  --trace=path         write a Chrome trace-event timeline on exit\n"
       "  --help               this text\n",
       bench_name.c_str(), default_folds, default_epochs, bench_name.c_str());
 }
@@ -98,6 +104,12 @@ inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
         std::fprintf(stderr, "--json requires a path\n");
         std::exit(2);
       }
+    } else if (StartsWith(arg, "--trace=")) {
+      args.trace_path = arg.substr(8);
+      if (args.trace_path.empty()) {
+        std::fprintf(stderr, "--trace requires a path\n");
+        std::exit(2);
+      }
     } else if (StartsWith(arg, "--approaches=")) {
       args.approaches = Split(arg.substr(13), ',');
       const std::vector<std::string> registered =
@@ -124,6 +136,11 @@ inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
   SetThreads(args.threads);
   args.threads = Threads();  // Resolve 0 -> hardware thread count.
 
+  if (!args.trace_path.empty()) {
+    trace::TraceConfig trace_config;
+    trace_config.path = args.trace_path;
+    trace::Start(trace_config);
+  }
   if (!args.json_path.empty()) {
     telemetry::AttachSink(
         std::make_unique<telemetry::JsonSink>(args.json_path));
@@ -143,12 +160,41 @@ inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
   return args;
 }
 
-/// Flushes telemetry to the --json sink (no-op without one) and returns the
-/// process exit code. Call as the last statement of main().
+/// Tracks whether BeginRun opened the root trace slice, so Finish can close
+/// it before exporting the timeline.
+inline bool& RunBegan() {
+  static bool began = false;
+  return began;
+}
+
+/// Opens the run in the observability layer: names the main thread in the
+/// trace timeline and starts the root "bench_<name>" slice that every other
+/// event nests under. Call once, right after ParseArgs.
+inline void BeginRun(const BenchArgs& args) {
+  if (trace::Enabled()) {
+    trace::SetCurrentThreadName("main");
+    trace::Begin("bench_" + args.bench_name);
+    RunBegan() = true;
+  }
+}
+
+/// Flushes telemetry to the --json sink and the event timeline to the
+/// --trace file (each a no-op without its flag) and returns the process
+/// exit code. Call as the last statement of main().
 inline int Finish(const BenchArgs& args) {
   if (!args.json_path.empty()) {
     telemetry::Flush();
     std::fprintf(stderr, "telemetry: wrote %s\n", args.json_path.c_str());
+  }
+  if (!args.trace_path.empty()) {
+    if (RunBegan()) trace::End();
+    const Status exported = trace::StopAndExport();
+    if (exported.ok()) {
+      std::fprintf(stderr, "trace: wrote %s\n", args.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   exported.ToString().c_str());
+    }
   }
   return 0;
 }

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace openea;
   const auto args = bench::ParseArgs("conventional_comparison", argc, argv, 1, 200);
+  bench::BeginRun(args);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   // The paper compares against the best OpenEA approach per dataset; we

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace openea;
   const auto args = bench::ParseArgs("dataset_stats", argc, argv, 1, 0);
+  bench::BeginRun(args);
 
   std::printf("== Table 2: dataset statistics (%s) ==\n",
               args.scale.label.c_str());

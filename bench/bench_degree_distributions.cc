@@ -29,6 +29,7 @@ void PrintHistogram(const char* label, const openea::kg::KnowledgeGraph& g,
 int main(int argc, char** argv) {
   using namespace openea;
   const auto args = bench::ParseArgs("degree_distributions", argc, argv, 1, 0);
+  bench::BeginRun(args);
 
   datagen::SyntheticKgConfig config;
   config.num_entities = args.scale.source_entities;

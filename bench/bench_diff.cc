@@ -1,0 +1,109 @@
+// Perf regression gate over two BENCH_<name>.json telemetry documents
+// (src/common/bench_compare.h has the comparison policy):
+//
+//   ./build/bench/bench_diff baseline.json candidate.json [flags]
+//
+// Exits 0 when the candidate is within tolerance of the baseline, 1 with
+// one diagnostic line per regression otherwise, 2 on usage/IO errors. The
+// bench_diff_gate ctest (bench/run_bench_diff_gate.cmake) runs it against
+// the committed tiny-scale baseline under bench/baselines/ so CI catches
+// perf and work-amount drift.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/bench_compare.h"
+#include "src/common/json.h"
+#include "src/common/strings.h"
+
+namespace {
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: bench_diff baseline.json candidate.json [flags]\n"
+      "  --span-tolerance=R     allowed relative span total_ms increase\n"
+      "                         (default 0.40; a 50%% regression fails)\n"
+      "  --counter-tolerance=R  allowed relative counter/count drift\n"
+      "                         (default 0 = exact)\n"
+      "  --gauge-tolerance=R    allowed relative gauge drift (default 1e-6)\n"
+      "  --min-span-ms=T        skip the wall-time gate for spans whose\n"
+      "                         baseline total_ms is below T (default 50)\n"
+      "  --skip=p1,p2           key prefixes to ignore\n"
+      "                         (default telemetry/,mem/)\n"
+      "  --ignore-config        do not require identical config objects\n"
+      "  --help                 this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using openea::json::Value;
+  openea::bench::DiffOptions options;
+  std::string baseline_path, candidate_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else if (openea::StartsWith(arg, "--span-tolerance=")) {
+      options.span_tolerance = std::atof(arg.c_str() + 17);
+    } else if (openea::StartsWith(arg, "--counter-tolerance=")) {
+      options.counter_tolerance = std::atof(arg.c_str() + 20);
+    } else if (openea::StartsWith(arg, "--gauge-tolerance=")) {
+      options.gauge_tolerance = std::atof(arg.c_str() + 18);
+    } else if (openea::StartsWith(arg, "--min-span-ms=")) {
+      options.min_span_ms = std::atof(arg.c_str() + 14);
+    } else if (openea::StartsWith(arg, "--skip=")) {
+      options.skip_prefixes = openea::Split(arg.substr(7), ',');
+    } else if (arg == "--ignore-config") {
+      options.check_config = false;
+    } else if (openea::StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      std::fprintf(stderr, "too many positional arguments\n");
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) {
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  Value baseline, candidate;
+  for (const auto& [path, doc] :
+       {std::pair<const std::string&, Value&>{baseline_path, baseline},
+        std::pair<const std::string&, Value&>{candidate_path, candidate}}) {
+    const openea::Status read = openea::json::ReadFile(path, &doc);
+    if (!read.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   read.ToString().c_str());
+      return 2;
+    }
+  }
+
+  const openea::bench::DiffReport report =
+      openea::bench::CompareBenchDocuments(baseline, candidate, options);
+  for (const std::string& note : report.notes) {
+    std::fprintf(stderr, "note: %s\n", note.c_str());
+  }
+  for (const std::string& regression : report.regressions) {
+    std::fprintf(stderr, "REGRESSION: %s\n", regression.c_str());
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "bench_diff: %zu regression(s) against %s\n",
+                 report.regressions.size(), baseline_path.c_str());
+    return 1;
+  }
+  std::printf("bench_diff: %s within tolerance of %s\n",
+              candidate_path.c_str(), baseline_path.c_str());
+  return 0;
+}

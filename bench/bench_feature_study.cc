@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace openea;
   const auto args = bench::ParseArgs("feature_study", argc, argv, 1, 200);
+  bench::BeginRun(args);
 
   const auto dataset = core::BuildBenchmarkDataset(
       datagen::HeterogeneityProfile::EnFr(), args.scale, false, args.seed);

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace openea;
   const auto args = bench::ParseArgs("hubness_isolation", argc, argv, 1, 200);
+  bench::BeginRun(args);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   const auto dataset = core::BuildBenchmarkDataset(

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace openea;
   const auto args = bench::ParseArgs("main_results", argc, argv, /*default_folds=*/2,
                                      /*default_epochs=*/200);
+  bench::BeginRun(args);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   // ---- Table 9 first (static metadata, instant) ------------------------------

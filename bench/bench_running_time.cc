@@ -75,6 +75,7 @@ void PrintKernelSpeedup(int threads) {
 int main(int argc, char** argv) {
   using namespace openea;
   const auto args = bench::ParseArgs("running_time", argc, argv, 1, 150);
+  bench::BeginRun(args);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   PrintKernelSpeedup(args.threads);

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace openea;
   const auto args = bench::ParseArgs("sampling_quality", argc, argv, 1, 0);
+  bench::BeginRun(args);
 
   datagen::SyntheticKgConfig config;
   config.num_entities = args.scale.source_entities;

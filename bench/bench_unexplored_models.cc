@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace openea;
   const auto args = bench::ParseArgs("unexplored_models", argc, argv, 1, 150);
+  bench::BeginRun(args);
   const core::TrainConfig config = bench::MakeTrainConfig(args);
 
   const char* kModels[] = {"MTransE",        "MTransE-TransH",

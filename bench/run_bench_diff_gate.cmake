@@ -1,0 +1,43 @@
+# Perf drift gate (bench_diff_gate ctest, see bench/CMakeLists.txt):
+# re-runs one bench at the exact configuration the committed baseline was
+# recorded with, then diffs the fresh BENCH json against the baseline.
+#
+#   cmake -DBENCH=<path> -DDIFF=<path> -DBASELINE=<path> -DJSON=<path>
+#         -P run_bench_diff_gate.cmake
+#
+# Counters and span counts gate exactly (a pinned seed/threads run does a
+# deterministic amount of work); span wall times gate at 4x with a 200ms
+# floor so the test stays robust across machines while still catching
+# order-of-magnitude perf drift. bench_diff's tighter defaults (40%) are
+# for like-for-like A/B runs on one machine.
+
+if(NOT BENCH OR NOT DIFF OR NOT BASELINE OR NOT JSON)
+  message(FATAL_ERROR
+          "run_bench_diff_gate.cmake needs -DBENCH, -DDIFF, -DBASELINE, -DJSON")
+endif()
+
+file(REMOVE ${JSON})
+execute_process(
+  COMMAND ${BENCH} --scale=small --folds=1 --epochs=2 --seed=7 --threads=2
+          --approaches=MTransE --json=${JSON}
+  RESULT_VARIABLE bench_status)
+if(NOT bench_status EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited with ${bench_status}")
+endif()
+if(NOT EXISTS ${JSON})
+  message(FATAL_ERROR "${BENCH} did not write ${JSON}")
+endif()
+
+execute_process(
+  COMMAND ${DIFF} ${BASELINE} ${JSON}
+          --span-tolerance=3.0 --min-span-ms=200
+  RESULT_VARIABLE diff_status)
+if(NOT diff_status EQUAL 0)
+  message(FATAL_ERROR "${DIFF} flagged ${JSON} against ${BASELINE}")
+endif()
+
+# Self-consistency: a document diffed against itself must always pass.
+execute_process(COMMAND ${DIFF} ${JSON} ${JSON} RESULT_VARIABLE self_status)
+if(NOT self_status EQUAL 0)
+  message(FATAL_ERROR "${DIFF} rejected ${JSON} against itself")
+endif()

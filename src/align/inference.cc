@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/align/similarity.h"
+#include "src/common/telemetry.h"
 
 namespace openea::align {
 
@@ -140,6 +141,8 @@ std::vector<int> KuhnMunkres(const math::Matrix& sim) {
 
 std::vector<int> InferAlignment(const math::Matrix& sim,
                                 InferenceStrategy strategy, int csls_k) {
+  telemetry::ScopedSpan span("infer_alignment");
+  telemetry::IncrCounter("align/inference_calls");
   switch (strategy) {
     case InferenceStrategy::kGreedy:
       return GreedyMatch(sim);

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
+#include "src/common/telemetry.h"
 #include "src/math/vec.h"
 
 namespace openea::align {
@@ -23,6 +24,8 @@ math::Matrix SimilarityMatrix(const math::Matrix& src,
                               const math::Matrix& tgt,
                               DistanceMetric metric) {
   OPENEA_CHECK_EQ(src.cols(), tgt.cols());
+  telemetry::ScopedSpan span("similarity_matrix");
+  telemetry::IncrCounter("align/sim_cells", src.rows() * tgt.rows());
   math::Matrix sim(src.rows(), tgt.rows());
   // Row-parallel: every similarity cell is written exactly once, so the
   // result is bit-identical at any thread count.

@@ -1,0 +1,185 @@
+#include "src/common/bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "src/common/strings.h"
+
+namespace openea::bench {
+namespace {
+
+bool Skipped(const DiffOptions& options, const std::string& key) {
+  for (const std::string& prefix : options.skip_prefixes) {
+    if (StartsWith(key, prefix)) return true;
+  }
+  return false;
+}
+
+std::string Format(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+/// Relative drift with a floor of 1 on the denominator, so tiny baselines
+/// don't turn absolute noise into huge ratios.
+double Drift(double baseline, double candidate) {
+  const double denom = std::max(std::fabs(baseline), 1.0);
+  return std::fabs(candidate - baseline) / denom;
+}
+
+/// Compares two {name: number} sections key-by-key under `tolerance`.
+void CompareNumberSection(const json::Value& baseline,
+                          const json::Value& candidate, const char* section,
+                          double tolerance, const DiffOptions& options,
+                          DiffReport& report) {
+  const json::Value* base = baseline.Find(section);
+  const json::Value* cand = candidate.Find(section);
+  if (base == nullptr || !base->is_object()) return;
+  if (cand == nullptr || !cand->is_object()) {
+    report.regressions.push_back(std::string(section) +
+                                 ": missing in candidate");
+    return;
+  }
+  for (const auto& [key, value] : base->object()) {
+    if (!value.is_number() || Skipped(options, key)) continue;
+    const json::Value* other = cand->Find(key);
+    if (other == nullptr || !other->is_number()) {
+      report.regressions.push_back(std::string(section) + "." + key +
+                                   ": missing in candidate");
+      continue;
+    }
+    const double drift = Drift(value.number(), other->number());
+    if (drift > tolerance) {
+      report.regressions.push_back(
+          std::string(section) + "." + key + ": " + Format(value.number()) +
+          " -> " + Format(other->number()) + " (drift " + Format(drift) +
+          " > tolerance " + Format(tolerance) + ")");
+    }
+  }
+  for (const auto& [key, value] : cand->object()) {
+    if (base->Find(key) == nullptr && !Skipped(options, key)) {
+      report.notes.push_back(std::string(section) + "." + key +
+                             ": new in candidate");
+    }
+  }
+}
+
+struct SpanEntry {
+  double count = 0.0;
+  double total_ms = 0.0;
+};
+
+std::map<std::string, SpanEntry> IndexSpans(const json::Value& doc) {
+  std::map<std::string, SpanEntry> out;
+  const json::Value* spans = doc.Find("spans");
+  if (spans == nullptr || !spans->is_array()) return out;
+  for (const json::Value& span : spans->array()) {
+    const json::Value* path = span.Find("path");
+    const json::Value* count = span.Find("count");
+    const json::Value* total = span.Find("total_ms");
+    if (path == nullptr || !path->is_string() || count == nullptr ||
+        total == nullptr) {
+      continue;
+    }
+    out[path->string_value()] = {count->number(), total->number()};
+  }
+  return out;
+}
+
+}  // namespace
+
+DiffReport CompareBenchDocuments(const json::Value& baseline,
+                                 const json::Value& candidate,
+                                 const DiffOptions& options) {
+  DiffReport report;
+
+  if (options.check_config) {
+    const json::Value* base_config = baseline.Find("config");
+    const json::Value* cand_config = candidate.Find("config");
+    const std::string base_dump =
+        base_config != nullptr ? base_config->Dump(0) : "<absent>";
+    const std::string cand_dump =
+        cand_config != nullptr ? cand_config->Dump(0) : "<absent>";
+    if (base_dump != cand_dump) {
+      report.regressions.push_back("config mismatch: baseline " + base_dump +
+                                   " vs candidate " + cand_dump);
+      // Incomparable runs: tolerances below would be meaningless.
+      return report;
+    }
+  }
+
+  CompareNumberSection(baseline, candidate, "counters",
+                       options.counter_tolerance, options, report);
+  CompareNumberSection(baseline, candidate, "gauges", options.gauge_tolerance,
+                       options, report);
+
+  // Histograms: only the observation count is deterministic (the values
+  // are wall times); distribution drift is covered by the span gate.
+  const json::Value* base_hists = baseline.Find("histograms");
+  const json::Value* cand_hists = candidate.Find("histograms");
+  if (base_hists != nullptr && base_hists->is_object()) {
+    for (const auto& [name, hist] : base_hists->object()) {
+      if (Skipped(options, name)) continue;
+      const json::Value* base_count = hist.Find("count");
+      if (base_count == nullptr) continue;
+      const json::Value* other =
+          cand_hists != nullptr ? cand_hists->Find(name) : nullptr;
+      const json::Value* cand_count =
+          other != nullptr ? other->Find("count") : nullptr;
+      if (cand_count == nullptr) {
+        report.regressions.push_back("histograms." + name +
+                                     ": missing in candidate");
+        continue;
+      }
+      const double drift = Drift(base_count->number(), cand_count->number());
+      if (drift > options.counter_tolerance) {
+        report.regressions.push_back(
+            "histograms." + name + ".count: " + Format(base_count->number()) +
+            " -> " + Format(cand_count->number()) + " (drift " +
+            Format(drift) + ")");
+      }
+    }
+  }
+
+  const std::map<std::string, SpanEntry> base_spans = IndexSpans(baseline);
+  const std::map<std::string, SpanEntry> cand_spans = IndexSpans(candidate);
+  for (const auto& [path, base_span] : base_spans) {
+    if (Skipped(options, path)) continue;
+    const auto it = cand_spans.find(path);
+    if (it == cand_spans.end()) {
+      report.regressions.push_back("spans." + path + ": missing in candidate");
+      continue;
+    }
+    if (Drift(base_span.count, it->second.count) >
+        options.counter_tolerance) {
+      report.regressions.push_back(
+          "spans." + path + ".count: " + Format(base_span.count) + " -> " +
+          Format(it->second.count));
+    }
+    // One-sided wall-time gate: only slower fails, and only for spans long
+    // enough to time reliably.
+    if (base_span.total_ms >= options.min_span_ms &&
+        it->second.total_ms >
+            base_span.total_ms * (1.0 + options.span_tolerance)) {
+      const double ratio = base_span.total_ms > 0.0
+                               ? it->second.total_ms / base_span.total_ms
+                               : 0.0;
+      report.regressions.push_back(
+          "spans." + path + ".total_ms: " + Format(base_span.total_ms) +
+          " -> " + Format(it->second.total_ms) + " (" + Format(ratio) +
+          "x > allowed " + Format(1.0 + options.span_tolerance) + "x)");
+    }
+  }
+  for (const auto& [path, span] : cand_spans) {
+    if (base_spans.find(path) == base_spans.end() &&
+        !Skipped(options, path)) {
+      report.notes.push_back("spans." + path + ": new in candidate");
+    }
+  }
+  return report;
+}
+
+}  // namespace openea::bench

@@ -1,0 +1,49 @@
+#ifndef OPENEA_COMMON_BENCH_COMPARE_H_
+#define OPENEA_COMMON_BENCH_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace openea::bench {
+
+/// Comparison policy for two BENCH_<name>.json documents (the perf gate
+/// behind bench/bench_diff.cc). Key classes get different defaults because
+/// they drift differently:
+///  * counters and span/histogram counts are deterministic for a pinned
+///    (seed, threads, config) run — any drift means the amount of work
+///    changed, so the default tolerance is exact;
+///  * span wall times are environment noise at small scales — they gate
+///    with a relative tolerance and an absolute floor below which a span is
+///    too short to judge;
+///  * "telemetry/" (self-observation) and "mem/" (machine-dependent RSS)
+///    keys are skipped by default.
+struct DiffOptions {
+  double span_tolerance = 0.40;    // Allowed relative total_ms increase.
+  double counter_tolerance = 0.0;  // Allowed relative counter drift.
+  double gauge_tolerance = 1e-6;   // Allowed relative gauge drift.
+  double min_span_ms = 50.0;       // Spans shorter than this aren't timed-gated.
+  bool check_config = true;        // Require identical "config" objects.
+  std::vector<std::string> skip_prefixes = {"telemetry/", "mem/"};
+};
+
+struct DiffReport {
+  /// Human-readable regression lines; empty means the candidate passes.
+  std::vector<std::string> regressions;
+  /// Non-fatal observations (new keys, skipped sections).
+  std::vector<std::string> notes;
+
+  bool ok() const { return regressions.empty(); }
+};
+
+/// Compares `candidate` against `baseline` under `options`. Keys present in
+/// the baseline must exist in the candidate and stay within tolerance; keys
+/// only in the candidate are reported as notes (instrumentation may grow).
+DiffReport CompareBenchDocuments(const json::Value& baseline,
+                                 const json::Value& candidate,
+                                 const DiffOptions& options);
+
+}  // namespace openea::bench
+
+#endif  // OPENEA_COMMON_BENCH_COMPARE_H_

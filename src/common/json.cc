@@ -322,13 +322,23 @@ Status Parse(std::string_view text, Value* out) {
 }
 
 Status WriteFile(const std::string& path, const Value& value) {
-  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  // Write-then-rename: a crash mid-export can leave a stale *.tmp behind
+  // but never a truncated document at `path` (rename is atomic on POSIX).
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream file(tmp_path, std::ios::out | std::ios::trunc);
   if (!file) {
-    return Status::Internal("cannot open " + path + " for writing");
+    return Status::Internal("cannot open " + tmp_path + " for writing");
   }
   file << value.Dump();
   file.close();
-  if (!file) return Status::Internal("failed writing " + path);
+  if (!file) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("failed writing " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename " + tmp_path + " to " + path);
+  }
   return Status::OK();
 }
 

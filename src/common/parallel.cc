@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "src/common/telemetry.h"
+#include "src/common/trace.h"
 
 namespace openea {
 namespace {
@@ -50,7 +51,8 @@ class ThreadPool {
     if (workers == workers_.size()) return;
     if (workers < workers_.size()) StopAll();
     while (workers_.size() < workers) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.emplace_back(
+          [this, index = workers_.size()] { WorkerLoop(index); });
     }
   }
 
@@ -96,8 +98,11 @@ class ThreadPool {
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop(size_t index) {
     t_in_worker = true;
+    // Stable id in the exported trace timeline: recreating the pool at the
+    // same size reuses the same names.
+    trace::SetCurrentThreadName("pool-worker-" + std::to_string(index));
     std::shared_ptr<Job> last_seen;
     for (;;) {
       std::shared_ptr<Job> job;
@@ -181,18 +186,30 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   const TelemetryClock::time_point job_start =
       telem ? TelemetryClock::now() : TelemetryClock::time_point();
 
+  // Job name for the trace timeline, resolved on the submitting thread: the
+  // innermost open span names the work (e.g. "similarity"), so each forked
+  // chunk shows up on its worker's track under that name.
+  const bool tracing = trace::Enabled();
+  std::string job_name;
+  if (tracing) {
+    job_name = telemetry::CurrentSpanLeaf();
+    if (job_name.empty()) job_name = "parallel_for";
+  }
+
   const std::function<void(size_t)> chunk_fn = [&](size_t chunk) {
     const size_t lo = begin + chunk * grain;
     const size_t hi = lo + grain < end ? lo + grain : end;
+    if (tracing) trace::Begin(job_name);
     if (!telem) {
       fn(lo, hi);
-      return;
+    } else {
+      const TelemetryClock::time_point start = TelemetryClock::now();
+      fn(lo, hi);
+      chunk_ms[chunk] = std::chrono::duration<double, std::milli>(
+                            TelemetryClock::now() - start)
+                            .count();
     }
-    const TelemetryClock::time_point start = TelemetryClock::now();
-    fn(lo, hi);
-    chunk_ms[chunk] = std::chrono::duration<double, std::milli>(
-                          TelemetryClock::now() - start)
-                          .count();
+    if (tracing) trace::End();
   };
   // The submitting thread participates in the job; flag it as a worker so a
   // nested ParallelFor inside its own chunks runs inline instead of

@@ -1,11 +1,18 @@
 #include "src/common/telemetry.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <iostream>
 #include <limits>
 #include <mutex>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "src/common/logging.h"
+#include "src/common/table_printer.h"
+#include "src/common/trace.h"
 
 namespace openea::telemetry {
 namespace {
@@ -69,7 +76,52 @@ thread_local std::string t_span_path;
 
 double SafeRatio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
 
+std::string FormatCompact(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
 }  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // The target rank falls in bucket i; interpolate inside its range. The
+    // first bucket starts at the observed min and the overflow bucket ends
+    // at the observed max, so the estimate never leaves [min, max].
+    double lo = i == 0 ? min : bounds[i - 1];
+    double hi = i < bounds.size() ? bounds[i] : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi < lo) hi = lo;
+    const double fraction =
+        (target - before) / static_cast<double>(counts[i]);
+    return lo + fraction * (hi - lo);
+  }
+  return max;
+}
+
+double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 void IncrCounter(std::string_view name, uint64_t delta) {
   if (!Enabled()) return;
@@ -148,21 +200,25 @@ MetricsSnapshot SnapshotMetrics() {
 }
 
 ScopedSpan::ScopedSpan(std::string_view name) {
-  if (!Enabled()) return;
-  active_ = true;
+  active_ = Enabled();
+  traced_ = trace::Enabled();
+  if (!active_ && !traced_) return;
+  // The path stack is maintained for either consumer: the aggregates key on
+  // it, and the pool labels forked chunks with its leaf.
   if (!t_span_path.empty()) t_span_path.push_back('/');
   t_span_path.append(name);
-  start_ = std::chrono::steady_clock::now();
+  if (traced_) trace::Begin(name);
+  if (active_) start_ = std::chrono::steady_clock::now();
 }
 
 ScopedSpan::~ScopedSpan() {
-  if (!active_) return;
-  const double ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start_)
-          .count();
-  Registry& reg = GetRegistry();
-  {
+  if (!active_ && !traced_) return;
+  if (active_) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    Registry& reg = GetRegistry();
     std::lock_guard<std::mutex> lock(reg.mu);
     SpanStat& stat = reg.spans[t_span_path];
     if (stat.count == 0) {
@@ -176,8 +232,14 @@ ScopedSpan::~ScopedSpan() {
     ++stat.count;
     stat.total_ms += ms;
   }
+  if (traced_) trace::End();
   const size_t cut = t_span_path.rfind('/');
   t_span_path.resize(cut == std::string::npos ? 0 : cut);
+}
+
+std::string CurrentSpanLeaf() {
+  const size_t cut = t_span_path.rfind('/');
+  return cut == std::string::npos ? t_span_path : t_span_path.substr(cut + 1);
 }
 
 std::vector<SpanStat> SnapshotSpans() {
@@ -204,10 +266,17 @@ void ConsoleSink::Export(const json::Value& context,
   for (const auto& [name, value] : metrics.gauges) {
     os << "gauge " << name << " = " << value << "\n";
   }
-  for (const auto& [name, h] : metrics.histograms) {
-    os << "histogram " << name << ": count=" << h.count << " sum=" << h.sum
-       << " min=" << h.min << " max=" << h.max
-       << " mean=" << SafeRatio(h.sum, static_cast<double>(h.count)) << "\n";
+  if (!metrics.histograms.empty()) {
+    TablePrinter table({"histogram", "count", "mean", "min", "p50", "p95",
+                        "p99", "max"});
+    for (const auto& [name, h] : metrics.histograms) {
+      table.AddRow({name, std::to_string(h.count),
+                    FormatCompact(SafeRatio(h.sum, static_cast<double>(h.count))),
+                    FormatCompact(h.min), FormatCompact(h.P50()),
+                    FormatCompact(h.P95()), FormatCompact(h.P99()),
+                    FormatCompact(h.max)});
+    }
+    table.Print(os);
   }
   for (const auto& [name, values] : metrics.series) {
     os << "series " << name << ": " << values.size() << " points";
@@ -255,6 +324,9 @@ json::Value BuildExportDocument(const json::Value& context,
     entry.emplace("sum", h.sum);
     entry.emplace("min", h.min);
     entry.emplace("max", h.max);
+    entry.emplace("p50", h.P50());
+    entry.emplace("p95", h.P95());
+    entry.emplace("p99", h.P99());
     histograms.emplace(name, std::move(entry));
   }
   doc.emplace("histograms", std::move(histograms));

@@ -53,6 +53,14 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+
+  /// Quantile estimate (q in [0, 1]) interpolated linearly inside the
+  /// bucket containing the target rank; the first and overflow buckets are
+  /// anchored at the observed min/max. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
 };
 
 struct MetricsSnapshot {
@@ -99,6 +107,11 @@ struct SpanStat {
 /// under the calling thread's current span path. Nesting is per-thread, so
 /// spans opened inside pool workers aggregate under the worker's own (flat)
 /// path without racing the submitting thread's stack.
+///
+/// Dual emit: when event tracing (src/common/trace.h) is active, the same
+/// span also emits a Begin/End pair on the thread's trace timeline — every
+/// existing ScopedSpan call site shows up in the Chrome trace with zero new
+/// instrumentation.
 class ScopedSpan {
  public:
   explicit ScopedSpan(std::string_view name);
@@ -108,12 +121,22 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
-  bool active_ = false;
+  bool active_ = false;  // Telemetry aggregation is on.
+  bool traced_ = false;  // A trace Begin was emitted; End owed at exit.
   std::chrono::steady_clock::time_point start_;
 };
 
 /// All span aggregates, sorted by path.
 std::vector<SpanStat> SnapshotSpans();
+
+/// Leaf name of the calling thread's innermost open span ("" when none or
+/// when neither collection nor tracing is on). The parallel pool uses this
+/// to label trace events of the chunks it forks.
+std::string CurrentSpanLeaf();
+
+/// Peak resident set size of the process in MiB (getrusage-based; 0 where
+/// unsupported). Cheap enough to sample at phase boundaries.
+double PeakRssMb();
 
 // ---------------------------------------------------------------------------
 // Sinks.

@@ -1,0 +1,139 @@
+#ifndef OPENEA_COMMON_TRACE_H_
+#define OPENEA_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+
+namespace openea::trace {
+
+/// Event-level tracing (DESIGN.md, "Observability" / "Tracing"): where the
+/// telemetry spans aggregate wall time by path, this layer records the raw
+/// *timeline* — begin/end/instant/counter events with microsecond
+/// timestamps — and exports it as Chrome trace-event JSON loadable in
+/// chrome://tracing or Perfetto.
+///
+/// Design:
+///  * Each thread owns a fixed-capacity ring buffer of events. Pushing is
+///    lock-free within the thread (plain slot write + one release store of
+///    the head index); only first-time registration takes the central lock.
+///  * Buffers are registered centrally and drained at export time: the
+///    per-thread rings are merged and sorted by timestamp into one timeline.
+///  * Overflow never blocks: the ring overwrites its oldest events, and the
+///    number of overwritten events is surfaced both in the exported
+///    document and as the "telemetry/trace_dropped" counter.
+///  * Same zero-perturbation contract as the metrics layer: every emit site
+///    is gated on one relaxed atomic load, tracing never touches any RNG
+///    and never reorders parallel work, so traced runs are bit-identical to
+///    untraced runs at any thread count.
+///
+/// Start/Stop are not thread-safe against concurrent emitters; call them at
+/// quiescence (before/after the traced workload), as the bench driver does.
+
+/// True while tracing is active. Emit sites gate all work on this.
+inline std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+inline bool Enabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+struct TraceConfig {
+  /// Chrome trace JSON output path. Empty keeps events in memory only
+  /// (tests snapshot them via DrainEvents).
+  std::string path;
+  /// Ring capacity per thread, in events (~72 bytes each). When a thread
+  /// emits more, the oldest events are overwritten and counted as dropped.
+  size_t events_per_thread = 1 << 16;
+};
+
+enum class EventKind : uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+/// One recorded event. `name` is truncated to kMaxNameLength bytes so a
+/// slot write never allocates; kEnd events carry an empty name (Chrome
+/// matches B/E by per-thread nesting).
+struct TraceEvent {
+  static constexpr size_t kMaxNameLength = 47;
+
+  double ts_us = 0.0;  // Microseconds since the Start() epoch.
+  double value = 0.0;  // Counter events only.
+  uint32_t tid = 0;    // Stable per-thread id (registration order).
+  EventKind kind = EventKind::kInstant;
+  char name[kMaxNameLength + 1] = {0};
+
+  std::string_view name_view() const { return std::string_view(name); }
+};
+
+/// Starts a tracing session: (re)arms every registered ring at
+/// `config.events_per_thread` capacity, resets the timestamp epoch, and
+/// enables collection. Any events from a previous session are discarded.
+void Start(const TraceConfig& config);
+
+/// Disables collection. Recorded events stay buffered for DrainEvents /
+/// StopAndExport.
+void Stop();
+
+/// Merges every thread's ring into one timeline sorted by timestamp
+/// (ties broken by tid, then ring order) and clears the rings. Adds the
+/// session's total overwritten-event count to `dropped` (pass nullptr to
+/// ignore) and to the "telemetry/trace_dropped" counter.
+std::vector<TraceEvent> DrainEvents(uint64_t* dropped = nullptr);
+
+/// Stop() + DrainEvents() + Chrome trace-event JSON written atomically to
+/// the Start() config's path (no-op OK status when the path is empty).
+Status StopAndExport();
+
+/// Builds the Chrome trace-event document: {"displayTimeUnit": "ms",
+/// "otherData": {"dropped_events": N}, "traceEvents": [...]} with
+/// thread_name metadata events first and pid pinned to 1.
+json::Value BuildChromeTraceDocument(const std::vector<TraceEvent>& events,
+                                     uint64_t dropped);
+
+// ---------------------------------------------------------------------------
+// Emit sites (no-ops unless Enabled()).
+// ---------------------------------------------------------------------------
+
+/// Opens a duration slice on the calling thread's timeline.
+void Begin(std::string_view name);
+
+/// Closes the innermost open slice on the calling thread's timeline.
+void End();
+
+/// Marks a point-in-time event (Chrome "i" phase, thread scope).
+void Instant(std::string_view name);
+
+/// Records a sampled value over time (Chrome "C" phase), e.g. per-epoch
+/// loss or positives/sec.
+void Counter(std::string_view name, double value);
+
+/// RAII Begin/End pair.
+class ScopedEvent {
+ public:
+  explicit ScopedEvent(std::string_view name) : active_(Enabled()) {
+    if (active_) Begin(name);
+  }
+  ~ScopedEvent() {
+    if (active_) End();
+  }
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+
+ private:
+  bool active_;
+};
+
+/// Names the calling thread in the exported timeline (e.g. "pool-worker-3").
+/// Registers the thread immediately — independent of Enabled() — so names
+/// set at thread start survive into sessions started later.
+void SetCurrentThreadName(std::string_view name);
+
+}  // namespace openea::trace
+
+#endif  // OPENEA_COMMON_TRACE_H_

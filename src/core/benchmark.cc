@@ -4,6 +4,7 @@
 #include "src/common/parallel.h"
 #include "src/common/stopwatch.h"
 #include "src/common/telemetry.h"
+#include "src/common/trace.h"
 #include "src/core/registry.h"
 #include "src/sampling/samplers.h"
 
@@ -121,12 +122,18 @@ CrossValidationResult RunCrossValidation(const std::string& approach_name,
   }
   split_phase.total_seconds = phase_watch.ElapsedSeconds();
   split_phase.count = 1;
+  if (telemetry::Enabled()) {
+    telemetry::SetGauge("mem/after_fold_split_peak_rss_mb",
+                        telemetry::PeakRssMb());
+  }
   OPENEA_CHECK_LE(static_cast<size_t>(num_folds), folds.size());
 
   std::vector<double> hits1, hits5, mr, mrr;
   double total_seconds = 0.0;
   for (int f = 0; f < num_folds; ++f) {
     telemetry::ScopedSpan fold_span("fold");
+    trace::Instant("fold_begin");
+    trace::Counter("cv/fold_index", f);
     auto made = CreateApproach(approach_name, config);
     OPENEA_CHECK(made.ok()) << made.status().ToString();
     auto approach = std::move(made).value();
@@ -141,6 +148,10 @@ CrossValidationResult RunCrossValidation(const std::string& approach_name,
     total_seconds += train_seconds;
     train_phase.total_seconds += train_seconds;
     ++train_phase.count;
+    if (telemetry::Enabled()) {
+      telemetry::SetGauge("mem/after_train_peak_rss_mb",
+                          telemetry::PeakRssMb());
+    }
     eval::RankingMetrics metrics;
     {
       telemetry::ScopedSpan span("eval");
@@ -150,6 +161,11 @@ CrossValidationResult RunCrossValidation(const std::string& approach_name,
     }
     eval_phase.total_seconds += phase_watch.ElapsedSeconds();
     ++eval_phase.count;
+    if (telemetry::Enabled()) {
+      telemetry::SetGauge("mem/after_eval_peak_rss_mb",
+                          telemetry::PeakRssMb());
+    }
+    trace::Instant("fold_end");
     hits1.push_back(metrics.hits1);
     hits5.push_back(metrics.hits5);
     mr.push_back(metrics.mr);
@@ -168,6 +184,28 @@ CrossValidationResult RunCrossValidation(const std::string& approach_name,
   result.mean_seconds = total_seconds / std::max(num_folds, 1);
   result.phase_seconds = {split_phase, train_phase, eval_phase};
   telemetry::SetGauge("cv/last_hits1_mean", result.hits1.mean);
+  if (telemetry::Enabled()) {
+    telemetry::SetGauge("mem/peak_rss_mb", telemetry::PeakRssMb());
+  }
+  return result;
+}
+
+CrossValidationResult RunCrossValidation(const std::string& approach_name,
+                                         const BenchmarkDataset& dataset,
+                                         const TrainConfig& config,
+                                         int num_folds,
+                                         const trace::TraceConfig& trace_config) {
+  const bool own_session =
+      !trace_config.path.empty() && !trace::Enabled();
+  if (own_session) trace::Start(trace_config);
+  CrossValidationResult result =
+      RunCrossValidation(approach_name, dataset, config, num_folds);
+  if (own_session) {
+    const Status exported = trace::StopAndExport();
+    if (!exported.ok()) {
+      OPENEA_LOG(kError) << "trace export failed: " << exported.ToString();
+    }
+  }
   return result;
 }
 

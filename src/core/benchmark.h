@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/trace.h"
 #include "src/core/approach.h"
 #include "src/core/task.h"
 #include "src/datagen/kg_pair.h"
@@ -79,6 +80,18 @@ CrossValidationResult RunCrossValidation(const std::string& approach_name,
                                          const BenchmarkDataset& dataset,
                                          const TrainConfig& config,
                                          int num_folds);
+
+/// Same, with event tracing for library callers that do not go through the
+/// bench driver's --trace flag: when `trace_config.path` is non-empty and no
+/// trace session is already active, a session is started for the duration
+/// of this run and the Chrome trace JSON is exported on return. An already
+/// active session (e.g. a bench-level --trace spanning several runs) is
+/// left untouched.
+CrossValidationResult RunCrossValidation(const std::string& approach_name,
+                                         const BenchmarkDataset& dataset,
+                                         const TrainConfig& config,
+                                         int num_folds,
+                                         const trace::TraceConfig& trace_config);
 
 }  // namespace openea::core
 

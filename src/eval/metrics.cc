@@ -8,6 +8,7 @@
 #include "src/common/parallel.h"
 #include "src/common/stopwatch.h"
 #include "src/common/telemetry.h"
+#include "src/common/trace.h"
 
 namespace openea::eval {
 namespace {
@@ -62,6 +63,10 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
   telemetry::IncrCounter("eval/test_pairs", test_pairs.size());
   telemetry::IncrCounter("eval/candidates",
                          test_pairs.size() * test_pairs.size());
+  if (trace::Enabled()) {
+    trace::Counter("eval/candidates", static_cast<double>(test_pairs.size() *
+                                                          test_pairs.size()));
+  }
 
   // Per-pair ranks accumulate via the ordered reduction with a fixed grain,
   // so the sums (and therefore the metrics) are bit-identical at any thread

@@ -7,6 +7,7 @@
 #include "src/common/parallel.h"
 #include "src/common/stopwatch.h"
 #include "src/common/telemetry.h"
+#include "src/common/trace.h"
 #include "src/math/vec.h"
 
 namespace openea::interaction {
@@ -14,20 +15,34 @@ namespace {
 
 /// Per-epoch telemetry shared by the epoch trainers: loss and throughput
 /// series (Figure 7-style convergence traces), epoch wall time, and the
-/// epoch counter. No-op without a sink; never touches any RNG.
+/// epoch counter; with a trace session active, the same numbers go out as
+/// timeline counter events plus an epoch-boundary instant. No-op without a
+/// sink or trace; never touches any RNG.
 void RecordEpoch(const char* kind, float loss, size_t positives,
                  double seconds) {
-  if (!telemetry::Enabled()) return;
+  const bool telem = telemetry::Enabled();
+  const bool tracing = trace::Enabled();
+  if (!telem && !tracing) return;
   const std::string prefix = std::string("train/") + kind;
-  telemetry::IncrCounter(prefix + "_epochs");
-  telemetry::IncrCounter("train/positives", positives);
-  telemetry::AppendSeries(prefix + "_loss", loss);
-  telemetry::Observe(prefix + "_epoch_ms", seconds * 1e3);
-  if (seconds > 0.0) {
-    telemetry::Observe(prefix + "_positives_per_sec",
-                       static_cast<double>(positives) / seconds);
+  if (telem) {
+    telemetry::IncrCounter(prefix + "_epochs");
+    telemetry::IncrCounter("train/positives", positives);
+    telemetry::AppendSeries(prefix + "_loss", loss);
+    telemetry::Observe(prefix + "_epoch_ms", seconds * 1e3);
+    if (seconds > 0.0) {
+      telemetry::Observe(prefix + "_positives_per_sec",
+                         static_cast<double>(positives) / seconds);
+    }
+    telemetry::SetGauge(prefix + "_last_loss", loss);
   }
-  telemetry::SetGauge(prefix + "_last_loss", loss);
+  if (tracing) {
+    trace::Instant(prefix + "_epoch_done");
+    trace::Counter(prefix + "_loss", loss);
+    if (seconds > 0.0) {
+      trace::Counter(prefix + "_positives_per_sec",
+                     static_cast<double>(positives) / seconds);
+    }
+  }
 }
 
 /// Positives per shard for the sharded epoch paths. Fixed (never derived

@@ -1,0 +1,176 @@
+// Tests for the BENCH json comparison policy behind bench/bench_diff.cc
+// (src/common/bench_compare.h) and for the histogram quantile estimates it
+// leans on: identical documents pass, a 50% span-time regression fails,
+// counters gate exactly, config mismatches short-circuit, and skip
+// prefixes exempt self-observation keys.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/bench_compare.h"
+#include "src/common/json.h"
+#include "src/common/telemetry.h"
+
+namespace openea {
+namespace {
+
+json::Value ParseDoc(const std::string& text) {
+  json::Value doc;
+  EXPECT_TRUE(json::Parse(text, &doc).ok()) << text;
+  return doc;
+}
+
+constexpr char kBaseline[] = R"({
+  "schema_version": 1,
+  "config": {"seed": 7, "threads": 2},
+  "counters": {"train/positives": 1200, "telemetry/trace_dropped": 5},
+  "gauges": {"train/last_loss": 0.25, "mem/peak_rss_mb": 120.0},
+  "histograms": {"train/epoch_ms": {"count": 4, "mean": 10.0}},
+  "spans": [
+    {"path": "cross_validation", "count": 1, "total_ms": 400.0},
+    {"path": "cross_validation/fold", "count": 2, "total_ms": 390.0},
+    {"path": "tiny", "count": 8, "total_ms": 2.0}
+  ]
+})";
+
+/// Scales every span's total_ms in place by `factor`.
+void ScaleSpans(json::Value& doc, double factor) {
+  for (json::Value& span : doc.object()["spans"].array()) {
+    json::Value& total = span.object()["total_ms"];
+    total = json::Value(total.number() * factor);
+  }
+}
+
+TEST(BenchDiffTest, IdenticalDocumentsPass) {
+  const json::Value doc = ParseDoc(kBaseline);
+  const auto report =
+      bench::CompareBenchDocuments(doc, doc, bench::DiffOptions{});
+  EXPECT_TRUE(report.ok())
+      << (report.regressions.empty() ? "" : report.regressions.front());
+}
+
+TEST(BenchDiffTest, FiftyPercentSpanRegressionFailsUnderDefaults) {
+  const json::Value baseline = ParseDoc(kBaseline);
+  json::Value candidate = ParseDoc(kBaseline);
+  ScaleSpans(candidate, 1.5);
+  const auto report = bench::CompareBenchDocuments(baseline, candidate,
+                                                   bench::DiffOptions{});
+  // Default tolerance allows +40%: both long spans trip, the 2ms span is
+  // below min_span_ms and stays exempt.
+  EXPECT_EQ(report.regressions.size(), 2u);
+}
+
+TEST(BenchDiffTest, FasterCandidateIsNotARegression) {
+  const json::Value baseline = ParseDoc(kBaseline);
+  json::Value candidate = ParseDoc(kBaseline);
+  ScaleSpans(candidate, 0.2);
+  EXPECT_TRUE(
+      bench::CompareBenchDocuments(baseline, candidate, bench::DiffOptions{})
+          .ok());
+}
+
+TEST(BenchDiffTest, CounterDriftAndMissingKeysGateExactly) {
+  const json::Value baseline = ParseDoc(kBaseline);
+  json::Value drifted = ParseDoc(kBaseline);
+  drifted.object()["counters"].object()["train/positives"] =
+      json::Value(1201);
+  EXPECT_FALSE(
+      bench::CompareBenchDocuments(baseline, drifted, bench::DiffOptions{})
+          .ok());
+
+  json::Value missing = ParseDoc(kBaseline);
+  missing.object()["counters"].object().erase("train/positives");
+  EXPECT_FALSE(
+      bench::CompareBenchDocuments(baseline, missing, bench::DiffOptions{})
+          .ok());
+}
+
+TEST(BenchDiffTest, SkipPrefixesExemptSelfObservationKeys) {
+  const json::Value baseline = ParseDoc(kBaseline);
+  json::Value candidate = ParseDoc(kBaseline);
+  // Dropped-event counts and RSS are machine/load-dependent by design.
+  candidate.object()["counters"].object()["telemetry/trace_dropped"] =
+      json::Value(9000);
+  candidate.object()["gauges"].object()["mem/peak_rss_mb"] =
+      json::Value(480.0);
+  EXPECT_TRUE(
+      bench::CompareBenchDocuments(baseline, candidate, bench::DiffOptions{})
+          .ok());
+}
+
+TEST(BenchDiffTest, ConfigMismatchShortCircuits) {
+  const json::Value baseline = ParseDoc(kBaseline);
+  json::Value candidate = ParseDoc(kBaseline);
+  candidate.object()["config"].object()["threads"] = json::Value(8);
+  // Also doctor a counter: with mismatched configs only the config line
+  // should be reported — the tolerances below it are meaningless.
+  candidate.object()["counters"].object()["train/positives"] = json::Value(1);
+  const auto report = bench::CompareBenchDocuments(baseline, candidate,
+                                                   bench::DiffOptions{});
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_NE(report.regressions[0].find("config mismatch"), std::string::npos);
+
+  bench::DiffOptions ignore_config;
+  ignore_config.check_config = false;
+  EXPECT_FALSE(
+      bench::CompareBenchDocuments(baseline, candidate, ignore_config)
+          .ok());  // Now the doctored counter is what fails.
+}
+
+TEST(BenchDiffTest, NewKeysAreNotesNotRegressions) {
+  const json::Value baseline = ParseDoc(kBaseline);
+  json::Value candidate = ParseDoc(kBaseline);
+  candidate.object()["counters"].object()["align/new_counter"] =
+      json::Value(3);
+  const auto report = bench::CompareBenchDocuments(baseline, candidate,
+                                                   bench::DiffOptions{});
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("align/new_counter"), std::string::npos);
+}
+
+TEST(BenchDiffTest, HistogramCountDriftFails) {
+  const json::Value baseline = ParseDoc(kBaseline);
+  json::Value candidate = ParseDoc(kBaseline);
+  candidate.object()["histograms"].object()["train/epoch_ms"]
+      .object()["count"] = json::Value(5);
+  EXPECT_FALSE(
+      bench::CompareBenchDocuments(baseline, candidate, bench::DiffOptions{})
+          .ok());
+}
+
+/// Quantiles interpolate within the bucket containing the target rank,
+/// anchored at the observed min/max at the distribution's edges.
+TEST(HistogramQuantileTest, InterpolatesWithinBuckets) {
+  telemetry::ResetForTesting();
+  telemetry::SetCollectForTesting(true);
+  // 100 observations 1..100 ms into the default log-spaced buckets.
+  for (int i = 1; i <= 100; ++i) {
+    telemetry::Observe("q/test", static_cast<double>(i));
+  }
+  const auto snap = telemetry::SnapshotMetrics();
+  const auto& hist = snap.histograms.at("q/test");
+  EXPECT_EQ(hist.count, 100u);
+  EXPECT_NEAR(hist.Quantile(0.0), hist.min, 1e-9);
+  EXPECT_NEAR(hist.Quantile(1.0), hist.max, 1e-9);
+  // Bucketed estimates are coarse; they must land in the right region and
+  // be monotone.
+  const double p50 = hist.P50(), p95 = hist.P95(), p99 = hist.P99();
+  EXPECT_GT(p50, 25.0);
+  EXPECT_LT(p50, 75.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p99, 80.0);
+  EXPECT_LE(p99, hist.max);
+  telemetry::SetCollectForTesting(false);
+  telemetry::ResetForTesting();
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramQuantileIsZero) {
+  telemetry::HistogramSnapshot empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace openea
