@@ -17,6 +17,14 @@
 //   --trace=path          record an event-level timeline and write it as
 //                         Chrome trace JSON (chrome://tracing / Perfetto)
 //                         on Finish()
+//   --checkpoint-dir=path write a crash-safe checkpoint after every
+//                         cross-validation fold (DESIGN.md, "Fault
+//                         tolerance")
+//   --resume              with --checkpoint-dir: skip folds already
+//                         completed by a previous (possibly killed) run
+//   --fault=point:n[:kill|fail][:repeat]
+//                         arm the named fault point to fire on its n-th
+//                         hit (deterministic fault injection; repeatable)
 //   --help                print usage and exit
 // Unknown flags are rejected with the usage text. Every binary prints the
 // rows of its paper table/figure, finishes with a short "shape check" note
@@ -30,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/common/parallel.h"
 #include "src/common/strings.h"
 #include "src/common/telemetry.h"
@@ -48,6 +57,8 @@ struct BenchArgs {
   int threads = 1;
   std::string json_path;   // Empty = no JSON telemetry.
   std::string trace_path;  // Empty = no Chrome trace timeline.
+  std::string checkpoint_dir;  // Empty = no fold checkpoints.
+  bool resume = false;
   /// Approaches to iterate for "all approaches" benches.
   std::vector<std::string> approaches = core::ApproachNames();
 };
@@ -65,6 +76,9 @@ inline void PrintUsage(const std::string& bench_name, int default_folds,
       "  --approaches=csv     approaches to run (default: the paper's 12)\n"
       "  --json=path          write BENCH_%s.json telemetry on exit\n"
       "  --trace=path         write a Chrome trace-event timeline on exit\n"
+      "  --checkpoint-dir=path  crash-safe per-fold checkpoints\n"
+      "  --resume             skip folds completed by a previous run\n"
+      "  --fault=point:n[:kill|fail][:repeat]  arm a fault point\n"
       "  --help               this text\n",
       bench_name.c_str(), default_folds, default_epochs, bench_name.c_str());
 }
@@ -110,6 +124,20 @@ inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
         std::fprintf(stderr, "--trace requires a path\n");
         std::exit(2);
       }
+    } else if (StartsWith(arg, "--checkpoint-dir=")) {
+      args.checkpoint_dir = arg.substr(17);
+      if (args.checkpoint_dir.empty()) {
+        std::fprintf(stderr, "--checkpoint-dir requires a path\n");
+        std::exit(2);
+      }
+    } else if (arg == "--resume") {
+      args.resume = true;
+    } else if (StartsWith(arg, "--fault=")) {
+      const Status armed = fault::ArmFromFlag(arg.substr(8));
+      if (!armed.ok()) {
+        std::fprintf(stderr, "bad --fault: %s\n", armed.ToString().c_str());
+        std::exit(2);
+      }
     } else if (StartsWith(arg, "--approaches=")) {
       args.approaches = Split(arg.substr(13), ',');
       const std::vector<std::string> registered =
@@ -135,6 +163,19 @@ inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
   }
   SetThreads(args.threads);
   args.threads = Threads();  // Resolve 0 -> hardware thread count.
+
+  if (args.resume && args.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    std::exit(2);
+  }
+  if (!args.checkpoint_dir.empty()) {
+    // Route every RunCrossValidation call in this bench through the
+    // fault-tolerant path without touching individual benches.
+    core::CheckpointConfig checkpoint_config;
+    checkpoint_config.directory = args.checkpoint_dir;
+    checkpoint_config.resume = args.resume;
+    core::SetDefaultCheckpointConfig(checkpoint_config);
+  }
 
   if (!args.trace_path.empty()) {
     trace::TraceConfig trace_config;

@@ -111,6 +111,18 @@ DiffReport CompareBenchDocuments(const json::Value& baseline,
     }
   }
 
+  // Degraded-fold annotations (the run-level "faults" array) are surfaced
+  // as notes only: a fold the health guard excluded from the aggregates is
+  // operator-relevant, but it must never fail the perf gate — the gate
+  // would otherwise punish the run for *reporting* a fault it survived.
+  const json::Value* faults = candidate.Find("faults");
+  if (faults != nullptr && faults->is_array() && !faults->array().empty()) {
+    report.notes.push_back(
+        "faults: candidate reports " +
+        std::to_string(faults->array().size()) +
+        " degraded fold(s) (informational; excluded from aggregates)");
+  }
+
   CompareNumberSection(baseline, candidate, "counters",
                        options.counter_tolerance, options, report);
   CompareNumberSection(baseline, candidate, "gauges", options.gauge_tolerance,

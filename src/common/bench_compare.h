@@ -17,15 +17,18 @@ namespace openea::bench {
 ///  * span wall times are environment noise at small scales — they gate
 ///    with a relative tolerance and an absolute floor below which a span is
 ///    too short to judge;
-///  * "telemetry/" (self-observation) and "mem/" (machine-dependent RSS)
-///    keys are skipped by default.
+///  * "telemetry/" (self-observation), "mem/" (machine-dependent RSS), and
+///    "fault/" (fault-tolerance bookkeeping: retries, resumed folds,
+///    checkpoint writes) keys are skipped by default — fault counters and
+///    the "faults" degraded-fold annotations are informational and must
+///    never gate a perf comparison.
 struct DiffOptions {
   double span_tolerance = 0.40;    // Allowed relative total_ms increase.
   double counter_tolerance = 0.0;  // Allowed relative counter drift.
   double gauge_tolerance = 1e-6;   // Allowed relative gauge drift.
   double min_span_ms = 50.0;       // Spans shorter than this aren't timed-gated.
   bool check_config = true;        // Require identical "config" objects.
-  std::vector<std::string> skip_prefixes = {"telemetry/", "mem/"};
+  std::vector<std::string> skip_prefixes = {"telemetry/", "mem/", "fault/"};
 };
 
 struct DiffReport {

@@ -1,0 +1,378 @@
+#include "src/common/checkpoint.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/fault.h"
+
+namespace openea::checkpoint {
+namespace {
+
+constexpr char kMagic[8] = {'O', 'E', 'A', 'C', 'K', 'P', 'T', '\n'};
+constexpr size_t kHeaderSize = sizeof(kMagic) + 4 + 8;  // magic+version+size.
+constexpr size_t kTrailerSize = 4;                      // payload CRC.
+
+/// Size guard against absurd length fields in damaged headers: no payload
+/// in this library approaches 1 GiB.
+constexpr uint64_t kMaxPayload = uint64_t{1} << 30;
+
+void AppendLe(std::string& buffer, uint64_t v, size_t bytes) {
+  for (size_t i = 0; i < bytes; ++i) {
+    buffer.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint64_t ParseLe(const char* data, size_t bytes) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data[i])) << (8 * i);
+  }
+  return v;
+}
+
+Status Truncated(const std::string& what) {
+  return Status::FailedPrecondition("checkpoint payload truncated reading " +
+                                    what);
+}
+
+}  // namespace
+
+void BinaryWriter::PutU32(uint32_t v) { AppendLe(buffer_, v, 4); }
+void BinaryWriter::PutU64(uint64_t v) { AppendLe(buffer_, v, 8); }
+
+void BinaryWriter::PutFloat(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  buffer_.append(s.data(), s.size());
+}
+
+void BinaryWriter::PutFloats(std::span<const float> values) {
+  PutU64(values.size());
+  for (const float v : values) PutFloat(v);
+}
+
+Status BinaryReader::Take(size_t n, const char** out) {
+  if (pos_ + n > data_.size()) return Truncated(std::to_string(n) + " bytes");
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(uint32_t* out) {
+  const char* p = nullptr;
+  Status status = Take(4, &p);
+  if (!status.ok()) return status;
+  *out = static_cast<uint32_t>(ParseLe(p, 4));
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU64(uint64_t* out) {
+  const char* p = nullptr;
+  Status status = Take(8, &p);
+  if (!status.ok()) return status;
+  *out = ParseLe(p, 8);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadI64(int64_t* out) {
+  uint64_t u = 0;
+  Status status = ReadU64(&u);
+  if (!status.ok()) return status;
+  *out = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadBool(bool* out) {
+  const char* p = nullptr;
+  Status status = Take(1, &p);
+  if (!status.ok()) return status;
+  *out = *p != 0;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadFloat(float* out) {
+  uint32_t bits = 0;
+  Status status = ReadU32(&bits);
+  if (!status.ok()) return status;
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status BinaryReader::ReadDouble(double* out) {
+  uint64_t bits = 0;
+  Status status = ReadU64(&bits);
+  if (!status.ok()) return status;
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* out) {
+  uint64_t size = 0;
+  Status status = ReadU64(&size);
+  if (!status.ok()) return status;
+  if (size > remaining()) return Truncated("string of " + std::to_string(size));
+  const char* p = nullptr;
+  status = Take(static_cast<size_t>(size), &p);
+  if (!status.ok()) return status;
+  out->assign(p, static_cast<size_t>(size));
+  return Status::OK();
+}
+
+Status BinaryReader::ReadFloats(std::vector<float>* out) {
+  uint64_t size = 0;
+  Status status = ReadU64(&size);
+  if (!status.ok()) return status;
+  if (size > remaining() / 4) {
+    return Truncated("float array of " + std::to_string(size));
+  }
+  out->resize(static_cast<size_t>(size));
+  for (float& v : *out) {
+    status = ReadFloat(&v);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view payload,
+                       uint32_t version) {
+  if (FAULT_POINT("checkpoint/enospc")) {
+    return Status::Internal("fault injection: simulated ENOSPC writing " +
+                            path);
+  }
+  std::string envelope;
+  envelope.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  envelope.append(kMagic, sizeof(kMagic));
+  AppendLe(envelope, version, 4);
+  AppendLe(envelope, payload.size(), 8);
+  envelope.append(payload.data(), payload.size());
+  AppendLe(envelope, Crc32(payload), 4);
+
+  if (FAULT_POINT("checkpoint/short_write")) {
+    // Simulated torn write that escaped the rename barrier (power loss
+    // without fsync): half the envelope lands at the *final* path. Load must
+    // detect this via the size/CRC checks.
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    if (!torn) return Status::Internal("cannot open " + path + " for writing");
+    torn.write(envelope.data(),
+               static_cast<std::streamsize>(envelope.size() / 2));
+    return Status::OK();
+  }
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open " + tmp_path + " for writing");
+    }
+    out.write(envelope.data(), static_cast<std::streamsize>(envelope.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return Status::Internal("failed writing " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename " + tmp_path + " to " + path);
+  }
+  // Canonical crash point: the checkpoint is durable, the process dies
+  // before acting on that fact.
+  FAULT_POINT("checkpoint/after_write");
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFilePayload(const std::string& path,
+                                      uint32_t expected_version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no checkpoint at " + path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (contents.size() < kHeaderSize + kTrailerSize) {
+    return Status::FailedPrecondition("checkpoint " + path +
+                                      " is truncated (" +
+                                      std::to_string(contents.size()) +
+                                      " bytes)");
+  }
+  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::FailedPrecondition("checkpoint " + path +
+                                      " has a bad magic header");
+  }
+  const uint32_t version =
+      static_cast<uint32_t>(ParseLe(contents.data() + sizeof(kMagic), 4));
+  if (version != expected_version) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " has format version " +
+        std::to_string(version) + ", expected " +
+        std::to_string(expected_version));
+  }
+  const uint64_t payload_size =
+      ParseLe(contents.data() + sizeof(kMagic) + 4, 8);
+  if (payload_size > kMaxPayload ||
+      kHeaderSize + payload_size + kTrailerSize != contents.size()) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " is truncated or oversized (payload claims " +
+        std::to_string(payload_size) + " bytes, file has " +
+        std::to_string(contents.size()) + ")");
+  }
+  const std::string_view payload(contents.data() + kHeaderSize,
+                                 static_cast<size_t>(payload_size));
+  const uint32_t stored_crc = static_cast<uint32_t>(
+      ParseLe(contents.data() + kHeaderSize + payload_size, 4));
+  if (Crc32(payload) != stored_crc) {
+    return Status::FailedPrecondition("checkpoint " + path +
+                                      " failed its CRC check");
+  }
+  return std::string(payload);
+}
+
+void PutRng(BinaryWriter& writer, const Rng& rng) {
+  const Rng::State state = rng.SaveState();
+  for (int i = 0; i < 4; ++i) writer.PutU64(state.s[i]);
+  writer.PutBool(state.has_spare);
+  writer.PutDouble(state.spare);
+}
+
+Status ReadRng(BinaryReader& reader, Rng* rng) {
+  Rng::State state;
+  for (int i = 0; i < 4; ++i) {
+    Status status = reader.ReadU64(&state.s[i]);
+    if (!status.ok()) return status;
+  }
+  Status status = reader.ReadBool(&state.has_spare);
+  if (!status.ok()) return status;
+  status = reader.ReadDouble(&state.spare);
+  if (!status.ok()) return status;
+  rng->RestoreState(state);
+  return Status::OK();
+}
+
+void PutEmbeddingTable(BinaryWriter& writer,
+                       const math::EmbeddingTable& table) {
+  writer.PutU64(table.num_rows());
+  writer.PutU64(table.dim());
+  writer.PutFloats(table.Data());
+  writer.PutFloats(table.AdagradData());
+}
+
+Status ReadEmbeddingTable(BinaryReader& reader, math::EmbeddingTable* table) {
+  uint64_t rows = 0, dim = 0;
+  Status status = reader.ReadU64(&rows);
+  if (!status.ok()) return status;
+  status = reader.ReadU64(&dim);
+  if (!status.ok()) return status;
+  std::vector<float> data, adagrad;
+  status = reader.ReadFloats(&data);
+  if (!status.ok()) return status;
+  status = reader.ReadFloats(&adagrad);
+  if (!status.ok()) return status;
+  if (data.size() != rows * dim || adagrad.size() != rows * dim) {
+    return Status::FailedPrecondition(
+        "embedding table shape mismatch in checkpoint payload");
+  }
+  *table = math::EmbeddingTable::FromParts(static_cast<size_t>(rows),
+                                           static_cast<size_t>(dim),
+                                           std::move(data), std::move(adagrad));
+  return Status::OK();
+}
+
+void PutMatrix(BinaryWriter& writer, const math::Matrix& matrix) {
+  writer.PutU64(matrix.rows());
+  writer.PutU64(matrix.cols());
+  writer.PutFloats(matrix.Data());
+}
+
+Status ReadMatrix(BinaryReader& reader, math::Matrix* matrix) {
+  uint64_t rows = 0, cols = 0;
+  Status status = reader.ReadU64(&rows);
+  if (!status.ok()) return status;
+  status = reader.ReadU64(&cols);
+  if (!status.ok()) return status;
+  std::vector<float> data;
+  status = reader.ReadFloats(&data);
+  if (!status.ok()) return status;
+  if (data.size() != rows * cols) {
+    return Status::FailedPrecondition("matrix shape mismatch in checkpoint");
+  }
+  matrix->Reshape(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  std::copy(data.begin(), data.end(), matrix->Data().begin());
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kTrainStateVersion = 1;
+}  // namespace
+
+Status SaveTrainState(const std::string& path, const TrainState& state) {
+  BinaryWriter writer;
+  writer.PutU64(state.epoch);
+  writer.PutFloat(state.learning_rate);
+  PutRng(writer, state.rng);
+  writer.PutU64(state.tables.size());
+  for (const math::EmbeddingTable& table : state.tables) {
+    PutEmbeddingTable(writer, table);
+  }
+  return WriteFileAtomic(path, writer.buffer(), kTrainStateVersion);
+}
+
+StatusOr<TrainState> LoadTrainState(const std::string& path) {
+  StatusOr<std::string> payload = ReadFilePayload(path, kTrainStateVersion);
+  if (!payload.ok()) return payload.status();
+  BinaryReader reader(*payload);
+  TrainState state;
+  Status status = reader.ReadU64(&state.epoch);
+  if (!status.ok()) return status;
+  status = reader.ReadFloat(&state.learning_rate);
+  if (!status.ok()) return status;
+  status = ReadRng(reader, &state.rng);
+  if (!status.ok()) return status;
+  uint64_t num_tables = 0;
+  status = reader.ReadU64(&num_tables);
+  if (!status.ok()) return status;
+  if (num_tables > 1024) {
+    return Status::FailedPrecondition("implausible table count in " + path);
+  }
+  state.tables.resize(static_cast<size_t>(num_tables));
+  for (math::EmbeddingTable& table : state.tables) {
+    status = ReadEmbeddingTable(reader, &table);
+    if (!status.ok()) return status;
+  }
+  if (!reader.AtEnd()) {
+    return Status::FailedPrecondition("trailing bytes in checkpoint " + path);
+  }
+  return state;
+}
+
+}  // namespace openea::checkpoint

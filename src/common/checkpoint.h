@@ -1,0 +1,130 @@
+#ifndef OPENEA_COMMON_CHECKPOINT_H_
+#define OPENEA_COMMON_CHECKPOINT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/math/embedding_table.h"
+#include "src/math/matrix.h"
+
+namespace openea::checkpoint {
+
+/// Crash-safe binary checkpoints (DESIGN.md, "Fault tolerance").
+///
+/// On-disk layout of every checkpoint file ("envelope"):
+///
+///   [8]  magic "OEACKPT\n"
+///   [4]  format version (little-endian u32, owned by the payload producer)
+///   [8]  payload size in bytes (little-endian u64)
+///   [n]  payload
+///   [4]  CRC-32 (IEEE 802.3) of the payload
+///
+/// Files are written to `<path>.tmp` and renamed into place, so a crash at
+/// any instruction leaves either the previous complete checkpoint or a
+/// stale *.tmp — never a half-written file at `path`. Torn writes that
+/// escape the rename barrier anyway (power loss without fsync, lying disks)
+/// are caught at load time by the size and CRC checks: a damaged checkpoint
+/// reads as a Status error, and callers fall back to recomputation.
+///
+/// Fault points honoured by WriteFileAtomic (see src/common/fault.h):
+///   "checkpoint/enospc"      simulate an out-of-space write failure
+///   "checkpoint/short_write" tear the file: half the envelope, no rename
+///                            protection (models power loss without fsync)
+///   "checkpoint/after_write" fires after a successful write+rename —
+///                            the canonical kill point for crash tests
+
+/// All integers little-endian; floats/doubles as their IEEE-754 bit
+/// patterns. Append-only; the buffer is the envelope payload.
+class BinaryWriter {
+ public:
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { buffer_.push_back(v ? 1 : 0); }
+  void PutFloat(float v);
+  void PutDouble(double v);
+  void PutString(std::string_view s);
+  void PutFloats(std::span<const float> values);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string&& TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked mirror of BinaryWriter. Every read returns a Status so a
+/// truncated or corrupted payload surfaces as an error, never as a crash or
+/// an out-of-bounds read.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI64(int64_t* out);
+  Status ReadBool(bool* out);
+  Status ReadFloat(float* out);
+  Status ReadDouble(double* out);
+  Status ReadString(std::string* out);
+  Status ReadFloats(std::vector<float>* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `bytes`.
+uint32_t Crc32(std::string_view bytes);
+
+/// Writes `payload` to `path` inside a versioned+CRC envelope via the
+/// temp+rename path described above.
+Status WriteFileAtomic(const std::string& path, std::string_view payload,
+                       uint32_t version);
+
+/// Reads the envelope at `path`, validating magic, version, size, and CRC;
+/// returns the payload. NotFound when the file does not exist; other errors
+/// mean the file exists but is damaged or from a different format version.
+StatusOr<std::string> ReadFilePayload(const std::string& path,
+                                      uint32_t expected_version);
+
+// ---------------------------------------------------------------------------
+// Typed serialization of the training-state building blocks.
+// ---------------------------------------------------------------------------
+
+void PutRng(BinaryWriter& writer, const Rng& rng);
+Status ReadRng(BinaryReader& reader, Rng* rng);
+
+void PutEmbeddingTable(BinaryWriter& writer, const math::EmbeddingTable& table);
+Status ReadEmbeddingTable(BinaryReader& reader, math::EmbeddingTable* table);
+
+void PutMatrix(BinaryWriter& writer, const math::Matrix& matrix);
+Status ReadMatrix(BinaryReader& reader, math::Matrix* matrix);
+
+/// Mid-fold training state: the RNG stream, the epoch counter, the current
+/// learning rate, and every learnable table (values + AdaGrad accumulators).
+/// Restoring this and re-entering the epoch loop replays the remaining
+/// epochs bit-identically to a run that was never interrupted.
+struct TrainState {
+  uint64_t epoch = 0;
+  float learning_rate = 0.0f;
+  Rng rng;
+  std::vector<math::EmbeddingTable> tables;
+};
+
+Status SaveTrainState(const std::string& path, const TrainState& state);
+StatusOr<TrainState> LoadTrainState(const std::string& path);
+
+}  // namespace openea::checkpoint
+
+#endif  // OPENEA_COMMON_CHECKPOINT_H_

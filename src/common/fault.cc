@@ -1,0 +1,146 @@
+#include "src/common/fault.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "src/common/strings.h"
+
+namespace openea::fault {
+namespace {
+
+struct PointState {
+  Spec spec;
+  bool armed = false;
+  uint64_t hits = 0;
+  uint64_t fired = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState, std::less<>> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Number of currently armed points. Hit() bails on zero with one relaxed
+/// load, keeping inert fault sites free in production runs.
+std::atomic<uint64_t>& ArmedCount() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+}  // namespace
+
+void Arm(const Spec& spec) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  PointState& state = registry.points[spec.point];
+  if (!state.armed) ArmedCount().fetch_add(1, std::memory_order_relaxed);
+  state.spec = spec;
+  state.armed = true;
+  state.hits = 0;
+  state.fired = 0;
+}
+
+void Disarm(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(point);
+  if (it != registry.points.end() && it->second.armed) {
+    it->second.armed = false;
+    ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [point, state] : registry.points) {
+    if (state.armed) ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+  }
+  registry.points.clear();
+}
+
+Status ArmFromFlag(const std::string& flag_value) {
+  const std::vector<std::string> parts = Split(flag_value, ':');
+  if (parts.size() < 2 || parts.size() > 4 || parts[0].empty()) {
+    return Status::InvalidArgument(
+        "--fault expects point:n[:kill|fail][:repeat], got \"" + flag_value +
+        "\"");
+  }
+  Spec spec;
+  spec.point = parts[0];
+  char* end = nullptr;
+  spec.hit = std::strtoull(parts[1].c_str(), &end, 10);
+  if (end == parts[1].c_str() || *end != '\0' || spec.hit == 0) {
+    return Status::InvalidArgument("--fault hit index must be a positive "
+                                   "integer, got \"" +
+                                   parts[1] + "\"");
+  }
+  size_t next = 2;
+  if (parts.size() > next && (parts[next] == "kill" || parts[next] == "fail")) {
+    spec.action = parts[next] == "kill" ? Action::kKill : Action::kFail;
+    ++next;
+  }
+  if (parts.size() > next) {
+    if (parts[next] != "repeat") {
+      return Status::InvalidArgument("--fault: unknown token \"" +
+                                     parts[next] + "\" in \"" + flag_value +
+                                     "\"");
+    }
+    spec.repeat = true;
+    ++next;
+  }
+  if (next != parts.size()) {
+    return Status::InvalidArgument("--fault: trailing tokens in \"" +
+                                   flag_value + "\"");
+  }
+  Arm(spec);
+  return Status::OK();
+}
+
+bool Hit(std::string_view point) {
+  if (ArmedCount().load(std::memory_order_relaxed) == 0) return false;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(point);
+  if (it == registry.points.end() || !it->second.armed) return false;
+  PointState& state = it->second;
+  ++state.hits;
+  const bool fires = state.spec.repeat ? state.hits >= state.spec.hit
+                                       : state.hits == state.spec.hit;
+  if (!fires) return false;
+  ++state.fired;
+  if (state.spec.action == Action::kKill) {
+    // Simulated SIGKILL: no destructors, no stream flush, no atexit.
+    _exit(kKillExitCode);
+  }
+  return true;
+}
+
+uint64_t HitCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(point);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t FiredCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(point);
+  return it == registry.points.end() ? 0 : it->second.fired;
+}
+
+void InjectNaN(std::span<float> values) {
+  for (float& v : values) v = std::numeric_limits<float>::quiet_NaN();
+}
+
+}  // namespace openea::fault

@@ -1,0 +1,87 @@
+#ifndef OPENEA_COMMON_FAULT_H_
+#define OPENEA_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace openea::fault {
+
+/// Deterministic fault-injection registry (DESIGN.md, "Fault tolerance").
+///
+/// Production and test code marks crash/error sites with named fault points:
+///
+///   if (FAULT_POINT("checkpoint/enospc")) return Status::Internal(...);
+///
+/// A point is inert (one relaxed atomic load, no locks, no strings) until a
+/// test or a bench `--fault=point:n[:action][:repeat]` flag arms it. Hit
+/// counting is per-point and deterministic: the fault fires exactly on the
+/// n-th hit (and on every later hit when `repeat` is set), so a killed run
+/// can be replayed to the same instruction. Actions:
+///
+///  * kKill — `_exit(kKillExitCode)` at the fault site without running any
+///    destructor or flush, simulating SIGKILL / OOM-kill / power loss;
+///  * kFail — `Hit()` returns true and the call site simulates its local
+///    failure (short write, ENOSPC, NaN injection, ...).
+///
+/// The registry is process-global and thread-safe; arming mid-run is
+/// supported but the deterministic-replay guarantee assumes points are armed
+/// before the workload starts.
+
+/// Exit code used by kKill so harnesses can tell an injected crash from a
+/// genuine one.
+inline constexpr int kKillExitCode = 86;
+
+enum class Action {
+  kKill,  // _exit(kKillExitCode) at the fault site.
+  kFail,  // Hit() returns true; the call site simulates the failure.
+};
+
+struct Spec {
+  std::string point;       // e.g. "checkpoint/after_write".
+  uint64_t hit = 1;        // 1-based hit index at which the fault fires.
+  Action action = Action::kFail;
+  bool repeat = false;     // Fire on every hit >= `hit`, not just the n-th.
+};
+
+/// Arms (or re-arms, resetting the hit counter of) one fault point.
+void Arm(const Spec& spec);
+
+/// Disarms one point; hit/fired statistics are kept until DisarmAll.
+void Disarm(const std::string& point);
+
+/// Disarms every point and clears all statistics. Tests call this in
+/// SetUp/TearDown so faults never leak across test cases.
+void DisarmAll();
+
+/// Parses and arms a `--fault=` flag value: `point:n[:kill|fail][:repeat]`.
+/// Examples: "checkpoint/after_write:2:kill", "train/epoch_loss:1:fail:repeat".
+Status ArmFromFlag(const std::string& flag_value);
+
+/// Marks one named fault site. Returns true when an armed kFail fault fires
+/// at this hit; a kKill fault terminates the process instead of returning.
+/// Inert points return false after a single relaxed atomic load.
+bool Hit(std::string_view point);
+
+/// Times Hit() was called for `point` since the last DisarmAll (counted only
+/// while the point is or was armed; inert points are not tracked).
+uint64_t HitCount(const std::string& point);
+
+/// Times the fault at `point` actually fired since the last DisarmAll.
+uint64_t FiredCount(const std::string& point);
+
+/// Overwrites every element with a quiet NaN — the standard payload of
+/// numerical fault points.
+void InjectNaN(std::span<float> values);
+
+}  // namespace openea::fault
+
+/// Call-site marker, usable in conditions: fires the armed fault (if any)
+/// and evaluates to true when the site should simulate a failure.
+#define FAULT_POINT(name) ::openea::fault::Hit(name)
+
+#endif  // OPENEA_COMMON_FAULT_H_

@@ -123,6 +123,29 @@ class Rng {
     return pool;
   }
 
+  /// Complete generator state, exposed for checkpointing: restoring a saved
+  /// state resumes the stream bit-identically, including the cached
+  /// Box–Muller spare (src/common/checkpoint.h serializes this).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_spare = false;
+    double spare = 0.0;
+  };
+
+  State SaveState() const {
+    State out;
+    for (int i = 0; i < 4; ++i) out.s[i] = state_[i];
+    out.has_spare = has_spare_;
+    out.spare = spare_;
+    return out;
+  }
+
+  void RestoreState(const State& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+    has_spare_ = state.has_spare;
+    spare_ = state.spare;
+  }
+
   /// Forks a child generator whose stream is independent of (but determined
   /// by) this generator's state. Useful to give submodules their own streams.
   Rng Fork() { return Rng(NextU64()); }

@@ -22,7 +22,9 @@ enum class StatusCode {
 
 /// Lightweight status object, RocksDB-style: no exceptions cross public API
 /// boundaries; fallible operations return Status (or a value plus Status).
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides I/O and validation
+/// failures — callers must branch on ok() or explicitly cast to void.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -71,7 +73,7 @@ class Status {
 /// ok() at fallible boundaries (CreateApproach, config validation, JSON
 /// parsing).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status)  // NOLINT: implicit from error status by design.
       : status_(std::move(status)) {

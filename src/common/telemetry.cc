@@ -391,6 +391,15 @@ void AddContext(const std::string& key, json::Value value) {
   reg.context.object()[key] = std::move(value);
 }
 
+void AppendContextEntry(const std::string& key, json::Value entry) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  if (!reg.context.is_object()) reg.context = json::Value(json::Value::Object{});
+  json::Value& list = reg.context.object()[key];
+  if (!list.is_array()) list = json::Value(json::Value::Array{});
+  list.array().push_back(std::move(entry));
+}
+
 void Flush() {
   // Snapshot outside the lock that Export may indirectly re-enter via
   // instrumented code inside a sink.

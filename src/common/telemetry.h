@@ -199,6 +199,11 @@ void SetContext(json::Value context);
 /// Merges `value` under `key` into the run context.
 void AddContext(const std::string& key, json::Value value);
 
+/// Appends `entry` to the array under `key` in the run context (the array is
+/// created on first use). Used for run-level annotation lists such as the
+/// "faults" record of degraded cross-validation folds.
+void AppendContextEntry(const std::string& key, json::Value entry);
+
 /// Exports the current snapshot to the attached sink (no-op without one).
 void Flush();
 

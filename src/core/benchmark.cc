@@ -1,5 +1,12 @@
 #include "src/core/benchmark.h"
 
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/checkpoint.h"
+#include "src/common/fault.h"
+#include "src/common/health.h"
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
 #include "src/common/stopwatch.h"
@@ -95,13 +102,231 @@ AlignmentTask MakeTask(const datagen::DatasetPair& pair,
   return task;
 }
 
+namespace {
+
+/// Version of the fold-granular CV checkpoint payload below.
+constexpr uint32_t kCvCheckpointVersion = 1;
+
+/// One completed fold as persisted in (and restored from) a CV checkpoint.
+struct FoldRecord {
+  eval::RankingMetrics metrics;
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
+  FoldHealth health;
+};
+
+/// Fingerprint of everything the per-fold computation depends on. A resumed
+/// run with a different configuration must not splice foreign fold results
+/// into its aggregates, so the checkpoint is ignored unless this matches.
+uint64_t ConfigFingerprint(const std::string& approach_name,
+                           const BenchmarkDataset& dataset,
+                           const TrainConfig& config, int num_folds) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a.
+  auto mix_bytes = [&h](const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  auto mix_string = [&](const std::string& s) { mix_bytes(s.data(), s.size()); };
+  auto mix_u64 = [&](uint64_t v) { mix_bytes(&v, sizeof(v)); };
+  auto mix_f32 = [&](float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix_u64(bits);
+  };
+  mix_string(approach_name);
+  mix_string(dataset.name);
+  mix_u64(config.dim);
+  mix_u64(static_cast<uint64_t>(config.max_epochs));
+  mix_u64(static_cast<uint64_t>(config.eval_every));
+  mix_f32(config.learning_rate);
+  mix_f32(config.margin);
+  mix_u64(static_cast<uint64_t>(config.negatives_per_positive));
+  mix_u64(config.batch_size);
+  mix_u64(config.seed);
+  mix_u64(static_cast<uint64_t>(config.threads));
+  mix_u64(config.use_attributes ? 1 : 0);
+  mix_u64(config.use_relations ? 1 : 0);
+  mix_u64(static_cast<uint64_t>(num_folds));
+  return h;
+}
+
+std::string SanitizeForFilename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!keep) c = '_';
+  }
+  return out;
+}
+
+std::string CvCheckpointPath(const CheckpointConfig& ckpt,
+                             const std::string& approach_name,
+                             const BenchmarkDataset& dataset) {
+  return ckpt.directory + "/" + SanitizeForFilename(approach_name) + "_" +
+         SanitizeForFilename(dataset.name) + ".ckpt";
+}
+
+/// Mid-run CV state: completed fold records plus the first-fold artifacts
+/// the result carries (model embeddings, semi-supervised trace, test split).
+struct CvCheckpointState {
+  uint64_t fingerprint = 0;
+  std::vector<FoldRecord> folds;
+  bool has_first_fold = false;
+  AlignmentModel first_fold_model;
+  kg::Alignment first_fold_test;
+};
+
+Status SaveCvCheckpoint(const std::string& path,
+                        const CvCheckpointState& state) {
+  checkpoint::BinaryWriter writer;
+  writer.PutU64(state.fingerprint);
+  writer.PutU64(state.folds.size());
+  for (const FoldRecord& record : state.folds) {
+    writer.PutDouble(record.metrics.hits1);
+    writer.PutDouble(record.metrics.hits5);
+    writer.PutDouble(record.metrics.mr);
+    writer.PutDouble(record.metrics.mrr);
+    writer.PutDouble(record.train_seconds);
+    writer.PutDouble(record.eval_seconds);
+    writer.PutI64(record.health.fold);
+    writer.PutI64(record.health.retries);
+    writer.PutBool(record.health.degraded);
+    writer.PutU32(static_cast<uint32_t>(record.health.verdict));
+  }
+  writer.PutBool(state.has_first_fold);
+  if (state.has_first_fold) {
+    checkpoint::PutMatrix(writer, state.first_fold_model.emb1);
+    checkpoint::PutMatrix(writer, state.first_fold_model.emb2);
+    writer.PutU64(state.first_fold_model.semi_supervised_trace.size());
+    for (const IterationStat& stat :
+         state.first_fold_model.semi_supervised_trace) {
+      writer.PutI64(stat.iteration);
+      writer.PutDouble(stat.precision);
+      writer.PutDouble(stat.recall);
+      writer.PutDouble(stat.f1);
+    }
+    writer.PutU64(state.first_fold_test.size());
+    for (const kg::AlignmentPair& pair : state.first_fold_test) {
+      writer.PutI64(pair.left);
+      writer.PutI64(pair.right);
+    }
+  }
+  return checkpoint::WriteFileAtomic(path, writer.buffer(),
+                                     kCvCheckpointVersion);
+}
+
+StatusOr<CvCheckpointState> LoadCvCheckpoint(const std::string& path) {
+  StatusOr<std::string> payload =
+      checkpoint::ReadFilePayload(path, kCvCheckpointVersion);
+  if (!payload.ok()) return payload.status();
+  checkpoint::BinaryReader reader(*payload);
+  CvCheckpointState state;
+  Status status = reader.ReadU64(&state.fingerprint);
+  if (!status.ok()) return status;
+  uint64_t num_folds = 0;
+  status = reader.ReadU64(&num_folds);
+  if (!status.ok()) return status;
+  if (num_folds > 4096) {
+    return Status::FailedPrecondition("implausible fold count in " + path);
+  }
+  state.folds.resize(static_cast<size_t>(num_folds));
+  for (FoldRecord& record : state.folds) {
+    int64_t fold = 0, retries = 0;
+    uint32_t verdict = 0;
+    if (!(status = reader.ReadDouble(&record.metrics.hits1)).ok()) return status;
+    if (!(status = reader.ReadDouble(&record.metrics.hits5)).ok()) return status;
+    if (!(status = reader.ReadDouble(&record.metrics.mr)).ok()) return status;
+    if (!(status = reader.ReadDouble(&record.metrics.mrr)).ok()) return status;
+    if (!(status = reader.ReadDouble(&record.train_seconds)).ok()) return status;
+    if (!(status = reader.ReadDouble(&record.eval_seconds)).ok()) return status;
+    if (!(status = reader.ReadI64(&fold)).ok()) return status;
+    if (!(status = reader.ReadI64(&retries)).ok()) return status;
+    if (!(status = reader.ReadBool(&record.health.degraded)).ok()) return status;
+    if (!(status = reader.ReadU32(&verdict)).ok()) return status;
+    if (verdict > static_cast<uint32_t>(health::Verdict::kNonFinite)) {
+      return Status::FailedPrecondition("bad verdict in checkpoint " + path);
+    }
+    record.health.fold = static_cast<int>(fold);
+    record.health.retries = static_cast<int>(retries);
+    record.health.verdict = static_cast<health::Verdict>(verdict);
+    record.health.resumed = true;
+  }
+  if (!(status = reader.ReadBool(&state.has_first_fold)).ok()) return status;
+  if (state.has_first_fold) {
+    status = checkpoint::ReadMatrix(reader, &state.first_fold_model.emb1);
+    if (!status.ok()) return status;
+    status = checkpoint::ReadMatrix(reader, &state.first_fold_model.emb2);
+    if (!status.ok()) return status;
+    uint64_t trace_size = 0;
+    if (!(status = reader.ReadU64(&trace_size)).ok()) return status;
+    if (trace_size > reader.remaining()) {
+      return Status::FailedPrecondition("implausible trace size in " + path);
+    }
+    state.first_fold_model.semi_supervised_trace.resize(
+        static_cast<size_t>(trace_size));
+    for (IterationStat& stat : state.first_fold_model.semi_supervised_trace) {
+      int64_t iteration = 0;
+      if (!(status = reader.ReadI64(&iteration)).ok()) return status;
+      stat.iteration = static_cast<int>(iteration);
+      if (!(status = reader.ReadDouble(&stat.precision)).ok()) return status;
+      if (!(status = reader.ReadDouble(&stat.recall)).ok()) return status;
+      if (!(status = reader.ReadDouble(&stat.f1)).ok()) return status;
+    }
+    uint64_t test_size = 0;
+    if (!(status = reader.ReadU64(&test_size)).ok()) return status;
+    if (test_size > reader.remaining()) {
+      return Status::FailedPrecondition("implausible test size in " + path);
+    }
+    state.first_fold_test.resize(static_cast<size_t>(test_size));
+    for (kg::AlignmentPair& pair : state.first_fold_test) {
+      int64_t left = 0, right = 0;
+      if (!(status = reader.ReadI64(&left)).ok()) return status;
+      if (!(status = reader.ReadI64(&right)).ok()) return status;
+      pair.left = static_cast<kg::EntityId>(left);
+      pair.right = static_cast<kg::EntityId>(right);
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::FailedPrecondition("trailing bytes in checkpoint " + path);
+  }
+  return state;
+}
+
+CheckpointConfig& MutableDefaultCheckpointConfig() {
+  static CheckpointConfig* config = new CheckpointConfig();
+  return *config;
+}
+
+}  // namespace
+
+void SetDefaultCheckpointConfig(const CheckpointConfig& config) {
+  MutableDefaultCheckpointConfig() = config;
+}
+
+const CheckpointConfig& DefaultCheckpointConfig() {
+  return MutableDefaultCheckpointConfig();
+}
+
 CrossValidationResult RunCrossValidation(const std::string& approach_name,
                                          const BenchmarkDataset& dataset,
                                          const TrainConfig& config,
                                          int num_folds) {
+  return RunCrossValidation(approach_name, dataset, config, num_folds,
+                            DefaultCheckpointConfig());
+}
+
+CrossValidationResult RunCrossValidation(
+    const std::string& approach_name, const BenchmarkDataset& dataset,
+    const TrainConfig& config, int num_folds,
+    const CheckpointConfig& checkpoint_config) {
   // Surface configuration errors before any data generation or training.
   const Status valid = config.Validate();
   OPENEA_CHECK(valid.ok()) << valid.ToString();
+  OPENEA_CHECK_GE(checkpoint_config.cadence, 1);
 
   CrossValidationResult result;
   result.approach = approach_name;
@@ -128,54 +353,192 @@ CrossValidationResult RunCrossValidation(const std::string& approach_name,
   }
   OPENEA_CHECK_LE(static_cast<size_t>(num_folds), folds.size());
 
+  // ---- Checkpoint restore --------------------------------------------------
+  const uint64_t fingerprint =
+      ConfigFingerprint(approach_name, dataset, config, num_folds);
+  std::string ckpt_path;
+  CvCheckpointState state;
+  state.fingerprint = fingerprint;
+  if (checkpoint_config.enabled()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_config.directory, ec);
+    ckpt_path = CvCheckpointPath(checkpoint_config, approach_name, dataset);
+    if (checkpoint_config.resume) {
+      StatusOr<CvCheckpointState> loaded = LoadCvCheckpoint(ckpt_path);
+      if (loaded.ok()) {
+        if (loaded->fingerprint == fingerprint) {
+          state = std::move(loaded).value();
+          if (state.folds.size() > static_cast<size_t>(num_folds)) {
+            state.folds.resize(static_cast<size_t>(num_folds));
+          }
+          telemetry::IncrCounter("fault/resumed_folds", state.folds.size());
+          OPENEA_LOG(kInfo) << "resuming " << approach_name << " on "
+                            << dataset.name << " from " << ckpt_path << " ("
+                            << state.folds.size() << " folds done)";
+        } else {
+          OPENEA_LOG(kWarning)
+              << "ignoring checkpoint " << ckpt_path
+              << ": configuration fingerprint mismatch (recomputing)";
+          state = CvCheckpointState{};
+          state.fingerprint = fingerprint;
+        }
+      } else if (loaded.status().code() != StatusCode::kNotFound) {
+        telemetry::IncrCounter("fault/corrupt_checkpoints");
+        OPENEA_LOG(kWarning) << "ignoring damaged checkpoint " << ckpt_path
+                             << ": " << loaded.status().ToString();
+      }
+    }
+  }
+
+  // ---- Fold loop (restore, or compute with health-guarded retries) --------
   std::vector<double> hits1, hits5, mr, mrr;
   double total_seconds = 0.0;
   for (int f = 0; f < num_folds; ++f) {
+    if (static_cast<size_t>(f) < state.folds.size()) {
+      // Fold restored from the checkpoint: splice its record into the
+      // aggregates without recomputing. Metrics are bit-exact because the
+      // fold computation depends only on (config, fold split), both of
+      // which the fingerprint pins.
+      const FoldRecord& record = state.folds[static_cast<size_t>(f)];
+      total_seconds += record.train_seconds;
+      train_phase.total_seconds += record.train_seconds;
+      ++train_phase.count;
+      eval_phase.total_seconds += record.eval_seconds;
+      ++eval_phase.count;
+      if (!record.health.degraded) {
+        hits1.push_back(record.metrics.hits1);
+        hits5.push_back(record.metrics.hits5);
+        mr.push_back(record.metrics.mr);
+        mrr.push_back(record.metrics.mrr);
+      }
+      result.fold_health.push_back(record.health);
+      if (f == 0 && state.has_first_fold) {
+        result.trace = state.first_fold_model.semi_supervised_trace;
+        result.first_fold_model = state.first_fold_model;
+        result.first_fold_test = state.first_fold_test;
+      }
+      continue;
+    }
+
     telemetry::ScopedSpan fold_span("fold");
     trace::Instant("fold_begin");
     trace::Counter("cv/fold_index", f);
-    auto made = CreateApproach(approach_name, config);
-    OPENEA_CHECK(made.ok()) << made.status().ToString();
-    auto approach = std::move(made).value();
     const AlignmentTask task = MakeTask(dataset.pair, folds[f]);
+
+    // Health-guarded training: retry from the fold's initial state with a
+    // backed-off learning rate while the verdict stays unhealthy.
+    FoldRecord record;
+    record.health.fold = f;
     AlignmentModel model;
-    {
-      telemetry::ScopedSpan span("train");
-      phase_watch.Reset();
-      model = approach->Train(task);
+    TrainConfig attempt_config = config;
+    health::Verdict verdict = health::Verdict::kHealthy;
+    double fold_train_seconds = 0.0;
+    for (int attempt = 0;; ++attempt) {
+      auto made = CreateApproach(approach_name, attempt_config);
+      OPENEA_CHECK(made.ok()) << made.status().ToString();
+      auto approach = std::move(made).value();
+      health::HealthMonitor monitor(checkpoint_config.guard);
+      {
+        telemetry::ScopedSpan span("train");
+        phase_watch.Reset();
+        health::ScopedHealthMonitor scope(&monitor);
+        model = approach->Train(task);
+      }
+      const double train_seconds = phase_watch.ElapsedSeconds();
+      total_seconds += train_seconds;
+      fold_train_seconds += train_seconds;
+      train_phase.total_seconds += train_seconds;
+      ++train_phase.count;
+      // Post-training sweep: embeddings must be finite even when every
+      // per-epoch loss looked plausible.
+      monitor.ObserveTensor(model.emb1.Data());
+      monitor.ObserveTensor(model.emb2.Data());
+      verdict = monitor.worst();
+      if (verdict == health::Verdict::kHealthy) break;
+      if (attempt >= checkpoint_config.max_retries) {
+        record.health.degraded = true;
+        break;
+      }
+      record.health.retries = attempt + 1;
+      attempt_config.learning_rate = static_cast<float>(
+          attempt_config.learning_rate * checkpoint_config.retry_lr_backoff);
+      telemetry::IncrCounter("fault/retries");
+      trace::Instant("fold_retry");
+      OPENEA_LOG(kWarning) << approach_name << " on " << dataset.name
+                           << " fold " << f << ": "
+                           << health::VerdictName(verdict)
+                           << ", retrying with learning rate "
+                           << attempt_config.learning_rate;
     }
-    const double train_seconds = phase_watch.ElapsedSeconds();
-    total_seconds += train_seconds;
-    train_phase.total_seconds += train_seconds;
-    ++train_phase.count;
+    record.health.verdict = verdict;
     if (telemetry::Enabled()) {
       telemetry::SetGauge("mem/after_train_peak_rss_mb",
                           telemetry::PeakRssMb());
     }
-    eval::RankingMetrics metrics;
-    {
+
+    if (record.health.degraded) {
+      // Exhausted retries: exclude the fold from every aggregate and
+      // annotate instead of aborting the suite (or, worse, silently
+      // averaging NaNs into BENCH_*.json).
+      telemetry::IncrCounter("fault/diverged_folds");
+      if (telemetry::Enabled()) {
+        telemetry::AppendContextEntry(
+            "faults",
+            json::Value(json::Value::Object{
+                {"approach", json::Value(approach_name)},
+                {"dataset", json::Value(dataset.name)},
+                {"fold", json::Value(f)},
+                {"verdict", json::Value(health::VerdictName(verdict))},
+                {"retries", json::Value(record.health.retries)},
+            }));
+      }
+      OPENEA_LOG(kError) << approach_name << " on " << dataset.name
+                         << " fold " << f << " marked degraded ("
+                         << health::VerdictName(verdict) << " after "
+                         << record.health.retries
+                         << " retries); excluded from aggregates";
+    } else {
       telemetry::ScopedSpan span("eval");
       phase_watch.Reset();
-      metrics = eval::EvaluateRanking(model, task.test,
-                                      align::DistanceMetric::kCosine);
+      record.metrics = eval::EvaluateRanking(model, task.test,
+                                             align::DistanceMetric::kCosine);
+      record.eval_seconds = phase_watch.ElapsedSeconds();
+      eval_phase.total_seconds += record.eval_seconds;
+      ++eval_phase.count;
+      hits1.push_back(record.metrics.hits1);
+      hits5.push_back(record.metrics.hits5);
+      mr.push_back(record.metrics.mr);
+      mrr.push_back(record.metrics.mrr);
     }
-    eval_phase.total_seconds += phase_watch.ElapsedSeconds();
-    ++eval_phase.count;
     if (telemetry::Enabled()) {
       telemetry::SetGauge("mem/after_eval_peak_rss_mb",
                           telemetry::PeakRssMb());
     }
     trace::Instant("fold_end");
-    hits1.push_back(metrics.hits1);
-    hits5.push_back(metrics.hits5);
-    mr.push_back(metrics.mr);
-    mrr.push_back(metrics.mrr);
+    record.train_seconds = fold_train_seconds;
     if (f == 0) {
       result.trace = model.semi_supervised_trace;
       result.first_fold_model = std::move(model);
       result.first_fold_test = task.test;
+      state.has_first_fold = true;
+      state.first_fold_model = result.first_fold_model;
+      state.first_fold_test = result.first_fold_test;
     }
+    result.fold_health.push_back(record.health);
+    state.folds.push_back(record);
     telemetry::IncrCounter("cv/folds");
+
+    if (checkpoint_config.enabled() &&
+        ((f + 1) % checkpoint_config.cadence == 0 || f + 1 == num_folds)) {
+      const Status saved = SaveCvCheckpoint(ckpt_path, state);
+      if (!saved.ok()) {
+        telemetry::IncrCounter("fault/checkpoint_write_failures");
+        OPENEA_LOG(kWarning) << "checkpoint write failed (continuing): "
+                             << saved.ToString();
+      } else {
+        telemetry::IncrCounter("fault/checkpoints_written");
+      }
+    }
   }
   result.hits1 = eval::Aggregate(hits1);
   result.hits5 = eval::Aggregate(hits5);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/health.h"
 #include "src/common/trace.h"
 #include "src/core/approach.h"
 #include "src/core/task.h"
@@ -57,11 +58,47 @@ struct PhaseSeconds {
   int count = 0;  // Number of spans aggregated (folds, or 1 for the split).
 };
 
+/// Fault-tolerance configuration of a cross-validation run (DESIGN.md,
+/// "Fault tolerance"): crash-safe fold checkpoints plus the numerical-health
+/// retry policy.
+struct CheckpointConfig {
+  /// Directory for fold checkpoints; empty disables checkpointing. Created
+  /// on first write.
+  std::string directory;
+  /// Write a checkpoint after every `cadence` completed folds (>= 1).
+  int cadence = 1;
+  /// Load an existing checkpoint and skip its completed folds. A missing,
+  /// damaged, or configuration-mismatched checkpoint is ignored (with a
+  /// warning) and the run recomputes from scratch.
+  bool resume = false;
+  /// Health-guard policy: a fold whose training diverges or goes non-finite
+  /// is retried from the fold's initial state with the learning rate scaled
+  /// by `retry_lr_backoff`, at most `max_retries` times; a fold that stays
+  /// unhealthy is marked degraded instead of aborting the suite.
+  int max_retries = 2;
+  double retry_lr_backoff = 0.5;
+  health::GuardConfig guard;
+
+  bool enabled() const { return !directory.empty(); }
+};
+
+/// Health record of one cross-validation fold.
+struct FoldHealth {
+  int fold = 0;
+  int retries = 0;        // Health-guard retries consumed by this fold.
+  bool degraded = false;  // Unhealthy after every retry; excluded from means.
+  bool resumed = false;   // Restored from a checkpoint, not recomputed.
+  health::Verdict verdict = health::Verdict::kHealthy;  // Final attempt's.
+};
+
 /// Aggregated cross-validation result of one approach on one dataset
 /// (means and standard deviations over folds, as in Table 5).
 struct CrossValidationResult {
   std::string approach;
   std::string dataset;
+  /// Aggregated over healthy folds only — degraded folds never poison the
+  /// reported means (they are listed in `fold_health` and in the telemetry
+  /// "faults" annotation instead).
   eval::MeanStd hits1, hits5, mr, mrr;
   double mean_seconds = 0.0;
   /// Per-phase wall time across the folds (always populated, independent of
@@ -72,6 +109,14 @@ struct CrossValidationResult {
   /// First-fold artifacts for the geometric analyses.
   AlignmentModel first_fold_model;
   kg::Alignment first_fold_test;
+  /// One record per fold, in fold order.
+  std::vector<FoldHealth> fold_health;
+
+  int DegradedFolds() const {
+    int n = 0;
+    for (const FoldHealth& h : fold_health) n += h.degraded ? 1 : 0;
+    return n;
+  }
 };
 
 /// Trains and evaluates the named approach over `num_folds` folds of
@@ -92,6 +137,24 @@ CrossValidationResult RunCrossValidation(const std::string& approach_name,
                                          const TrainConfig& config,
                                          int num_folds,
                                          const trace::TraceConfig& trace_config);
+
+/// Fault-tolerant variant: fold-granular checkpoint/resume under
+/// `checkpoint_config` plus the health-guard retry policy. The plain
+/// overloads route here with DefaultCheckpointConfig(). Determinism
+/// contract: a run killed at any point and resumed from its checkpoint
+/// directory produces the same metrics, trace, and first-fold embeddings,
+/// bit for bit, as an uninterrupted run at the same thread count.
+CrossValidationResult RunCrossValidation(
+    const std::string& approach_name, const BenchmarkDataset& dataset,
+    const TrainConfig& config, int num_folds,
+    const CheckpointConfig& checkpoint_config);
+
+/// Process-wide default CheckpointConfig used by the overloads that do not
+/// take one explicitly. Set by the bench driver from --checkpoint-dir /
+/// --resume so checkpointing reaches every bench through the shared flag
+/// plumbing (bench/bench_common.h) without per-bench changes.
+void SetDefaultCheckpointConfig(const CheckpointConfig& config);
+const CheckpointConfig& DefaultCheckpointConfig();
 
 }  // namespace openea::core
 

@@ -1,9 +1,12 @@
 #include "src/interaction/trainer.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/common/fault.h"
+#include "src/common/health.h"
 #include "src/common/parallel.h"
 #include "src/common/stopwatch.h"
 #include "src/common/telemetry.h"
@@ -61,12 +64,12 @@ bool UseShardedPath(EpochMode mode) {
 
 }  // namespace
 
-float TrainEpoch(embedding::TripleModel& model,
-                 const std::vector<kg::Triple>& triples, int negatives,
-                 Rng& rng,
-                 const embedding::TruncatedNegativeSampler* truncated,
-                 EpochMode mode) {
-  if (triples.empty()) return 0.0f;
+EpochOutcome TrainEpoch(embedding::TripleModel& model,
+                        const std::vector<kg::Triple>& triples, int negatives,
+                        Rng& rng,
+                        const embedding::TruncatedNegativeSampler* truncated,
+                        EpochMode mode) {
+  if (triples.empty()) return {};
   telemetry::ScopedSpan span("train_epoch");
   Stopwatch watch;
   std::vector<size_t> order(triples.size());
@@ -118,15 +121,18 @@ float TrainEpoch(embedding::TripleModel& model,
     }
   }
   model.PostEpoch();
-  const float mean_loss = total / static_cast<float>(triples.size());
+  float mean_loss = total / static_cast<float>(triples.size());
+  if (FAULT_POINT("train/epoch_loss")) {
+    mean_loss = std::numeric_limits<float>::quiet_NaN();
+  }
   RecordEpoch("pair", mean_loss, triples.size(), watch.ElapsedSeconds());
-  return mean_loss;
+  return {mean_loss, health::ReportLoss(mean_loss)};
 }
 
-float TrainEpochPositiveOnly(embedding::TripleModel& model,
-                             const std::vector<kg::Triple>& triples,
-                             Rng& rng) {
-  if (triples.empty()) return 0.0f;
+EpochOutcome TrainEpochPositiveOnly(embedding::TripleModel& model,
+                                    const std::vector<kg::Triple>& triples,
+                                    Rng& rng) {
+  if (triples.empty()) return {};
   telemetry::ScopedSpan span("train_epoch");
   Stopwatch watch;
   std::vector<size_t> order(triples.size());
@@ -135,12 +141,15 @@ float TrainEpochPositiveOnly(embedding::TripleModel& model,
   float total = 0.0f;
   for (size_t idx : order) total += model.TrainOnPositive(triples[idx]);
   model.PostEpoch();
-  const float mean_loss = total / static_cast<float>(triples.size());
+  float mean_loss = total / static_cast<float>(triples.size());
+  if (FAULT_POINT("train/epoch_loss")) {
+    mean_loss = std::numeric_limits<float>::quiet_NaN();
+  }
   RecordEpoch("positive", mean_loss, triples.size(), watch.ElapsedSeconds());
-  return mean_loss;
+  return {mean_loss, health::ReportLoss(mean_loss)};
 }
 
-float CalibrateEpoch(
+EpochOutcome CalibrateEpoch(
     math::EmbeddingTable& entities,
     const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs,
     float learning_rate, float margin, int negatives, Rng& rng,
@@ -213,10 +222,13 @@ float CalibrateEpoch(
       entities.ApplyGradient(c, grad, learning_rate);
     }
   }
-  const float mean_loss =
+  float mean_loss =
       pairs.empty() ? 0.0f : total / static_cast<float>(pairs.size());
+  if (FAULT_POINT("train/epoch_loss")) {
+    mean_loss = std::numeric_limits<float>::quiet_NaN();
+  }
   RecordEpoch("calibrate", mean_loss, pairs.size(), watch.ElapsedSeconds());
-  return mean_loss;
+  return {mean_loss, health::ReportLoss(mean_loss)};
 }
 
 size_t PathCompositionEpoch(math::EmbeddingTable& relations,

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/health.h"
 #include "src/common/rng.h"
 #include "src/embedding/negative_sampling.h"
 #include "src/embedding/triple_model.h"
@@ -10,6 +11,18 @@
 #include "src/math/embedding_table.h"
 
 namespace openea::interaction {
+
+/// Loss plus numerical-health verdict of one epoch. Implicitly converts to
+/// the loss so the many existing `float loss = TrainEpoch(...)` call sites
+/// keep compiling; fault-aware callers read `verdict` (or install a
+/// health::ScopedHealthMonitor around the whole training loop and query its
+/// worst() afterwards — every epoch reports to the active monitor).
+struct EpochOutcome {
+  float loss = 0.0f;
+  health::Verdict verdict = health::Verdict::kHealthy;
+
+  operator float() const { return loss; }  // NOLINT: implicit by design.
+};
 
 /// How an epoch maps onto the parallel compute core (see DESIGN.md,
 /// "Compute core").
@@ -31,8 +44,9 @@ enum class EpochMode {
 /// One epoch of pair-based training over `triples`: for each positive,
 /// `negatives` corruptions are drawn (from `truncated` when provided and
 /// initialized, else uniformly) and fed to the model. Returns the mean
-/// per-positive loss. Triples are visited in a freshly shuffled order.
-float TrainEpoch(embedding::TripleModel& model,
+/// per-positive loss plus its health verdict. Triples are visited in a
+/// freshly shuffled order.
+EpochOutcome TrainEpoch(embedding::TripleModel& model,
                  const std::vector<kg::Triple>& triples, int negatives,
                  Rng& rng,
                  const embedding::TruncatedNegativeSampler* truncated =
@@ -40,7 +54,7 @@ float TrainEpoch(embedding::TripleModel& model,
                  EpochMode mode = EpochMode::kAuto);
 
 /// One epoch of positive-only training (MTransE regime).
-float TrainEpochPositiveOnly(embedding::TripleModel& model,
+EpochOutcome TrainEpochPositiveOnly(embedding::TripleModel& model,
                              const std::vector<kg::Triple>& triples,
                              Rng& rng);
 
@@ -48,7 +62,7 @@ float TrainEpochPositiveOnly(embedding::TripleModel& model,
 /// merged-id pair (a, b), minimize ||e_a - e_b||^2 and push each side away
 /// from a sampled negative with margin. Operates directly on the entity
 /// table.
-float CalibrateEpoch(
+EpochOutcome CalibrateEpoch(
     math::EmbeddingTable& entities,
     const std::vector<std::pair<kg::EntityId, kg::EntityId>>& pairs,
     float learning_rate, float margin, int negatives, Rng& rng,

@@ -17,7 +17,14 @@ Status WriteLines(const std::string& path,
   return Status::OK();
 }
 
-Status ReadLines(const std::string& path, std::vector<std::string>* lines,
+/// One non-empty input line with its 1-based position in the source file,
+/// kept so parse errors can point at the exact file:line.
+struct NumberedLine {
+  size_t number = 0;
+  std::string text;
+};
+
+Status ReadLines(const std::string& path, std::vector<NumberedLine>* lines,
                  bool required) {
   std::ifstream in(path);
   if (!in) {
@@ -25,10 +32,21 @@ Status ReadLines(const std::string& path, std::vector<std::string>* lines,
                     : Status::OK();
   }
   std::string line;
+  size_t number = 0;
   while (std::getline(in, line)) {
-    if (!line.empty()) lines->push_back(line);
+    ++number;
+    if (!line.empty()) lines->push_back({number, line});
   }
+  if (in.bad()) return Status::Internal("read failed: " + path);
   return Status::OK();
+}
+
+/// "path:line: what: "<offending text>"" — enough context to fix the input
+/// file without re-running under a debugger.
+Status BadLine(const std::string& path, const NumberedLine& line,
+               const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line.number) +
+                                 ": " + what + ": \"" + line.text + "\"");
 }
 
 Status SaveKg(const KnowledgeGraph& kg, const std::string& dir, int index) {
@@ -74,45 +92,52 @@ Status SaveKg(const KnowledgeGraph& kg, const std::string& dir, int index) {
 
 Status LoadKg(const std::string& dir, int index, KnowledgeGraph* kg) {
   const std::string suffix = "_" + std::to_string(index);
-  std::vector<std::string> lines;
+  std::vector<NumberedLine> lines;
   // Optional entity list (absent in bare OpenEA-format datasets); loading
   // it first preserves the original id order.
   Status status = ReadLines(dir + "/ent_ids" + suffix, &lines, false);
   if (!status.ok()) return status;
-  for (const std::string& line : lines) kg->AddEntity(line);
+  for (const NumberedLine& line : lines) kg->AddEntity(line.text);
   lines.clear();
-  status = ReadLines(dir + "/rel_triples" + suffix, &lines, true);
+  const std::string rel_path = dir + "/rel_triples" + suffix;
+  status = ReadLines(rel_path, &lines, true);
   if (!status.ok()) return status;
-  for (const std::string& line : lines) {
-    const auto parts = Split(line, '\t');
+  for (const NumberedLine& line : lines) {
+    const auto parts = Split(line.text, '\t');
     if (parts.size() != 3) {
-      return Status::InvalidArgument("bad relation triple line: " + line);
+      return BadLine(rel_path, line,
+                     "expected 3 tab-separated fields in relation triple, "
+                     "got " + std::to_string(parts.size()));
     }
     kg->AddTriple(kg->AddEntity(parts[0]), kg->AddRelation(parts[1]),
                   kg->AddEntity(parts[2]));
   }
   lines.clear();
-  status = ReadLines(dir + "/attr_triples" + suffix, &lines, false);
+  const std::string attr_path = dir + "/attr_triples" + suffix;
+  status = ReadLines(attr_path, &lines, false);
   if (!status.ok()) return status;
-  for (const std::string& line : lines) {
-    const auto parts = Split(line, '\t');
+  for (const NumberedLine& line : lines) {
+    const auto parts = Split(line.text, '\t');
     if (parts.size() != 3) {
-      return Status::InvalidArgument("bad attribute triple line: " + line);
+      return BadLine(attr_path, line,
+                     "expected 3 tab-separated fields in attribute triple, "
+                     "got " + std::to_string(parts.size()));
     }
     kg->AddAttributeTriple(kg->AddEntity(parts[0]),
                            kg->AddAttribute(parts[1]),
                            kg->AddLiteral(parts[2]));
   }
   lines.clear();
-  status = ReadLines(dir + "/descriptions" + suffix, &lines, false);
+  const std::string desc_path = dir + "/descriptions" + suffix;
+  status = ReadLines(desc_path, &lines, false);
   if (!status.ok()) return status;
-  for (const std::string& line : lines) {
-    const size_t tab = line.find('\t');
+  for (const NumberedLine& line : lines) {
+    const size_t tab = line.text.find('\t');
     if (tab == std::string::npos) {
-      return Status::InvalidArgument("bad description line: " + line);
+      return BadLine(desc_path, line, "expected a tab-separated description");
     }
-    kg->SetDescription(kg->AddEntity(line.substr(0, tab)),
-                       line.substr(tab + 1));
+    kg->SetDescription(kg->AddEntity(line.text.substr(0, tab)),
+                       line.text.substr(tab + 1));
   }
   kg->BuildIndex();
   return Status::OK();
@@ -141,19 +166,21 @@ Status LoadDatasetPair(const std::string& directory,
   status = LoadKg(directory, 2, &pair->kg2);
   if (!status.ok()) return status;
 
-  std::vector<std::string> lines;
-  status = ReadLines(directory + "/ent_links", &lines, true);
+  std::vector<NumberedLine> lines;
+  const std::string links_path = directory + "/ent_links";
+  status = ReadLines(links_path, &lines, true);
   if (!status.ok()) return status;
-  for (const std::string& line : lines) {
-    const auto parts = Split(line, '\t');
+  for (const NumberedLine& line : lines) {
+    const auto parts = Split(line.text, '\t');
     if (parts.size() != 2) {
-      return Status::InvalidArgument("bad ent_links line: " + line);
+      return BadLine(links_path, line,
+                     "expected 2 tab-separated fields in entity link, got " +
+                         std::to_string(parts.size()));
     }
     const EntityId left = pair->kg1.entities().Find(parts[0]);
     const EntityId right = pair->kg2.entities().Find(parts[1]);
     if (left == kInvalidId || right == kInvalidId) {
-      return Status::InvalidArgument("ent_links references unknown entity: " +
-                                     line);
+      return BadLine(links_path, line, "link references an unknown entity");
     }
     pair->reference.push_back({left, right});
   }

@@ -81,6 +81,19 @@ void EmbeddingTable::ClampRowNorm(size_t r) {
   if (norm > 1.0f) Scale(1.0f / norm, row);
 }
 
+EmbeddingTable EmbeddingTable::FromParts(size_t num_rows, size_t dim,
+                                         std::vector<float> data,
+                                         std::vector<float> adagrad) {
+  OPENEA_CHECK_EQ(data.size(), num_rows * dim);
+  OPENEA_CHECK_EQ(adagrad.size(), num_rows * dim);
+  EmbeddingTable table;
+  table.num_rows_ = num_rows;
+  table.dim_ = dim;
+  table.data_ = std::move(data);
+  table.adagrad_ = std::move(adagrad);
+  return table;
+}
+
 EmbeddingTable EmbeddingTable::CloneValues() const {
   EmbeddingTable copy;
   copy.num_rows_ = num_rows_;

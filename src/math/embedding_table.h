@@ -62,6 +62,20 @@ class EmbeddingTable {
   /// Returns a deep copy with fresh (zeroed) AdaGrad state.
   EmbeddingTable CloneValues() const;
 
+  /// Raw AdaGrad accumulator (same shape as Data()), exposed for
+  /// checkpointing: a resumed optimizer must continue from the saved
+  /// accumulators or the post-resume step sizes diverge from an
+  /// uninterrupted run.
+  std::span<const float> AdagradData() const {
+    return std::span<const float>(adagrad_);
+  }
+
+  /// Reconstructs a table from checkpointed parts. `data` and `adagrad`
+  /// must each hold num_rows * dim floats.
+  static EmbeddingTable FromParts(size_t num_rows, size_t dim,
+                                  std::vector<float> data,
+                                  std::vector<float> adagrad);
+
  private:
   size_t num_rows_;
   size_t dim_;

@@ -130,6 +130,50 @@ TEST(BenchDiffTest, NewKeysAreNotesNotRegressions) {
   EXPECT_NE(report.notes[0].find("align/new_counter"), std::string::npos);
 }
 
+TEST(BenchDiffTest, FaultCountersAreInformationalNeverGating) {
+  const json::Value baseline = ParseDoc(kBaseline);
+  json::Value candidate = ParseDoc(kBaseline);
+  // A candidate that retried folds, resumed from a checkpoint, and wrote
+  // checkpoints reports it all under fault/* — none of it may gate.
+  auto& counters = candidate.object()["counters"].object();
+  counters["fault/retries"] = json::Value(3);
+  counters["fault/diverged_folds"] = json::Value(1);
+  counters["fault/resumed_folds"] = json::Value(2);
+  counters["fault/checkpoints_written"] = json::Value(5);
+  const auto report = bench::CompareBenchDocuments(baseline, candidate,
+                                                   bench::DiffOptions{});
+  EXPECT_TRUE(report.ok())
+      << (report.regressions.empty() ? "" : report.regressions.front());
+  // Skipped prefix: not even noted as new keys.
+  EXPECT_TRUE(report.notes.empty());
+}
+
+TEST(BenchDiffTest, FaultCounterDriftIsExemptBothDirections) {
+  // A baseline that already has fault counters must not gate a candidate
+  // whose counts differ (or that has none at all: healthy run).
+  json::Value baseline = ParseDoc(kBaseline);
+  baseline.object()["counters"].object()["fault/retries"] = json::Value(4);
+  const json::Value candidate = ParseDoc(kBaseline);
+  EXPECT_TRUE(
+      bench::CompareBenchDocuments(baseline, candidate, bench::DiffOptions{})
+          .ok());
+}
+
+TEST(BenchDiffTest, DegradedFoldAnnotationsAreNotes) {
+  const json::Value baseline = ParseDoc(kBaseline);
+  json::Value candidate = ParseDoc(kBaseline);
+  candidate.object()["faults"] = ParseDoc(R"json([
+    {"approach": "mtranse", "dataset": "EN-FR-15K-scale (V1)", "fold": 3,
+     "retries": 2, "verdict": "non_finite"}
+  ])json");
+  const auto report = bench::CompareBenchDocuments(baseline, candidate,
+                                                   bench::DiffOptions{});
+  EXPECT_TRUE(report.ok())
+      << (report.regressions.empty() ? "" : report.regressions.front());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("degraded fold"), std::string::npos);
+}
+
 TEST(BenchDiffTest, HistogramCountDriftFails) {
   const json::Value baseline = ParseDoc(kBaseline);
   json::Value candidate = ParseDoc(kBaseline);

@@ -1,0 +1,293 @@
+// Tests for the crash-safe checkpoint envelope (src/common/checkpoint.h):
+// binary writer/reader bounds, CRC/truncation/magic/version detection,
+// torn-write simulation via the fault registry, typed Rng/EmbeddingTable
+// round trips, and the core determinism claim — a mini training loop saved
+// mid-run and resumed reproduces the uninterrupted run bit for bit.
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/checkpoint.h"
+#include "src/common/fault.h"
+#include "src/common/rng.h"
+#include "src/math/embedding_table.h"
+
+namespace openea {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::DisarmAll();
+    // Unique per test: ctest runs cases as concurrent processes, and a
+    // shared directory would let one test's SetUp wipe another's files.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("openea_checkpoint_test_") + info->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, WriterReaderRoundTrip) {
+  checkpoint::BinaryWriter writer;
+  writer.PutU32(0xdeadbeefu);
+  writer.PutU64(0x0123456789abcdefULL);
+  writer.PutI64(-42);
+  writer.PutBool(true);
+  writer.PutFloat(1.5f);
+  writer.PutDouble(-2.25);
+  writer.PutString(std::string_view("hello\0world", 11));  // Embedded NUL.
+  const std::vector<float> floats = {0.0f, -1.0f, 3.14f};
+  writer.PutFloats(floats);
+
+  checkpoint::BinaryReader reader(writer.buffer());
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  bool b = false;
+  float f = 0.0f;
+  double d = 0.0;
+  std::string s;
+  std::vector<float> fs;
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadBool(&b).ok());
+  ASSERT_TRUE(reader.ReadFloat(&f).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d).ok());
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  ASSERT_TRUE(reader.ReadFloats(&fs).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(f, 1.5f);
+  EXPECT_EQ(d, -2.25);
+  EXPECT_EQ(s, std::string("hello\0world", 11));
+  EXPECT_EQ(fs, floats);
+}
+
+TEST_F(CheckpointTest, ReaderRejectsTruncatedInput) {
+  checkpoint::BinaryWriter writer;
+  writer.PutU64(7);
+  // Drop the last byte: the read must fail, not crash or wrap.
+  const std::string short_buf =
+      writer.buffer().substr(0, writer.buffer().size() - 1);
+  checkpoint::BinaryReader reader(short_buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.ReadU64(&v).ok());
+}
+
+TEST_F(CheckpointTest, Crc32MatchesKnownVector) {
+  // IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(checkpoint::Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(checkpoint::Crc32(""), 0u);
+}
+
+TEST_F(CheckpointTest, EnvelopeRoundTrip) {
+  const std::string path = Path("a.ckpt");
+  ASSERT_TRUE(checkpoint::WriteFileAtomic(path, "payload bytes", 3).ok());
+  auto payload = checkpoint::ReadFilePayload(path, 3);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(*payload, "payload bytes");
+  // No stray temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(CheckpointTest, MissingFileIsNotFound) {
+  const auto payload = checkpoint::ReadFilePayload(Path("absent.ckpt"), 1);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, VersionMismatchIsRejected) {
+  const std::string path = Path("v.ckpt");
+  ASSERT_TRUE(checkpoint::WriteFileAtomic(path, "x", 1).ok());
+  EXPECT_FALSE(checkpoint::ReadFilePayload(path, 2).ok());
+}
+
+TEST_F(CheckpointTest, FlippedPayloadByteFailsCrc) {
+  const std::string path = Path("crc.ckpt");
+  ASSERT_TRUE(checkpoint::WriteFileAtomic(path, "sensitive data", 1).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(8 + 4 + 8 + 3);  // Fourth payload byte.
+    f.put('X');
+  }
+  const auto payload = checkpoint::ReadFilePayload(path, 1);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_NE(payload.status().ToString().find("CRC"), std::string::npos)
+      << payload.status().ToString();
+}
+
+TEST_F(CheckpointTest, TruncatedFileIsRejected) {
+  const std::string path = Path("trunc.ckpt");
+  ASSERT_TRUE(checkpoint::WriteFileAtomic(path, "0123456789abcdef", 1).ok());
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 6);
+  EXPECT_FALSE(checkpoint::ReadFilePayload(path, 1).ok());
+}
+
+TEST_F(CheckpointTest, GarbageMagicIsRejected) {
+  const std::string path = Path("garbage.ckpt");
+  std::ofstream(path, std::ios::binary) << "this is not a checkpoint file";
+  const auto payload = checkpoint::ReadFilePayload(path, 1);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_NE(payload.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, EnospcFaultSurfacesAsWriteError) {
+  fault::Spec spec;
+  spec.point = "checkpoint/enospc";
+  fault::Arm(spec);
+  const std::string path = Path("enospc.ckpt");
+  EXPECT_FALSE(checkpoint::WriteFileAtomic(path, "data", 1).ok());
+  EXPECT_EQ(fault::FiredCount("checkpoint/enospc"), 1u);
+  // Nothing durable appeared.
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(CheckpointTest, TornWriteIsDetectedAtLoad) {
+  // First write a good checkpoint, then overwrite it with a torn write
+  // (half the envelope lands at the final path, bypassing the rename
+  // barrier — the power-loss-without-fsync scenario).
+  const std::string path = Path("torn.ckpt");
+  ASSERT_TRUE(checkpoint::WriteFileAtomic(path, "generation one", 1).ok());
+  fault::Spec spec;
+  spec.point = "checkpoint/short_write";
+  fault::Arm(spec);
+  // The torn write *reports success* — the writer believes the checkpoint
+  // is durable, exactly like a power loss after a lying flush. Only the
+  // load-time size/CRC checks catch it.
+  const Status torn = checkpoint::WriteFileAtomic(path, "generation two", 1);
+  EXPECT_TRUE(torn.ok());
+  // The damaged file reads as an error, never as either generation.
+  EXPECT_FALSE(checkpoint::ReadFilePayload(path, 1).ok());
+}
+
+TEST_F(CheckpointTest, AfterWriteFaultKeepsFileIntact) {
+  // kFail at after_write only marks the hit; the checkpoint itself must be
+  // complete (this is the point kill tests use — the file is durable first).
+  fault::Spec spec;
+  spec.point = "checkpoint/after_write";
+  fault::Arm(spec);
+  const std::string path = Path("after.ckpt");
+  ASSERT_TRUE(checkpoint::WriteFileAtomic(path, "durable", 1).ok());
+  EXPECT_EQ(fault::FiredCount("checkpoint/after_write"), 1u);
+  auto payload = checkpoint::ReadFilePayload(path, 1);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "durable");
+}
+
+TEST_F(CheckpointTest, RngRoundTripContinuesStreamExactly) {
+  Rng rng(123);
+  rng.NextGaussian();  // Populate the Box–Muller spare.
+  checkpoint::BinaryWriter writer;
+  checkpoint::PutRng(writer, rng);
+  Rng restored(0);
+  checkpoint::BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(checkpoint::ReadRng(reader, &restored).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(rng.NextU64(), restored.NextU64());
+    ASSERT_EQ(rng.NextGaussian(), restored.NextGaussian());
+  }
+}
+
+TEST_F(CheckpointTest, EmbeddingTableRoundTripKeepsAdagradState) {
+  Rng rng(7);
+  math::EmbeddingTable table(6, 4, math::InitScheme::kXavier, rng);
+  const std::vector<float> grad = {0.1f, -0.2f, 0.3f, -0.4f};
+  table.ApplyGradient(2, grad, 0.05f);  // Non-trivial AdaGrad accumulators.
+
+  checkpoint::BinaryWriter writer;
+  checkpoint::PutEmbeddingTable(writer, table);
+  math::EmbeddingTable restored;
+  checkpoint::BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(checkpoint::ReadEmbeddingTable(reader, &restored).ok());
+  ASSERT_EQ(restored.num_rows(), table.num_rows());
+  ASSERT_EQ(restored.dim(), table.dim());
+  ASSERT_TRUE(std::memcmp(restored.Data().data(), table.Data().data(),
+                          table.Data().size() * sizeof(float)) == 0);
+  ASSERT_TRUE(std::memcmp(restored.AdagradData().data(),
+                          table.AdagradData().data(),
+                          table.AdagradData().size() * sizeof(float)) == 0);
+
+  // The restored optimizer must take the same next step.
+  table.ApplyGradient(2, grad, 0.05f);
+  restored.ApplyGradient(2, grad, 0.05f);
+  EXPECT_TRUE(std::memcmp(restored.Data().data(), table.Data().data(),
+                          table.Data().size() * sizeof(float)) == 0);
+}
+
+/// One deterministic pseudo-training step: a random row gets a
+/// gradient drawn from the stream. Exercises exactly the state TrainState
+/// carries (rng + tables + lr).
+void MiniEpoch(math::EmbeddingTable& table, Rng& rng, float lr) {
+  std::vector<float> grad(table.dim());
+  for (int step = 0; step < 17; ++step) {
+    const size_t row = rng.NextBounded(table.num_rows());
+    for (float& g : grad) g = rng.NextFloat(-1.0f, 1.0f);
+    table.ApplyGradient(row, grad, lr);
+  }
+}
+
+TEST_F(CheckpointTest, TrainStateResumeIsBitIdentical) {
+  const std::string path = Path("train_state.ckpt");
+  constexpr uint64_t kEpochs = 10, kSaveAt = 4;
+
+  // Uninterrupted run.
+  Rng rng_a(99);
+  math::EmbeddingTable table_a(8, 4, math::InitScheme::kUniform, rng_a);
+  float lr_a = 0.1f;
+  for (uint64_t e = 0; e < kEpochs; ++e) {
+    MiniEpoch(table_a, rng_a, lr_a);
+    lr_a *= 0.9f;
+    if (e + 1 == kSaveAt) {
+      checkpoint::TrainState state;
+      state.epoch = e + 1;
+      state.learning_rate = lr_a;
+      state.rng = rng_a;
+      state.tables.push_back(table_a);  // Copies values + AdaGrad state.
+      ASSERT_TRUE(checkpoint::SaveTrainState(path, state).ok());
+    }
+  }
+
+  // Killed-and-resumed run: restore at kSaveAt, replay the remainder.
+  auto loaded = checkpoint::LoadTrainState(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->epoch, kSaveAt);
+  ASSERT_EQ(loaded->tables.size(), 1u);
+  Rng rng_b = loaded->rng;
+  math::EmbeddingTable table_b = loaded->tables[0];
+  float lr_b = loaded->learning_rate;
+  for (uint64_t e = loaded->epoch; e < kEpochs; ++e) {
+    MiniEpoch(table_b, rng_b, lr_b);
+    lr_b *= 0.9f;
+  }
+
+  ASSERT_EQ(table_b.Data().size(), table_a.Data().size());
+  EXPECT_TRUE(std::memcmp(table_b.Data().data(), table_a.Data().data(),
+                          table_a.Data().size() * sizeof(float)) == 0);
+  EXPECT_TRUE(std::memcmp(table_b.AdagradData().data(),
+                          table_a.AdagradData().data(),
+                          table_a.AdagradData().size() * sizeof(float)) == 0);
+  EXPECT_EQ(rng_b.NextU64(), rng_a.NextU64());
+}
+
+}  // namespace
+}  // namespace openea

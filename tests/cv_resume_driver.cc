@@ -1,0 +1,134 @@
+// Subprocess driver for the kill/resume fault-injection tests
+// (tests/fault_injection_test.cc). Runs one fault-tolerant cross-validation
+// on a tiny deterministic dataset and serializes every deterministic field
+// of the result to --out, so the harness can compare a killed-and-resumed
+// run against an uninterrupted one byte for byte. Wall-clock fields and the
+// `resumed` bookkeeping flag are deliberately excluded: the determinism
+// contract covers metrics, health records, traces, embeddings, and the test
+// split — not timings.
+//
+// Flags:
+//   --approach=NAME      registered approach (default MTransE)
+//   --folds=N            folds to run (default 3)
+//   --epochs=N           training epochs (default 10)
+//   --seed=N             master seed (default 7)
+//   --threads=N          compute-core threads (default 1)
+//   --checkpoint-dir=P   enable fold checkpoints under P
+//   --resume             resume from an existing checkpoint
+//   --fault=SPEC         arm a fault point (point:n[:kill|fail][:repeat])
+//   --out=P              write the result serialization to P
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/common/checkpoint.h"
+#include "src/common/fault.h"
+#include "src/common/strings.h"
+#include "src/core/benchmark.h"
+#include "src/core/registry.h"
+
+namespace openea {
+namespace {
+
+std::string SerializeResult(const core::CrossValidationResult& result) {
+  checkpoint::BinaryWriter writer;
+  writer.PutString(result.approach);
+  writer.PutString(result.dataset);
+  for (const eval::MeanStd* ms :
+       {&result.hits1, &result.hits5, &result.mr, &result.mrr}) {
+    writer.PutDouble(ms->mean);
+    writer.PutDouble(ms->std);
+  }
+  writer.PutU64(result.fold_health.size());
+  for (const core::FoldHealth& health : result.fold_health) {
+    writer.PutI64(health.fold);
+    writer.PutI64(health.retries);
+    writer.PutBool(health.degraded);
+    writer.PutU32(static_cast<uint32_t>(health.verdict));
+  }
+  writer.PutU64(result.trace.size());
+  for (const core::IterationStat& stat : result.trace) {
+    writer.PutI64(stat.iteration);
+    writer.PutDouble(stat.precision);
+    writer.PutDouble(stat.recall);
+    writer.PutDouble(stat.f1);
+  }
+  checkpoint::PutMatrix(writer, result.first_fold_model.emb1);
+  checkpoint::PutMatrix(writer, result.first_fold_model.emb2);
+  writer.PutU64(result.first_fold_test.size());
+  for (const kg::AlignmentPair& pair : result.first_fold_test) {
+    writer.PutI64(pair.left);
+    writer.PutI64(pair.right);
+  }
+  return writer.TakeBuffer();
+}
+
+int Run(int argc, char** argv) {
+  std::string approach = "MTransE";
+  int folds = 3;
+  int epochs = 10;
+  uint64_t seed = 7;
+  int threads = 1;
+  std::string out_path;
+  core::CheckpointConfig checkpoint_config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--approach=")) {
+      approach = arg.substr(11);
+    } else if (StartsWith(arg, "--folds=")) {
+      folds = std::atoi(arg.c_str() + 8);
+    } else if (StartsWith(arg, "--epochs=")) {
+      epochs = std::atoi(arg.c_str() + 9);
+    } else if (StartsWith(arg, "--seed=")) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (StartsWith(arg, "--threads=")) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--checkpoint-dir=")) {
+      checkpoint_config.directory = arg.substr(17);
+    } else if (arg == "--resume") {
+      checkpoint_config.resume = true;
+    } else if (StartsWith(arg, "--fault=")) {
+      const Status armed = fault::ArmFromFlag(arg.substr(8));
+      if (!armed.ok()) {
+        std::fprintf(stderr, "bad --fault: %s\n", armed.ToString().c_str());
+        return 2;
+      }
+    } else if (StartsWith(arg, "--out=")) {
+      out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const auto dataset = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::EnFr(),
+      core::ScalePreset{"tiny", 500, 250, 25.0}, false, 5);
+  core::TrainConfig config;
+  config.dim = 16;
+  config.max_epochs = epochs;
+  config.seed = seed;
+  config.threads = threads;
+
+  const core::CrossValidationResult result =
+      core::RunCrossValidation(approach, dataset, config, folds,
+                               checkpoint_config);
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    const std::string bytes = SerializeResult(result);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace openea
+
+int main(int argc, char** argv) { return openea::Run(argc, argv); }

@@ -28,7 +28,11 @@ datagen::DatasetPair MakePair() {
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "openea_io_test";
+    // Unique per test: ctest runs cases as concurrent processes, and a
+    // shared directory would let one test's SetUp wipe another's files.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("openea_io_test_") + info->name());
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -94,6 +98,79 @@ TEST_F(IoTest, SaveAlignmentWritesTsv) {
     ++lines;
   }
   EXPECT_EQ(lines, pair.reference.size());
+}
+
+TEST_F(IoTest, TruncatedTripleLineReportsFileAndLine) {
+  const auto pair = MakePair();
+  ASSERT_TRUE(kg::SaveDatasetPair(pair, dir_.string()).ok());
+  // Simulate a write cut off mid-line: the last triple loses its tail
+  // column. The loader must name the exact file:line, not just "bad line".
+  const std::string rel_path = (dir_ / "rel_triples_1").string();
+  size_t lines = 0;
+  {
+    std::ifstream in(rel_path);
+    std::string line;
+    while (std::getline(in, line)) ++lines;
+  }
+  ASSERT_GT(lines, 0u);
+  std::ofstream(rel_path, std::ios::app) << "lonely_head\ttruncated_rel\n";
+
+  datagen::DatasetPair loaded;
+  const Status status = kg::LoadDatasetPair(dir_.string(), &loaded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  const std::string expected_context =
+      rel_path + ":" + std::to_string(lines + 1);
+  EXPECT_NE(status.message().find(expected_context), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("lonely_head"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(IoTest, GarbageLinksFileReportsFileAndLine) {
+  const auto pair = MakePair();
+  ASSERT_TRUE(kg::SaveDatasetPair(pair, dir_.string()).ok());
+  const std::string links_path = (dir_ / "ent_links").string();
+  std::ofstream(links_path, std::ios::trunc)
+      << "not a tab separated file at all\n";
+
+  datagen::DatasetPair loaded;
+  const Status status = kg::LoadDatasetPair(dir_.string(), &loaded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(links_path + ":1"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(IoTest, LinkToUnknownEntityReportsFileAndLine) {
+  const auto pair = MakePair();
+  ASSERT_TRUE(kg::SaveDatasetPair(pair, dir_.string()).ok());
+  const std::string links_path = (dir_ / "ent_links").string();
+  std::ofstream(links_path, std::ios::trunc)
+      << "ghost_entity\tother_ghost\n";
+
+  datagen::DatasetPair loaded;
+  const Status status = kg::LoadDatasetPair(dir_.string(), &loaded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown entity"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find(links_path + ":1"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(IoTest, GarbageAttributeTripleReportsFileAndLine) {
+  const auto pair = MakePair();
+  ASSERT_TRUE(kg::SaveDatasetPair(pair, dir_.string()).ok());
+  const std::string attr_path = (dir_ / "attr_triples_2").string();
+  std::ofstream(attr_path, std::ios::trunc)
+      << "\x01\x02garbage bytes with no tabs\n";
+
+  datagen::DatasetPair loaded;
+  const Status status = kg::LoadDatasetPair(dir_.string(), &loaded);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(attr_path + ":1"), std::string::npos)
+      << status.ToString();
 }
 
 TEST(LshBlockerTest, SelfQueryFindsSelf) {
