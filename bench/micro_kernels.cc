@@ -6,6 +6,7 @@
 
 #include "src/align/inference.h"
 #include "src/align/similarity.h"
+#include "src/align/topk.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/datagen/synthetic_kg.h"
@@ -118,6 +119,48 @@ BENCHMARK(BM_SimilarityMatrixParallel)
     ->Args({400, 4})
     ->Args({800, 2})
     ->Args({800, 4});
+
+// Dense reference for the top-k extraction pipeline: materialize the full
+// similarity matrix (optionally CSLS-adjusted) and take each row's argmax.
+// Compare against BM_TopKStreaming, which produces the same matches without
+// the N x N intermediate.
+void BM_TopKDense(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool csls = state.range(1) != 0;
+  math::Matrix emb1(n, 32), emb2(n, 32);
+  emb1.FillUniform(rng, 1.0f);
+  emb2.FillUniform(rng, 1.0f);
+  for (auto _ : state) {
+    math::Matrix sim = align::SimilarityMatrix(emb1, emb2,
+                                               align::DistanceMetric::kCosine);
+    if (csls) align::ApplyCsls(sim, 10);
+    benchmark::DoNotOptimize(align::GreedyMatch(sim));
+  }
+}
+BENCHMARK(BM_TopKDense)
+    ->Args({400, 0})
+    ->Args({400, 1})
+    ->Args({800, 0})
+    ->Args({800, 1});
+
+void BM_TopKStreaming(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool csls = state.range(1) != 0;
+  math::Matrix emb1(n, 32), emb2(n, 32);
+  emb1.FillUniform(rng, 1.0f);
+  emb2.FillUniform(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align::StreamingGreedyMatch(
+        emb1, emb2, align::DistanceMetric::kCosine, csls));
+  }
+}
+BENCHMARK(BM_TopKStreaming)
+    ->Args({400, 0})
+    ->Args({400, 1})
+    ->Args({800, 0})
+    ->Args({800, 1});
 
 void BM_ApplyCsls(benchmark::State& state) {
   const auto base = RandomSim(static_cast<size_t>(state.range(0)), 5);

@@ -1,11 +1,13 @@
 #include "src/align/inference.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <vector>
 
 #include "src/align/similarity.h"
+#include "src/align/topk.h"
 #include "src/common/telemetry.h"
 
 namespace openea::align {
@@ -23,12 +25,29 @@ const char* InferenceStrategyName(InferenceStrategy strategy) {
 
 std::vector<int> GreedyMatch(const math::Matrix& sim) {
   std::vector<int> match(sim.rows(), -1);
+  uint64_t nan_rows = 0;
   for (size_t i = 0; i < sim.rows(); ++i) {
     const auto row = sim.Row(i);
-    if (row.empty()) continue;
-    match[i] = static_cast<int>(
-        std::max_element(row.begin(), row.end()) - row.begin());
+    // Explicit scan instead of std::max_element: NaN comparisons make the
+    // standard algorithm's winner arbitrary, so NaN entries are skipped
+    // deterministically and flagged. First (lowest-column) maximum wins.
+    int best = -1;
+    float best_value = 0.0f;
+    bool saw_nan = false;
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (std::isnan(row[j])) {
+        saw_nan = true;
+        continue;
+      }
+      if (best < 0 || row[j] > best_value) {
+        best = static_cast<int>(j);
+        best_value = row[j];
+      }
+    }
+    if (saw_nan) ++nan_rows;
+    match[i] = best;
   }
+  if (nan_rows > 0) telemetry::IncrCounter("align/nan_rows", nan_rows);
   return match;
 }
 
@@ -44,8 +63,13 @@ std::vector<int> StableMarriage(const math::Matrix& sim) {
     prefs[i].resize(cols);
     for (size_t j = 0; j < cols; ++j) prefs[i][j] = static_cast<int>(j);
     const auto row = sim.Row(i);
-    std::sort(prefs[i].begin(), prefs[i].end(),
-              [&](int a, int b) { return row[a] > row[b]; });
+    // Tie-break by column index: std::sort leaves the relative order of
+    // equal similarities unspecified, which made the matching depend on the
+    // libstdc++ sort implementation for tied inputs.
+    std::sort(prefs[i].begin(), prefs[i].end(), [&](int a, int b) {
+      if (row[a] != row[b]) return row[a] > row[b];
+      return a < b;
+    });
   }
   std::vector<size_t> next_proposal(rows, 0);
   std::vector<int> col_match(cols, -1);
@@ -162,6 +186,37 @@ std::vector<int> InferAlignment(const math::Matrix& sim,
       return KuhnMunkres(sim);
   }
   return GreedyMatch(sim);
+}
+
+std::vector<int> InferAlignment(const math::Matrix& src_emb,
+                                const math::Matrix& tgt_emb,
+                                DistanceMetric metric,
+                                InferenceStrategy strategy, int csls_k) {
+  telemetry::ScopedSpan span("infer_alignment");
+  telemetry::IncrCounter("align/inference_calls");
+  switch (strategy) {
+    case InferenceStrategy::kGreedy:
+      return StreamingGreedyMatch(src_emb, tgt_emb, metric, /*csls=*/false);
+    case InferenceStrategy::kGreedyCsls:
+      return StreamingGreedyMatch(src_emb, tgt_emb, metric, /*csls=*/true,
+                                  csls_k);
+    default:
+      break;
+  }
+  // Stable marriage needs full preference lists and Kuhn-Munkres the full
+  // cost structure; both keep the dense reference path.
+  math::Matrix sim = SimilarityMatrix(src_emb, tgt_emb, metric);
+  switch (strategy) {
+    case InferenceStrategy::kStableMarriage:
+      return StableMarriage(sim);
+    case InferenceStrategy::kStableMarriageCsls:
+      ApplyCsls(sim, csls_k);
+      return StableMarriage(sim);
+    case InferenceStrategy::kKuhnMunkres:
+      return KuhnMunkres(sim);
+    default:
+      return GreedyMatch(sim);
+  }
 }
 
 }  // namespace openea::align

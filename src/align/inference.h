@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/align/similarity.h"
 #include "src/math/matrix.h"
 
 namespace openea::align {
@@ -18,11 +19,17 @@ enum class InferenceStrategy {
 
 const char* InferenceStrategyName(InferenceStrategy strategy);
 
-/// Greedy search: match[i] = argmax_j sim(i, j). Never returns -1.
+/// Greedy search: match[i] = argmax_j sim(i, j); ties break toward the
+/// lower column. NaN entries are skipped deterministically (and counted
+/// under the `align/nan_rows` telemetry counter per affected row); a row
+/// whose entries are all NaN — the only case that returns -1 — would
+/// otherwise get an arbitrary winner from `std::max_element`.
 std::vector<int> GreedyMatch(const math::Matrix& sim);
 
 /// Gale–Shapley stable marriage over the similarity matrix (sources
-/// propose). When rows != cols, surplus parties stay unmatched (-1).
+/// propose). Preference ties break toward the lower column, so the
+/// matching is deterministic even with tied similarities. When
+/// rows != cols, surplus parties stay unmatched (-1).
 std::vector<int> StableMarriage(const math::Matrix& sim);
 
 /// Kuhn–Munkres (Hungarian) maximum-weight bipartite matching; O(n^3).
@@ -31,6 +38,16 @@ std::vector<int> KuhnMunkres(const math::Matrix& sim);
 
 /// Dispatches to the strategy; CSLS variants copy and adjust `sim`.
 std::vector<int> InferAlignment(const math::Matrix& sim,
+                                InferenceStrategy strategy, int csls_k = 10);
+
+/// Streaming overload: infers the alignment straight from the row
+/// embeddings. Greedy and Greedy+CSLS route through the O(N*k)-memory
+/// streaming top-k engine (src/align/topk.h) and are bit-identical to the
+/// dense path; stable marriage and Kuhn-Munkres need the full preference
+/// structure and fall back to materializing `SimilarityMatrix`.
+std::vector<int> InferAlignment(const math::Matrix& src_emb,
+                                const math::Matrix& tgt_emb,
+                                DistanceMetric metric,
                                 InferenceStrategy strategy, int csls_k = 10);
 
 }  // namespace openea::align

@@ -59,7 +59,12 @@ void ApplyCsls(math::Matrix& sim, int k) {
   const size_t rows = sim.rows();
   const size_t cols = sim.cols();
   if (rows == 0 || cols == 0) return;
-  const size_t kk = std::min<size_t>(std::max(k, 1), std::max(rows, cols));
+  // Per-direction neighbourhood clamp: psi_src ranks row i's `cols`
+  // candidate targets, psi_tgt ranks column j's `rows` candidate sources.
+  // A single clamp to max(rows, cols) lets an asymmetric matrix silently
+  // use a different effective k per direction than requested.
+  const size_t kk_src = std::min<size_t>(std::max(k, 1), cols);
+  const size_t kk_tgt = std::min<size_t>(std::max(k, 1), rows);
 
   auto mean_topk = [&](std::vector<float>& values, size_t limit) -> float {
     const size_t take = std::min(limit, values.size());
@@ -80,7 +85,7 @@ void ApplyCsls(math::Matrix& sim, int k) {
     std::vector<float> row;
     for (size_t i = begin; i < end; ++i) {
       row.assign(sim.Row(i).begin(), sim.Row(i).end());
-      psi_src[i] = mean_topk(row, kk);
+      psi_src[i] = mean_topk(row, kk_src);
     }
   });
   // psi_s(t): mean similarity of target column t to its k nearest sources.
@@ -89,7 +94,7 @@ void ApplyCsls(math::Matrix& sim, int k) {
     std::vector<float> column(rows);
     for (size_t j = begin; j < end; ++j) {
       for (size_t i = 0; i < rows; ++i) column[i] = sim.At(i, j);
-      psi_tgt[j] = mean_topk(column, kk);
+      psi_tgt[j] = mean_topk(column, kk_tgt);
     }
   });
   ParallelFor(0, rows, 0, [&](size_t begin, size_t end) {

@@ -1,0 +1,368 @@
+#include "src/align/topk.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+
+#include "src/common/logging.h"
+#include "src/common/parallel.h"
+#include "src/common/telemetry.h"
+#include "src/math/vec.h"
+
+namespace openea::align {
+namespace {
+
+/// Fixed row grain of the scan pass. Fixed (never derived from the thread
+/// count) so the chunk layout — and with it every telemetry block count —
+/// is identical at any thread count.
+constexpr size_t kRowGrain = 8;
+/// Default column-tile width: 256 targets x 64 dims x 4 bytes = 64 KiB,
+/// small enough to stay L2-resident while a row chunk streams over it.
+constexpr size_t kDefaultColBlock = 256;
+/// Fixed number of row bands of the CSLS psi pass. Band-local per-column
+/// top-k buffers cost kPsiBands * cols * csls_k floats, keeping the pass at
+/// O(N * k) memory with a small constant.
+constexpr size_t kPsiBands = 8;
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+/// One similarity cell, produced by exactly the kernels the dense
+/// `SimilarityMatrix` calls so the float result is bit-identical. For
+/// cosine the two L2 norms are cached by the caller; they are pure
+/// functions of each row, and the final expression (guard included)
+/// replicates `math::CosineSimilarity`.
+inline float Cell(DistanceMetric metric, std::span<const float> a,
+                  std::span<const float> b, float na, float nb) {
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      if (na < 1e-12f || nb < 1e-12f) return 0.0f;
+      return math::Dot(a, b) / (na * nb);
+    case DistanceMetric::kEuclidean:
+      return -math::EuclideanDistance(a, b);
+    case DistanceMetric::kManhattan:
+      return -math::ManhattanDistance(a, b);
+    case DistanceMetric::kInner:
+      return math::Dot(a, b);
+  }
+  return 0.0f;
+}
+
+/// The CSLS adjustment, evaluated with the same float expression (and
+/// operation order) as `ApplyCsls`: 2 sim - psi_src - psi_tgt.
+inline float CslsAdjust(float sim, float psi_src, float psi_tgt) {
+  return 2.0f * sim - psi_src - psi_tgt;
+}
+
+/// Strict total order of top-k selection: larger value wins; equal values
+/// break toward the lower column (the dense argmax/partial_sort keeps the
+/// first occurrence). A strict total order makes the selected set
+/// independent of the scan/block order.
+inline bool Better(float v, int j, const TopKEntry& than) {
+  return v > than.value || (v == than.value && j < than.index);
+}
+
+/// Sorted-descending bounded insert into ents[0..count), capacity k.
+inline void InsertEntry(TopKEntry* ents, size_t& count, size_t k, float v,
+                        int j) {
+  if (count == k) {
+    if (!Better(v, j, ents[k - 1])) return;
+    --count;
+  }
+  size_t pos = count;
+  while (pos > 0 && Better(v, j, ents[pos - 1])) {
+    ents[pos] = ents[pos - 1];
+    --pos;
+  }
+  ents[pos] = {v, j};
+  ++count;
+}
+
+/// Sorted-ascending bounded insert of a bare value (the k-largest multiset
+/// is uniquely defined, so value-only buffers merge deterministically in
+/// any order). vals[0] is the current worst kept value.
+inline void InsertValue(float* vals, uint32_t& count, size_t k, float v) {
+  if (count == k) {
+    if (!(v > vals[0])) return;
+    size_t pos = 0;
+    while (pos + 1 < k && vals[pos + 1] < v) {
+      vals[pos] = vals[pos + 1];
+      ++pos;
+    }
+    vals[pos] = v;
+    return;
+  }
+  size_t pos = count;
+  while (pos > 0 && vals[pos - 1] > v) {
+    vals[pos] = vals[pos - 1];
+    --pos;
+  }
+  vals[pos] = v;
+  ++count;
+}
+
+/// Mean of an ascending value buffer summed in descending order — the same
+/// accumulation order as the dense `ApplyCsls` mean over a
+/// partial_sort-descending prefix, so the float result matches bit for bit.
+inline float MeanDescending(const float* vals, uint32_t count) {
+  if (count == 0) return 0.0f;
+  float sum = 0.0f;
+  for (uint32_t i = count; i-- > 0;) sum += vals[i];
+  return sum / static_cast<float>(count);
+}
+
+/// Per-row L2 norms (cosine only); pure per-row, so precomputing once is
+/// bit-identical to the per-pair norms of `math::CosineSimilarity`.
+std::vector<float> RowNorms(const math::Matrix& m) {
+  std::vector<float> norms(m.rows());
+  ParallelFor(0, m.rows(), 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) norms[i] = math::L2Norm(m.Row(i));
+  });
+  return norms;
+}
+
+/// Pass one of streaming CSLS: one scan over all cells fills psi_src (mean
+/// top-k similarity of each source row) directly and per-column top-k value
+/// buffers local to a fixed band layout; a second, cheap pass merges the
+/// band buffers per column into psi_tgt. Nothing of size rows x cols is
+/// ever allocated.
+void ComputeCslsPsi(const math::Matrix& src, const math::Matrix& tgt,
+                    DistanceMetric metric, int csls_k, size_t col_block,
+                    const std::vector<float>& src_norms,
+                    const std::vector<float>& tgt_norms,
+                    std::vector<float>& psi_src, std::vector<float>& psi_tgt,
+                    std::atomic<uint64_t>& nan_cells) {
+  const size_t rows = src.rows();
+  const size_t cols = tgt.rows();
+  // Per-direction neighbourhood clamp (mirrors the ApplyCsls fix): psi_src
+  // ranks over `cols` candidates, psi_tgt over `rows`.
+  const size_t kk_src = std::min<size_t>(std::max(csls_k, 1), cols);
+  const size_t kk_tgt = std::min<size_t>(std::max(csls_k, 1), rows);
+  psi_src.assign(rows, 0.0f);
+  psi_tgt.assign(cols, 0.0f);
+  if (rows == 0 || cols == 0) return;
+
+  const size_t num_bands = std::min(kPsiBands, rows);
+  const size_t band_rows = (rows + num_bands - 1) / num_bands;
+  // Band-local per-column top-k value buffers plus their fill counts.
+  std::vector<std::vector<float>> band_vals(num_bands);
+  std::vector<std::vector<uint32_t>> band_counts(num_bands);
+
+  ParallelFor(0, num_bands, 1, [&](size_t bb, size_t be) {
+    for (size_t band = bb; band < be; ++band) {
+      const size_t row_begin = band * band_rows;
+      const size_t row_end = std::min(rows, row_begin + band_rows);
+      if (row_begin >= row_end) continue;
+      band_vals[band].assign(cols * kk_tgt, kNegInf);
+      band_counts[band].assign(cols, 0);
+      float* cvals = band_vals[band].data();
+      uint32_t* ccounts = band_counts[band].data();
+      // Per-row top-k buffers for the band's slice of psi_src.
+      std::vector<float> row_vals((row_end - row_begin) * kk_src, kNegInf);
+      std::vector<uint32_t> row_counts(row_end - row_begin, 0);
+      uint64_t local_nan = 0;
+      uint64_t local_blocks = 0;
+      for (size_t jb = 0; jb < cols; jb += col_block) {
+        const size_t je = std::min(cols, jb + col_block);
+        ++local_blocks;
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const auto a = src.Row(i);
+          const float na = src_norms.empty() ? 0.0f : src_norms[i];
+          float* rvals = row_vals.data() + (i - row_begin) * kk_src;
+          uint32_t& rcount = row_counts[i - row_begin];
+          for (size_t j = jb; j < je; ++j) {
+            const float s = Cell(metric, a, tgt.Row(j), na,
+                                 tgt_norms.empty() ? 0.0f : tgt_norms[j]);
+            if (std::isnan(s)) {
+              ++local_nan;
+              continue;
+            }
+            InsertValue(rvals, rcount, kk_src, s);
+            InsertValue(cvals + j * kk_tgt, ccounts[j], kk_tgt, s);
+          }
+        }
+      }
+      for (size_t i = row_begin; i < row_end; ++i) {
+        psi_src[i] = MeanDescending(row_vals.data() + (i - row_begin) * kk_src,
+                                    row_counts[i - row_begin]);
+      }
+      if (local_nan > 0) {
+        nan_cells.fetch_add(local_nan, std::memory_order_relaxed);
+      }
+      telemetry::IncrCounter("align/topk_blocks", local_blocks);
+    }
+  });
+
+  // Merge the band-local buffers per column. The k-largest multiset is
+  // independent of the merge order, and the final descending sum matches
+  // the dense mean over a partial_sort-descending prefix.
+  ParallelFor(0, cols, 256, [&](size_t begin, size_t end) {
+    std::vector<float> merged;
+    for (size_t j = begin; j < end; ++j) {
+      merged.clear();
+      for (size_t band = 0; band < num_bands; ++band) {
+        if (band_counts[band].empty()) continue;
+        const uint32_t count = band_counts[band][j];
+        const float* vals = band_vals[band].data() + j * kk_tgt;
+        merged.insert(merged.end(), vals, vals + count);
+      }
+      const size_t take = std::min<size_t>(kk_tgt, merged.size());
+      std::partial_sort(merged.begin(),
+                        merged.begin() + static_cast<long>(take), merged.end(),
+                        std::greater<float>());
+      float sum = 0.0f;
+      for (size_t t = 0; t < take; ++t) sum += merged[t];
+      psi_tgt[j] = take > 0 ? sum / static_cast<float>(take) : 0.0f;
+    }
+  });
+}
+
+}  // namespace
+
+TopKResult StreamingTopK(const math::Matrix& src, const math::Matrix& tgt,
+                         const TopKOptions& options) {
+  OPENEA_CHECK_EQ(src.cols(), tgt.cols());
+  const size_t rows = src.rows();
+  const size_t cols = tgt.rows();
+  const bool has_true = !options.true_cols.empty();
+  if (has_true) OPENEA_CHECK_EQ(options.true_cols.size(), rows);
+  const size_t col_block =
+      options.col_block > 0 ? options.col_block : kDefaultColBlock;
+
+  TopKResult result;
+  result.rows = rows;
+  result.k = options.k;
+  result.entries.assign(rows * options.k, TopKEntry{});
+  if (has_true) {
+    result.true_sim.assign(rows, 0.0f);
+    result.num_greater.assign(rows, 0);
+    result.num_ties.assign(rows, 0);
+  }
+  if (rows == 0) return result;
+
+  telemetry::ScopedSpan span("streaming_topk");
+  telemetry::IncrCounter("align/topk_rows", rows);
+
+  std::vector<float> src_norms, tgt_norms;
+  if (options.metric == DistanceMetric::kCosine) {
+    src_norms = RowNorms(src);
+    tgt_norms = RowNorms(tgt);
+  }
+
+  std::atomic<uint64_t> nan_cells{0};
+  std::atomic<uint64_t> nan_true{0};
+
+  std::vector<float> psi_src, psi_tgt;
+  if (options.csls) {
+    telemetry::ScopedSpan psi_span("topk_psi");
+    ComputeCslsPsi(src, tgt, options.metric, options.csls_k, col_block,
+                   src_norms, tgt_norms, psi_src, psi_tgt, nan_cells);
+  }
+
+  {
+    telemetry::ScopedSpan scan_span("topk_scan");
+    ParallelFor(0, rows, kRowGrain, [&](size_t row_begin, size_t row_end) {
+      std::vector<TopKEntry> heap(options.k);
+      uint64_t local_nan = 0;
+      uint64_t local_nan_true = 0;
+      uint64_t local_blocks = 0;
+      for (size_t i = row_begin; i < row_end; ++i) {
+        const auto a = src.Row(i);
+        const float na = src_norms.empty() ? 0.0f : src_norms[i];
+        const float psi_i = options.csls ? psi_src[i] : 0.0f;
+        int true_col = -1;
+        float true_val = 0.0f;
+        bool true_is_nan = false;
+        if (has_true) {
+          true_col = options.true_cols[i];
+          OPENEA_CHECK_LT(static_cast<size_t>(true_col), cols);
+          const float raw =
+              Cell(options.metric, a, tgt.Row(true_col), na,
+                   tgt_norms.empty() ? 0.0f : tgt_norms[true_col]);
+          true_val = options.csls
+                         ? CslsAdjust(raw, psi_i, psi_tgt[true_col])
+                         : raw;
+          true_is_nan = std::isnan(true_val);
+          result.true_sim[i] = true_val;
+        }
+        size_t count = 0;
+        uint32_t greater = 0, ties = 0;
+        for (size_t jb = 0; jb < cols; jb += col_block) {
+          const size_t je = std::min(cols, jb + col_block);
+          ++local_blocks;
+          for (size_t j = jb; j < je; ++j) {
+            const float s =
+                Cell(options.metric, a, tgt.Row(j), na,
+                     tgt_norms.empty() ? 0.0f : tgt_norms[j]);
+            const float v =
+                options.csls ? CslsAdjust(s, psi_i, psi_tgt[j]) : s;
+            if (std::isnan(v)) {
+              ++local_nan;
+              continue;
+            }
+            if (options.k > 0) {
+              InsertEntry(heap.data(), count, options.k, v,
+                          static_cast<int>(j));
+            }
+            if (has_true && static_cast<int>(j) != true_col) {
+              if (v > true_val) {
+                ++greater;
+              } else if (v == true_val) {
+                ++ties;
+              }
+            }
+          }
+        }
+        if (options.k > 0) {
+          TopKEntry* out = result.entries.data() + i * options.k;
+          for (size_t t = 0; t < count; ++t) out[t] = heap[t];
+        }
+        if (has_true) {
+          if (true_is_nan) {
+            // Deterministic worst-case rank for a NaN-poisoned true pair —
+            // the dense comparisons would silently report rank 1.
+            ++local_nan_true;
+            greater = static_cast<uint32_t>(cols);
+            ties = 0;
+          }
+          result.num_greater[i] = greater;
+          result.num_ties[i] = ties;
+        }
+      }
+      if (local_nan > 0) {
+        nan_cells.fetch_add(local_nan, std::memory_order_relaxed);
+      }
+      if (local_nan_true > 0) {
+        nan_true.fetch_add(local_nan_true, std::memory_order_relaxed);
+      }
+      telemetry::IncrCounter("align/topk_blocks", local_blocks);
+    });
+  }
+
+  result.nan_cells = nan_cells.load(std::memory_order_relaxed);
+  if (result.nan_cells > 0) {
+    telemetry::IncrCounter("align/topk_nan_cells", result.nan_cells);
+  }
+  const uint64_t nan_true_total = nan_true.load(std::memory_order_relaxed);
+  if (nan_true_total > 0) {
+    telemetry::IncrCounter("align/topk_nan_true", nan_true_total);
+  }
+  return result;
+}
+
+std::vector<int> StreamingGreedyMatch(const math::Matrix& src,
+                                      const math::Matrix& tgt,
+                                      DistanceMetric metric, bool csls,
+                                      int csls_k) {
+  TopKOptions options;
+  options.k = 1;
+  options.metric = metric;
+  options.csls = csls;
+  options.csls_k = csls_k;
+  const TopKResult result = StreamingTopK(src, tgt, options);
+  std::vector<int> match(src.rows(), -1);
+  for (size_t i = 0; i < src.rows(); ++i) match[i] = result.BestIndex(i);
+  return match;
+}
+
+}  // namespace openea::align

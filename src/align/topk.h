@@ -1,0 +1,109 @@
+#ifndef OPENEA_ALIGN_TOPK_H_
+#define OPENEA_ALIGN_TOPK_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/align/similarity.h"
+#include "src/math/matrix.h"
+
+namespace openea::align {
+
+/// Streaming top-k similarity engine (DESIGN.md, "Streaming top-k
+/// similarity").
+///
+/// Computes, per source row, the k most similar target rows — plus, when
+/// requested, the similarity of a designated "true" column and exact
+/// greater/tie counts against it — without ever materializing the full
+/// src.rows() x tgt.rows() similarity matrix. Peak memory is O(N * k)
+/// instead of the O(N^2) of `SimilarityMatrix`, which is what caps the
+/// test-set sizes the dense evaluation path can serve.
+///
+/// Contract (pinned by tests/topk_test.cc under the `topk` ctest label):
+///
+///  * Bit-identity. Every similarity cell is produced by exactly the same
+///    `math::` kernel calls as `SimilarityMatrix` (cosine caches the two L2
+///    norms, which are pure functions of each row, and evaluates the same
+///    final expression), and the CSLS adjustment evaluates the same float
+///    expression as `ApplyCsls`. Derived quantities — top-k values,
+///    greater/tie counts, greedy argmaxes, CSLS neighbourhood means — are
+///    therefore bit-identical to the dense path on NaN-free inputs.
+///  * Determinism. The scan runs under `ParallelFor` with fixed grains; all
+///    selections use the strict total order (value desc, column asc), so
+///    results are bit-identical at any thread count and any block layout.
+///  * Streaming CSLS. Two passes: pass one streams all cells once through
+///    per-row and block-local per-column top-k buffers (merged in a fixed
+///    band layout) to obtain psi_src / psi_tgt; pass two streams again over
+///    adjusted values. No N^2 buffer exists at any point.
+///  * NaN guard. NaN similarity cells are skipped deterministically and
+///    counted under the `align/topk_nan_cells` telemetry counter (the dense
+///    path's `std::max_element` / `std::partial_sort` would yield arbitrary
+///    winners). A row whose candidates are all NaN yields BestIndex() == -1;
+///    a NaN true-column similarity ranks the row last and is counted under
+///    `align/topk_nan_true`.
+struct TopKOptions {
+  /// Neighbours kept per source row; 0 keeps no list (true-column ranking
+  /// only). Rows with fewer than k finite candidates are padded.
+  size_t k = 10;
+  DistanceMetric metric = DistanceMetric::kCosine;
+  /// Rank/select over CSLS-adjusted similarities (paper Eq. 7) computed by
+  /// the two-pass streaming scheme.
+  bool csls = false;
+  int csls_k = 10;
+  /// When non-empty (size must equal src.rows()), entry i names the target
+  /// column whose (possibly CSLS-adjusted) similarity is reported in
+  /// `true_sim[i]` together with exact greater/tie counts for ranking.
+  std::vector<int> true_cols;
+  /// Column-tile width of the inner kernel; 0 picks the default. Has no
+  /// effect on results (pinned by tests), only on cache behaviour.
+  size_t col_block = 0;
+};
+
+struct TopKEntry {
+  float value = -std::numeric_limits<float>::infinity();
+  int index = -1;
+};
+
+struct TopKResult {
+  size_t rows = 0;
+  size_t k = 0;  // As requested, even when cols < k (rows are padded).
+  /// Row-major rows x k entries, each row sorted by (value desc, index asc)
+  /// and padded with {-inf, -1} when fewer than k finite candidates exist.
+  std::vector<TopKEntry> entries;
+  /// Per-row true-column stats; empty unless `true_cols` was provided.
+  std::vector<float> true_sim;
+  std::vector<uint32_t> num_greater;  // Strictly greater than true_sim.
+  std::vector<uint32_t> num_ties;     // Equal to true_sim (true col excluded).
+  /// NaN similarity cells skipped across all passes.
+  uint64_t nan_cells = 0;
+
+  std::span<const TopKEntry> Row(size_t i) const {
+    return std::span<const TopKEntry>(entries.data() + i * k, k);
+  }
+  /// Best target column of row i, or -1 when the row has no finite
+  /// candidate (ties break toward the lower column, matching the dense
+  /// `GreedyMatch` argmax).
+  int BestIndex(size_t i) const {
+    return k > 0 ? entries[i * k].index : -1;
+  }
+};
+
+/// Runs the streaming engine over row embeddings (src.cols() must equal
+/// tgt.cols()).
+TopKResult StreamingTopK(const math::Matrix& src, const math::Matrix& tgt,
+                         const TopKOptions& options);
+
+/// Streaming greedy matcher: match[i] = argmax_j sim(i, j) straight from the
+/// embeddings (with optional streaming CSLS), bit-identical to
+/// `GreedyMatch(SimilarityMatrix(src, tgt, metric))` (plus `ApplyCsls`) on
+/// NaN-free inputs, in O(N) memory. Rows with no finite candidate map to -1.
+std::vector<int> StreamingGreedyMatch(const math::Matrix& src,
+                                      const math::Matrix& tgt,
+                                      DistanceMetric metric, bool csls = false,
+                                      int csls_k = 10);
+
+}  // namespace openea::align
+
+#endif  // OPENEA_ALIGN_TOPK_H_

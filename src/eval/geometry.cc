@@ -2,21 +2,30 @@
 
 #include <algorithm>
 
+#include "src/align/topk.h"
+#include "src/common/telemetry.h"
 #include "src/eval/metrics.h"
 
 namespace openea::eval {
 namespace {
 
-math::Matrix TestSim(const core::AlignmentModel& model,
-                     const kg::Alignment& pairs,
-                     align::DistanceMetric metric) {
+/// Gathers the (test-left, test-right) embedding pair and runs the
+/// streaming top-k engine over it — the geometric analyses only consume
+/// per-row top-k values / argmaxes, so none of them needs the dense
+/// N x N similarity matrix.
+align::TopKResult TestTopK(const core::AlignmentModel& model,
+                           const kg::Alignment& pairs,
+                           align::DistanceMetric metric, size_t k) {
   std::vector<kg::EntityId> lefts, rights;
   for (const auto& p : pairs) {
     lefts.push_back(p.left);
     rights.push_back(p.right);
   }
-  return align::SimilarityMatrix(GatherRows(model.emb1, lefts),
-                                 GatherRows(model.emb2, rights), metric);
+  align::TopKOptions options;
+  options.k = k;
+  options.metric = metric;
+  return align::StreamingTopK(GatherRows(model.emb1, lefts),
+                              GatherRows(model.emb2, rights), options);
 }
 
 }  // namespace
@@ -25,16 +34,17 @@ SimilarityDistribution AnalyzeSimilarityDistribution(
     const core::AlignmentModel& model, const kg::Alignment& test_pairs) {
   SimilarityDistribution dist;
   if (test_pairs.empty()) return dist;
-  const math::Matrix sim =
-      TestSim(model, test_pairs, align::DistanceMetric::kCosine);
-  const size_t k = std::min<size_t>(5, sim.cols());
-  for (size_t i = 0; i < sim.rows(); ++i) {
-    std::vector<float> row(sim.Row(i).begin(), sim.Row(i).end());
-    std::partial_sort(row.begin(), row.begin() + static_cast<long>(k),
-                      row.end(), std::greater<float>());
-    for (size_t j = 0; j < k; ++j) dist.mean_topk[j] += row[j];
+  const size_t k = std::min<size_t>(5, test_pairs.size());
+  const align::TopKResult topk =
+      TestTopK(model, test_pairs, align::DistanceMetric::kCosine, k);
+  for (size_t i = 0; i < topk.rows; ++i) {
+    const auto row = topk.Row(i);
+    for (size_t j = 0; j < k; ++j) {
+      if (row[j].index < 0) continue;  // Fewer than k finite candidates.
+      dist.mean_topk[j] += row[j].value;
+    }
   }
-  for (double& v : dist.mean_topk) v /= static_cast<double>(sim.rows());
+  for (double& v : dist.mean_topk) v /= static_cast<double>(topk.rows);
   return dist;
 }
 
@@ -43,14 +53,20 @@ HubnessStats AnalyzeHubness(const core::AlignmentModel& model,
                             align::DistanceMetric metric) {
   HubnessStats stats;
   if (test_pairs.empty()) return stats;
-  const math::Matrix sim = TestSim(model, test_pairs, metric);
-  std::vector<int> hit_count(sim.cols(), 0);
-  for (size_t i = 0; i < sim.rows(); ++i) {
-    const auto row = sim.Row(i);
-    const size_t nn = static_cast<size_t>(
-        std::max_element(row.begin(), row.end()) - row.begin());
-    ++hit_count[nn];
+  const align::TopKResult topk = TestTopK(model, test_pairs, metric, 1);
+  std::vector<int> hit_count(test_pairs.size(), 0);
+  uint64_t nan_rows = 0;
+  for (size_t i = 0; i < topk.rows; ++i) {
+    const int nn = topk.BestIndex(i);
+    if (nn < 0) {
+      // Every candidate of this row was NaN; skip it deterministically
+      // instead of crediting an arbitrary max_element winner.
+      ++nan_rows;
+      continue;
+    }
+    ++hit_count[static_cast<size_t>(nn)];
   }
+  if (nan_rows > 0) telemetry::IncrCounter("align/nan_rows", nan_rows);
   for (int c : hit_count) {
     if (c == 0) {
       stats.zero += 1;
@@ -62,7 +78,7 @@ HubnessStats AnalyzeHubness(const core::AlignmentModel& model,
       stats.five_plus += 1;
     }
   }
-  const double n = static_cast<double>(sim.cols());
+  const double n = static_cast<double>(test_pairs.size());
   stats.zero /= n;
   stats.one /= n;
   stats.two_to_four /= n;
@@ -76,7 +92,7 @@ DegreeBucketRecall RecallByAlignmentDegree(const core::AlignmentModel& model,
   DegreeBucketRecall out;
   const kg::Alignment& pairs = task.test;
   if (pairs.empty()) return out;
-  const math::Matrix sim = TestSim(model, pairs, metric);
+  const align::TopKResult topk = TestTopK(model, pairs, metric, 1);
   std::array<size_t, 4> correct = {0, 0, 0, 0};
   for (size_t i = 0; i < pairs.size(); ++i) {
     const size_t degree = task.kg1->Degree(pairs[i].left) +
@@ -90,10 +106,7 @@ DegreeBucketRecall RecallByAlignmentDegree(const core::AlignmentModel& model,
       bucket = 1;
     }
     ++out.count[bucket];
-    const auto row = sim.Row(i);
-    const size_t nn = static_cast<size_t>(
-        std::max_element(row.begin(), row.end()) - row.begin());
-    if (nn == i) ++correct[bucket];
+    if (topk.BestIndex(i) == static_cast<int>(i)) ++correct[bucket];
   }
   for (size_t b = 0; b < 4; ++b) {
     out.recall[b] = out.count[b] > 0

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/align/topk.h"
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
 #include "src/common/stopwatch.h"
@@ -13,10 +14,9 @@
 namespace openea::eval {
 namespace {
 
-/// Builds the (test-left x test-right) similarity matrix for `model`.
-math::Matrix TestSimilarity(const core::AlignmentModel& model,
-                            const kg::Alignment& pairs,
-                            align::DistanceMetric metric, bool csls) {
+/// Gathers the (test-left, test-right) embedding pair for `model`.
+std::pair<math::Matrix, math::Matrix> TestEmbeddings(
+    const core::AlignmentModel& model, const kg::Alignment& pairs) {
   std::vector<kg::EntityId> lefts, rights;
   lefts.reserve(pairs.size());
   rights.reserve(pairs.size());
@@ -24,11 +24,7 @@ math::Matrix TestSimilarity(const core::AlignmentModel& model,
     lefts.push_back(p.left);
     rights.push_back(p.right);
   }
-  math::Matrix sim = align::SimilarityMatrix(GatherRows(model.emb1, lefts),
-                                             GatherRows(model.emb2, rights),
-                                             metric);
-  if (csls) align::ApplyCsls(sim);
-  return sim;
+  return {GatherRows(model.emb1, lefts), GatherRows(model.emb2, rights)};
 }
 
 }  // namespace
@@ -52,10 +48,23 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
   RankingMetrics metrics;
   if (test_pairs.empty()) return metrics;
   telemetry::ScopedSpan eval_span("eval_ranking");
-  math::Matrix sim;
+  // Ranking needs, per pair, only the true counterpart's similarity and the
+  // exact greater/tie counts against it — the streaming engine produces
+  // those in O(N) memory (no list kept, k = 0) with cell values
+  // bit-identical to the dense SimilarityMatrix (+ ApplyCsls) path.
+  align::TopKResult topk;
   {
     telemetry::ScopedSpan span("similarity");
-    sim = TestSimilarity(model, test_pairs, metric, csls);
+    auto [src, tgt] = TestEmbeddings(model, test_pairs);
+    align::TopKOptions options;
+    options.k = 0;
+    options.metric = metric;
+    options.csls = csls;
+    options.true_cols.resize(test_pairs.size());
+    for (size_t i = 0; i < test_pairs.size(); ++i) {
+      options.true_cols[i] = static_cast<int>(i);
+    }
+    topk = align::StreamingTopK(src, tgt, options);
   }
   telemetry::ScopedSpan rank_span("rank_kernel");
   Stopwatch rank_watch;
@@ -80,18 +89,10 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
       [&](size_t begin, size_t end) {
         Accum acc;
         for (size_t i = begin; i < end; ++i) {
-          const auto row = sim.Row(i);
-          const float true_sim = row[i];  // Pair i's counterpart is col i.
-          size_t greater = 0, ties = 0;
-          for (size_t j = 0; j < row.size(); ++j) {
-            if (j == i) continue;
-            if (row[j] > true_sim) ++greater;
-            else if (row[j] == true_sim) ++ties;
-          }
           // Mid-rank tie convention (see EvaluateRanking docs): candidates
           // tied with the true counterpart contribute half a rank each.
-          const double rank = 1.0 + static_cast<double>(greater) +
-                              0.5 * static_cast<double>(ties);
+          const double rank = 1.0 + static_cast<double>(topk.num_greater[i]) +
+                              0.5 * static_cast<double>(topk.num_ties[i]);
           if (rank <= 1.0) acc.hits1 += 1;
           if (rank <= 5.0) acc.hits5 += 1;
           acc.mr += rank;
@@ -128,9 +129,11 @@ std::vector<bool> CorrectlyMatched(const core::AlignmentModel& model,
                                    align::InferenceStrategy strategy) {
   std::vector<bool> correct(test_pairs.size(), false);
   if (test_pairs.empty()) return correct;
-  const math::Matrix sim =
-      TestSimilarity(model, test_pairs, metric, /*csls=*/false);
-  const std::vector<int> match = align::InferAlignment(sim, strategy);
+  // The streaming InferAlignment overload keeps greedy(+CSLS) at O(N*k)
+  // memory; stable marriage / Kuhn-Munkres materialize the dense matrix.
+  const auto [src, tgt] = TestEmbeddings(model, test_pairs);
+  const std::vector<int> match =
+      align::InferAlignment(src, tgt, metric, strategy);
   // Byte buffer rather than vector<bool>: adjacent bits share a byte, so
   // parallel writes to distinct indices of vector<bool> would race.
   std::vector<uint8_t> flags(test_pairs.size(), 0);
@@ -160,18 +163,19 @@ PrfMetrics ComparePairs(const kg::Alignment& predicted,
                         const kg::Alignment& reference) {
   PrfMetrics out;
   if (predicted.empty() || reference.empty()) return out;
-  std::unordered_set<int64_t> ref_set;
+  // Pack via zero-extended uint32_t halves: sign-extending the right id
+  // (EntityId is int32_t and kInvalidId is negative) corrupts the upper 32
+  // bits, so distinct pairs could collide and inflate precision.
+  const auto pair_key = [](const kg::AlignmentPair& p) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(p.left)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(p.right));
+  };
+  std::unordered_set<uint64_t> ref_set;
   ref_set.reserve(reference.size() * 2);
-  for (const auto& p : reference) {
-    ref_set.insert((static_cast<int64_t>(p.left) << 32) ^
-                   static_cast<int64_t>(p.right));
-  }
+  for (const auto& p : reference) ref_set.insert(pair_key(p));
   size_t correct = 0;
   for (const auto& p : predicted) {
-    if (ref_set.count((static_cast<int64_t>(p.left) << 32) ^
-                      static_cast<int64_t>(p.right)) > 0) {
-      ++correct;
-    }
+    if (ref_set.count(pair_key(p)) > 0) ++correct;
   }
   out.precision = static_cast<double>(correct) /
                   static_cast<double>(predicted.size());

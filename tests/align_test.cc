@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/align/inference.h"
 #include "src/align/similarity.h"
 
@@ -45,6 +47,26 @@ TEST(CslsTest, PenalizesHubs) {
   EXPECT_EQ(greedy_after[1], 1);  // Hub penalized after CSLS.
 }
 
+TEST(CslsTest, ClampsNeighborhoodPerDirectionOnAsymmetricMatrix) {
+  // 2 x 4 with k = 3: the source neighborhood draws from 4 columns (take 3)
+  // while the target neighborhood only has 2 rows (take 2). A single
+  // min(k, rows) clamp for both directions would shrink psi_src to 2 values.
+  math::Matrix sim = FromRows({{1.0f, 0.5f, 0.25f, 0.0f},
+                               {0.0f, 1.0f, 0.5f, 0.25f}});
+  const math::Matrix orig = sim;
+  ApplyCsls(sim, 3);
+  const float psi_src = (1.0f + 0.5f + 0.25f) / 3.0f;  // Same for both rows.
+  const float psi_tgt[4] = {(1.0f + 0.0f) / 2.0f, (1.0f + 0.5f) / 2.0f,
+                            (0.5f + 0.25f) / 2.0f, (0.25f + 0.0f) / 2.0f};
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(sim.At(i, j),
+                      2.0f * orig.At(i, j) - psi_src - psi_tgt[j])
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
 TEST(CslsTest, NoOpOnEmpty) {
   math::Matrix empty;
   ApplyCsls(empty, 3);  // Must not crash.
@@ -63,6 +85,17 @@ TEST(GreedyMatchTest, AllowsConflicts) {
   const auto match = GreedyMatch(sim);
   EXPECT_EQ(match[0], 0);
   EXPECT_EQ(match[1], 0);  // Both choose the same target: greedy allows it.
+}
+
+TEST(GreedyMatchTest, SkipsNanEntriesDeterministically) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const auto sim = FromRows({{nan, 0.5f, 0.2f},
+                             {0.3f, nan, 0.7f},
+                             {nan, nan, nan}});
+  const auto match = GreedyMatch(sim);
+  EXPECT_EQ(match[0], 1);   // NaN leader skipped, best finite wins.
+  EXPECT_EQ(match[1], 2);
+  EXPECT_EQ(match[2], -1);  // All-NaN row stays unmatched.
 }
 
 TEST(StableMarriageTest, ResolvesConflictsStably) {
@@ -95,6 +128,26 @@ TEST(StableMarriageTest, NoBlockingPairProperty) {
           << "blocking pair (" << i << "," << j << ")";
     }
   }
+}
+
+TEST(StableMarriageTest, TiedSimilaritiesBreakTowardLowerColumn) {
+  // All similarities tie, so the matching is decided purely by the
+  // tie-break rule (column index): the identity permutation. Without the
+  // explicit tie-break the result depended on std::sort's treatment of
+  // equal keys.
+  const auto sim = FromRows({{0.5f, 0.5f, 0.5f},
+                             {0.5f, 0.5f, 0.5f},
+                             {0.5f, 0.5f, 0.5f}});
+  const std::vector<int> expected = {0, 1, 2};
+  for (int run = 0; run < 3; ++run) {
+    EXPECT_EQ(StableMarriage(sim), expected) << "run " << run;
+  }
+  // Partial ties: row 1 strictly prefers column 2; rows 0 and 2 tie
+  // everywhere and fill the remaining columns in index order.
+  const auto partial = FromRows({{0.5f, 0.5f, 0.5f},
+                                 {0.5f, 0.5f, 0.9f},
+                                 {0.5f, 0.5f, 0.5f}});
+  EXPECT_EQ(StableMarriage(partial), (std::vector<int>{0, 2, 1}));
 }
 
 TEST(KuhnMunkresTest, FindsGlobalOptimum) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/common/rng.h"
 #include "src/eval/folds.h"
 #include "src/eval/geometry.h"
@@ -102,6 +104,21 @@ TEST(ComparePairsTest, PrecisionRecallF1) {
   EXPECT_NEAR(prf.precision, 2.0 / 3.0, 1e-12);
   EXPECT_NEAR(prf.recall, 0.5, 1e-12);
   EXPECT_NEAR(prf.f1, 2 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5), 1e-12);
+}
+
+TEST(ComparePairsTest, NegativeAndHighBitIdsDoNotCollide) {
+  // EntityId is int32_t: kInvalidId (-1) and ids with the sign bit set must
+  // pack into distinct 64-bit keys. The old key sign-extended the right id,
+  // smearing 0xFFFFFFFF over the half that holds the left id, so swapped
+  // pairs like {-1, 5} vs {5, -1} exercised exactly the corrupted bits.
+  const kg::EntityId lo = std::numeric_limits<kg::EntityId>::min();
+  const kg::EntityId hi = std::numeric_limits<kg::EntityId>::max();
+  kg::Alignment predicted = {{-1, 5}, {5, -1}, {lo, hi}, {7, 7}};
+  kg::Alignment reference = {{5, -1}, {lo, hi}, {7, 8}};
+  const auto prf = ComparePairs(predicted, reference);
+  // Only {5, -1} and {lo, hi} match; {-1, 5} must not alias {5, -1}.
+  EXPECT_NEAR(prf.precision, 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(prf.recall, 2.0 / 3.0, 1e-12);
 }
 
 TEST(AggregateTest, MeanAndStd) {
