@@ -45,6 +45,7 @@
 #include "src/common/trace.h"
 #include "src/core/benchmark.h"
 #include "src/core/registry.h"
+#include "src/math/kernels.h"
 
 namespace openea::bench {
 
@@ -191,12 +192,19 @@ inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
     config.emplace("epochs", args.epochs);
     config.emplace("seed", args.seed);
     config.emplace("threads", args.threads);
+    config.emplace("kernels", std::string(math::kernels::BackendName(
+                                  math::kernels::ActiveBackend())));
     config.emplace("approaches", json::Value::Array(args.approaches.begin(),
                                                     args.approaches.end()));
     json::Value::Object context;
     context.emplace("bench", args.bench_name);
     context.emplace("config", std::move(config));
     telemetry::SetContext(json::Value(std::move(context)));
+    // Numeric mirror of the config key (0 = scalar, 1 = avx2) so the
+    // backend is attributable from the metrics block alone.
+    telemetry::SetGauge(
+        "kernels/backend",
+        static_cast<double>(math::kernels::ActiveBackend()));
   }
   return args;
 }

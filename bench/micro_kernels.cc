@@ -13,6 +13,7 @@
 #include "src/embedding/negative_sampling.h"
 #include "src/kg/graph_stats.h"
 #include "src/math/embedding_table.h"
+#include "src/math/kernels.h"
 #include "src/math/matrix.h"
 #include "src/math/vec.h"
 
@@ -25,6 +26,235 @@ std::vector<float> RandomVec(size_t n, uint64_t seed) {
   for (float& x : v) x = rng.NextFloat(-1, 1);
   return v;
 }
+
+// ---------------------------------------------------------------------------
+// Kernel-table A/B cases: every dispatched kernel, scalar backend vs the
+// AVX2 backend (second arg 0/1; on machines without AVX2+FMA the "1" rows
+// silently measure scalar again — compare the `avx2` column against
+// BM_Kernel*/…/0 for the dispatch win). These bottom out in the exact
+// function pointers the library calls, so the measured ratio is the ratio
+// training/alignment sees.
+// ---------------------------------------------------------------------------
+
+const math::kernels::KernelTable& BackendTable(int64_t which) {
+  using math::kernels::Backend;
+  return math::kernels::Table(which == 0 ? Backend::kScalar
+                                         : Backend::kAvx2);
+}
+
+void BM_KernelDot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1), b = RandomVec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.dot(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_KernelDot)
+    ->ArgNames({"n", "avx2"})
+    ->Args({32, 0})->Args({32, 1})->Args({512, 0})->Args({512, 1});
+
+void BM_KernelSquaredL2(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.squared_l2(a.data(), n));
+  }
+}
+BENCHMARK(BM_KernelSquaredL2)
+    ->ArgNames({"n", "avx2"})
+    ->Args({512, 0})->Args({512, 1});
+
+void BM_KernelL1(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.l1(a.data(), n));
+  }
+}
+BENCHMARK(BM_KernelL1)
+    ->ArgNames({"n", "avx2"})
+    ->Args({512, 0})->Args({512, 1});
+
+void BM_KernelSquaredL2Distance(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1), b = RandomVec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.squared_l2_distance(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_KernelSquaredL2Distance)
+    ->ArgNames({"n", "avx2"})
+    ->Args({32, 0})->Args({32, 1})->Args({512, 0})->Args({512, 1});
+
+void BM_KernelL1Distance(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1), b = RandomVec(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kt.l1_distance(a.data(), b.data(), n));
+  }
+}
+BENCHMARK(BM_KernelL1Distance)
+    ->ArgNames({"n", "avx2"})
+    ->Args({512, 0})->Args({512, 1});
+
+void BM_KernelDotRows(benchmark::State& state) {
+  const size_t rows = 256, n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1), b = RandomVec(rows * n, 2);
+  std::vector<float> out(rows);
+  for (auto _ : state) {
+    kt.dot_rows(a.data(), b.data(), n, out.data(), rows, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KernelDotRows)
+    ->ArgNames({"n", "avx2"})
+    ->Args({32, 0})->Args({32, 1})->Args({128, 0})->Args({128, 1});
+
+void BM_KernelSquaredL2DistanceRows(benchmark::State& state) {
+  const size_t rows = 256, n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1), b = RandomVec(rows * n, 2);
+  std::vector<float> out(rows);
+  for (auto _ : state) {
+    kt.squared_l2_distance_rows(a.data(), b.data(), n, out.data(), rows, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KernelSquaredL2DistanceRows)
+    ->ArgNames({"n", "avx2"})
+    ->Args({32, 0})->Args({32, 1});
+
+void BM_KernelL1DistanceRows(benchmark::State& state) {
+  const size_t rows = 256, n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1), b = RandomVec(rows * n, 2);
+  std::vector<float> out(rows);
+  for (auto _ : state) {
+    kt.l1_distance_rows(a.data(), b.data(), n, out.data(), rows, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KernelL1DistanceRows)
+    ->ArgNames({"n", "avx2"})
+    ->Args({32, 0})->Args({32, 1});
+
+void BM_KernelAxpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto x = RandomVec(n, 1);
+  auto y = RandomVec(n, 2);
+  for (auto _ : state) {
+    kt.axpy(0.37f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_KernelAxpy)
+    ->ArgNames({"n", "avx2"})
+    ->Args({32, 0})->Args({32, 1})->Args({512, 0})->Args({512, 1});
+
+void BM_KernelScale(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  auto x = RandomVec(n, 1);
+  for (auto _ : state) {
+    kt.scale(1.0000001f, x.data(), n);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_KernelScale)
+    ->ArgNames({"n", "avx2"})
+    ->Args({512, 0})->Args({512, 1});
+
+void BM_KernelAdd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1), b = RandomVec(n, 2);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    kt.add(a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KernelAdd)
+    ->ArgNames({"n", "avx2"})
+    ->Args({512, 0})->Args({512, 1});
+
+void BM_KernelSub(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1), b = RandomVec(n, 2);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    kt.sub(a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KernelSub)
+    ->ArgNames({"n", "avx2"})
+    ->Args({512, 0})->Args({512, 1});
+
+void BM_KernelHadamard(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n, 1), b = RandomVec(n, 2);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    kt.hadamard(a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KernelHadamard)
+    ->ArgNames({"n", "avx2"})
+    ->Args({512, 0})->Args({512, 1});
+
+void BM_KernelGemmBlock(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto a = RandomVec(n * n, 1), b = RandomVec(n * n, 2);
+  std::vector<float> out(n * n);
+  for (auto _ : state) {
+    kt.gemm_block(a.data(), n, b.data(), n, out.data(), n, n, n, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KernelGemmBlock)
+    ->ArgNames({"n", "avx2"})
+    ->Args({32, 0})->Args({32, 1})->Args({64, 0})->Args({64, 1});
+
+void BM_KernelAdagradUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto grad = RandomVec(n, 1);
+  auto row = RandomVec(n, 2);
+  std::vector<float> acc(n, 0.5f);
+  for (auto _ : state) {
+    kt.adagrad_update(row.data(), acc.data(), grad.data(), n, 1e-9f, 1e-8f);
+    benchmark::DoNotOptimize(row.data());
+  }
+}
+BENCHMARK(BM_KernelAdagradUpdate)
+    ->ArgNames({"n", "avx2"})
+    ->Args({32, 0})->Args({32, 1})->Args({512, 0})->Args({512, 1});
+
+void BM_KernelSgdUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& kt = BackendTable(state.range(1));
+  const auto grad = RandomVec(n, 1);
+  auto row = RandomVec(n, 2);
+  for (auto _ : state) {
+    kt.sgd_update(row.data(), grad.data(), n, 1e-9f);
+    benchmark::DoNotOptimize(row.data());
+  }
+}
+BENCHMARK(BM_KernelSgdUpdate)
+    ->ArgNames({"n", "avx2"})
+    ->Args({32, 0})->Args({32, 1})->Args({512, 0})->Args({512, 1});
 
 void BM_Dot(benchmark::State& state) {
   const auto a = RandomVec(static_cast<size_t>(state.range(0)), 1);

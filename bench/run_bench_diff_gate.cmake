@@ -1,20 +1,34 @@
-# Perf drift gate (bench_diff_gate ctest, see bench/CMakeLists.txt):
+# Perf drift gate (bench_diff_gate ctests, see bench/CMakeLists.txt):
 # re-runs one bench at the exact configuration the committed baseline was
 # recorded with, then diffs the fresh BENCH json against the baseline.
 #
 #   cmake -DBENCH=<path> -DDIFF=<path> -DBASELINE=<path> -DJSON=<path>
-#         -P run_bench_diff_gate.cmake
+#         [-DDIFF_ARGS="--skip=... ..."] -P run_bench_diff_gate.cmake
 #
 # Counters and span counts gate exactly (a pinned seed/threads run does a
 # deterministic amount of work); span wall times gate at 4x with a 200ms
 # floor so the test stays robust across machines while still catching
 # order-of-magnitude perf drift. bench_diff's tighter defaults (40%) are
 # for like-for-like A/B runs on one machine.
+#
+# The kernel backend is pinned to the scalar reference for the gated run:
+# the committed baselines must diff cleanly on any machine, including ones
+# whose CPUID would dispatch avx2 (which changes the `kernels` config key
+# and the kernels/backend gauge). Regenerate baselines under the same pin.
 
 if(NOT BENCH OR NOT DIFF OR NOT BASELINE OR NOT JSON)
   message(FATAL_ERROR
           "run_bench_diff_gate.cmake needs -DBENCH, -DDIFF, -DBASELINE, -DJSON")
 endif()
+
+# Optional extra bench_diff flags (space-separated), e.g. --skip overrides
+# for benches whose whole point is emitting machine-varying timing gauges.
+set(diff_extra "")
+if(DEFINED DIFF_ARGS)
+  separate_arguments(diff_extra UNIX_COMMAND "${DIFF_ARGS}")
+endif()
+
+set(ENV{OPENEA_KERNELS} scalar)
 
 file(REMOVE ${JSON})
 execute_process(
@@ -30,7 +44,7 @@ endif()
 
 execute_process(
   COMMAND ${DIFF} ${BASELINE} ${JSON}
-          --span-tolerance=3.0 --min-span-ms=200
+          --span-tolerance=3.0 --min-span-ms=200 ${diff_extra}
   RESULT_VARIABLE diff_status)
 if(NOT diff_status EQUAL 0)
   message(FATAL_ERROR "${DIFF} flagged ${JSON} against ${BASELINE}")

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <vector>
 
+#include <cmath>
+
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
 #include "src/common/telemetry.h"
+#include "src/math/kernels.h"
 #include "src/math/vec.h"
 
 namespace openea::align {
@@ -20,6 +23,54 @@ const char* DistanceMetricName(DistanceMetric metric) {
   return "?";
 }
 
+namespace detail {
+
+void MetricRowBlock(DistanceMetric metric, const float* a, float na,
+                    const float* b, size_t ldb, const float* tgt_norms,
+                    float* out, size_t count, size_t n) {
+  const math::kernels::KernelTable& kt = math::kernels::Active();
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      // Same guard and final expression as math::CosineSimilarity; the
+      // norms are pure per-row functions, so caching them is bitwise
+      // equivalent to recomputing per pair.
+      kt.dot_rows(a, b, ldb, out, count, n);
+      for (size_t r = 0; r < count; ++r) {
+        const float nb = tgt_norms[r];
+        out[r] = (na < 1e-12f || nb < 1e-12f) ? 0.0f : out[r] / (na * nb);
+      }
+      break;
+    case DistanceMetric::kEuclidean:
+      kt.squared_l2_distance_rows(a, b, ldb, out, count, n);
+      for (size_t r = 0; r < count; ++r) out[r] = -std::sqrt(out[r]);
+      break;
+    case DistanceMetric::kManhattan:
+      kt.l1_distance_rows(a, b, ldb, out, count, n);
+      for (size_t r = 0; r < count; ++r) out[r] = -out[r];
+      break;
+    case DistanceMetric::kInner:
+      kt.dot_rows(a, b, ldb, out, count, n);
+      break;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Per-row L2 norms (cosine only). Pure per-row, so hoisting them out of
+/// the cell loop is bit-identical to the per-pair norms the old dense path
+/// computed inside math::CosineSimilarity.
+std::vector<float> MatrixRowNorms(const math::Matrix& m) {
+  std::vector<float> norms(m.rows());
+  ParallelFor(0, m.rows(), 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) norms[i] = math::L2Norm(m.Row(i));
+  });
+  return norms;
+}
+
+}  // namespace
+
 math::Matrix SimilarityMatrix(const math::Matrix& src,
                               const math::Matrix& tgt,
                               DistanceMetric metric) {
@@ -27,29 +78,23 @@ math::Matrix SimilarityMatrix(const math::Matrix& src,
   telemetry::ScopedSpan span("similarity_matrix");
   telemetry::IncrCounter("align/sim_cells", src.rows() * tgt.rows());
   math::Matrix sim(src.rows(), tgt.rows());
+  std::vector<float> tgt_norms;
+  std::vector<float> src_norms;
+  if (metric == DistanceMetric::kCosine) {
+    src_norms = MatrixRowNorms(src);
+    tgt_norms = MatrixRowNorms(tgt);
+  }
   // Row-parallel: every similarity cell is written exactly once, so the
-  // result is bit-identical at any thread count.
+  // result is bit-identical at any thread count. Each output row is one
+  // batched call over all targets.
   ParallelFor(0, src.rows(), 0, [&](size_t row_begin, size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
-      const auto a = src.Row(i);
-      auto out = sim.Row(i);
-      for (size_t j = 0; j < tgt.rows(); ++j) {
-        const auto b = tgt.Row(j);
-        switch (metric) {
-          case DistanceMetric::kCosine:
-            out[j] = math::CosineSimilarity(a, b);
-            break;
-          case DistanceMetric::kEuclidean:
-            out[j] = -math::EuclideanDistance(a, b);
-            break;
-          case DistanceMetric::kManhattan:
-            out[j] = -math::ManhattanDistance(a, b);
-            break;
-          case DistanceMetric::kInner:
-            out[j] = math::Dot(a, b);
-            break;
-        }
-      }
+      detail::MetricRowBlock(metric, src.Row(i).data(),
+                             src_norms.empty() ? 0.0f : src_norms[i],
+                             tgt.rows() > 0 ? tgt.Row(0).data() : nullptr,
+                             tgt.cols(),
+                             tgt_norms.empty() ? nullptr : tgt_norms.data(),
+                             sim.Row(i).data(), tgt.rows(), tgt.cols());
     }
   });
   return sim;

@@ -25,6 +25,24 @@ math::Matrix SimilarityMatrix(const math::Matrix& src, const math::Matrix& tgt,
 /// near-neighbours of many counterparts.
 void ApplyCsls(math::Matrix& sim, int k = 10);
 
+namespace detail {
+
+/// Fills out[0..count) with the similarity of source row `a` (length n,
+/// L2 norm `na` — used by cosine only) against `count` consecutive target
+/// rows starting at `b`, each `ldb` floats apart. `tgt_norms` points at the
+/// per-target-row L2 norms for cosine and may be null otherwise.
+///
+/// This is THE cell kernel: the dense SimilarityMatrix and the streaming
+/// top-k both produce every similarity value through this one function on
+/// top of the dispatched row-batch kernels (src/math/kernels.h), which is
+/// what keeps the two paths bit-identical to each other under either
+/// backend.
+void MetricRowBlock(DistanceMetric metric, const float* a, float na,
+                    const float* b, size_t ldb, const float* tgt_norms,
+                    float* out, size_t count, size_t n);
+
+}  // namespace detail
+
 }  // namespace openea::align
 
 #endif  // OPENEA_ALIGN_SIMILARITY_H_

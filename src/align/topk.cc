@@ -27,25 +27,17 @@ constexpr size_t kPsiBands = 8;
 
 constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 
-/// One similarity cell, produced by exactly the kernels the dense
-/// `SimilarityMatrix` calls so the float result is bit-identical. For
-/// cosine the two L2 norms are cached by the caller; they are pure
-/// functions of each row, and the final expression (guard included)
-/// replicates `math::CosineSimilarity`.
+/// One similarity cell through the shared block kernel
+/// (detail::MetricRowBlock, similarity.h) with a block of one — the same
+/// code path the dense `SimilarityMatrix` and the blocked scans below use,
+/// so the float result is bit-identical. For cosine the two L2 norms are
+/// cached by the caller; they are pure functions of each row.
 inline float Cell(DistanceMetric metric, std::span<const float> a,
                   std::span<const float> b, float na, float nb) {
-  switch (metric) {
-    case DistanceMetric::kCosine:
-      if (na < 1e-12f || nb < 1e-12f) return 0.0f;
-      return math::Dot(a, b) / (na * nb);
-    case DistanceMetric::kEuclidean:
-      return -math::EuclideanDistance(a, b);
-    case DistanceMetric::kManhattan:
-      return -math::ManhattanDistance(a, b);
-    case DistanceMetric::kInner:
-      return math::Dot(a, b);
-  }
-  return 0.0f;
+  float out = 0.0f;
+  detail::MetricRowBlock(metric, a.data(), na, b.data(), b.size(), &nb, &out,
+                         1, a.size());
+  return out;
 }
 
 /// The CSLS adjustment, evaluated with the same float expression (and
@@ -162,6 +154,7 @@ void ComputeCslsPsi(const math::Matrix& src, const math::Matrix& tgt,
       std::vector<uint32_t> row_counts(row_end - row_begin, 0);
       uint64_t local_nan = 0;
       uint64_t local_blocks = 0;
+      std::vector<float> cell_buf(std::min(col_block, cols));
       for (size_t jb = 0; jb < cols; jb += col_block) {
         const size_t je = std::min(cols, jb + col_block);
         ++local_blocks;
@@ -170,9 +163,13 @@ void ComputeCslsPsi(const math::Matrix& src, const math::Matrix& tgt,
           const float na = src_norms.empty() ? 0.0f : src_norms[i];
           float* rvals = row_vals.data() + (i - row_begin) * kk_src;
           uint32_t& rcount = row_counts[i - row_begin];
+          // One batched kernel call per (row, column tile).
+          detail::MetricRowBlock(
+              metric, a.data(), na, tgt.Row(jb).data(), tgt.cols(),
+              tgt_norms.empty() ? nullptr : tgt_norms.data() + jb,
+              cell_buf.data(), je - jb, tgt.cols());
           for (size_t j = jb; j < je; ++j) {
-            const float s = Cell(metric, a, tgt.Row(j), na,
-                                 tgt_norms.empty() ? 0.0f : tgt_norms[j]);
+            const float s = cell_buf[j - jb];
             if (std::isnan(s)) {
               ++local_nan;
               continue;
@@ -263,6 +260,7 @@ TopKResult StreamingTopK(const math::Matrix& src, const math::Matrix& tgt,
     telemetry::ScopedSpan scan_span("topk_scan");
     ParallelFor(0, rows, kRowGrain, [&](size_t row_begin, size_t row_end) {
       std::vector<TopKEntry> heap(options.k);
+      std::vector<float> cell_buf(std::min(col_block, cols));
       uint64_t local_nan = 0;
       uint64_t local_nan_true = 0;
       uint64_t local_blocks = 0;
@@ -290,10 +288,13 @@ TopKResult StreamingTopK(const math::Matrix& src, const math::Matrix& tgt,
         for (size_t jb = 0; jb < cols; jb += col_block) {
           const size_t je = std::min(cols, jb + col_block);
           ++local_blocks;
+          // One batched kernel call per column tile.
+          detail::MetricRowBlock(
+              options.metric, a.data(), na, tgt.Row(jb).data(), tgt.cols(),
+              tgt_norms.empty() ? nullptr : tgt_norms.data() + jb,
+              cell_buf.data(), je - jb, tgt.cols());
           for (size_t j = jb; j < je; ++j) {
-            const float s =
-                Cell(options.metric, a, tgt.Row(j), na,
-                     tgt_norms.empty() ? 0.0f : tgt_norms[j]);
+            const float s = cell_buf[j - jb];
             const float v =
                 options.csls ? CslsAdjust(s, psi_i, psi_tgt[j]) : s;
             if (std::isnan(v)) {

@@ -158,9 +158,13 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   const size_t range = end - begin;
   const int threads = Threads();
   if (grain == 0) {
-    // Auto grain: ~4 chunks per thread for load balance.
+    // Auto grain: at least 4 chunks per worker for load balance. Floor
+    // division (not ceil): ceil could leave workers with as few as ~3
+    // chunks each (e.g. range 100, 8 threads: ceil gives grain 4 -> 25
+    // chunks, 3.1 per worker), starving the tail of a skewed job. The
+    // floor guarantees num_chunks >= min(range, 4 * threads).
     const size_t target = static_cast<size_t>(threads) * 4;
-    grain = (range + target - 1) / target;
+    grain = range / target;
     if (grain == 0) grain = 1;
   }
   const size_t num_chunks = (range + grain - 1) / grain;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/math/kernels.h"
 #include "src/math/vec.h"
 
 namespace openea::embedding {
@@ -168,12 +169,14 @@ float ConvEModel::Step(const kg::Triple& t, float label) {
   }
 
   // Fully connected: z_j = sum_i feature_i * FC[i][j]; score = z . t.
+  // One dispatched axpy per active (post-ReLU) feature.
+  const math::kernels::KernelTable& kt = math::kernels::Active();
   const size_t flat = kKernels * map_size;
   std::vector<float> z(d, 0.0f);
   for (size_t i = 0; i < flat; ++i) {
     const float f = feature[i];
     if (f == 0.0f) continue;
-    for (size_t j = 0; j < d; ++j) z[j] += f * fc[i * d + j];
+    kt.axpy(f, fc.data() + i * d, z.data(), d);
   }
   float score = math::Dot(z, tl);
 
@@ -264,7 +267,7 @@ float ConvEModel::ScoreTriple(const kg::Triple& t) const {
         }
         if (sum <= 0.0f) continue;  // ReLU.
         const size_t i = c * map_size + y * conv_w_ + x;
-        for (size_t j = 0; j < d; ++j) z[j] += sum * fc[i * d + j];
+        math::kernels::Active().axpy(sum, fc.data() + i * d, z.data(), d);
       }
     }
   }

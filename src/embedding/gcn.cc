@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
+#include "src/math/kernels.h"
 #include "src/math/vec.h"
 
 namespace openea::embedding {
@@ -79,14 +80,16 @@ void GcnEncoder::SetInputFeatures(const math::Matrix& features) {
 
 void GcnEncoder::SpMM(const math::Matrix& in, math::Matrix& out) const {
   out.Reshape(num_nodes_, in.cols());
+  // Each CSR row gathers its neighbour rows with the dispatched axpy kernel
+  // (elementwise, so bit-identical under every backend).
+  const math::kernels::KernelTable& kt = math::kernels::Active();
   ParallelFor(0, num_nodes_, 0, [&](size_t row_begin, size_t row_end) {
     for (size_t r = row_begin; r < row_end; ++r) {
       auto dst = out.Row(r);
       std::fill(dst.begin(), dst.end(), 0.0f);
       for (size_t k = csr_row_ptr_[r]; k < csr_row_ptr_[r + 1]; ++k) {
-        const float w = csr_val_[k];
-        const auto src = in.Row(csr_col_[k]);
-        for (size_t j = 0; j < dst.size(); ++j) dst[j] += w * src[j];
+        kt.axpy(csr_val_[k], in.Row(csr_col_[k]).data(), dst.data(),
+                dst.size());
       }
     }
   });

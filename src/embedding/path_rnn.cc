@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/math/kernels.h"
 #include "src/math/vec.h"
 
 namespace openea::embedding {
@@ -19,9 +20,10 @@ float LogisticLoss(float score, float label) {
 
 void AddOuter(math::Matrix& grad, std::span<const float> a,
               std::span<const float> b) {
+  // grad += a b^T, one dispatched axpy per output row.
+  const math::kernels::KernelTable& kt = math::kernels::Active();
   for (size_t i = 0; i < a.size(); ++i) {
-    auto row = grad.Row(i);
-    for (size_t j = 0; j < b.size(); ++j) row[j] += a[i] * b[j];
+    kt.axpy(a[i], b.data(), grad.Row(i).data(), b.size());
   }
 }
 

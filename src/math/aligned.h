@@ -1,0 +1,51 @@
+#ifndef OPENEA_MATH_ALIGNED_H_
+#define OPENEA_MATH_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace openea::math {
+
+/// Minimal 64-byte-aligning allocator for the float storage behind the
+/// kernel layer (Matrix, EmbeddingTable, DenseAdaGrad). Cache-line /
+/// AVX-512-ready alignment of the *buffer*; rows are additionally aligned
+/// whenever dim is a multiple of 16 floats (the library default dim=32
+/// qualifies). The AVX2 kernels use unaligned loads, so alignment is a
+/// performance property, never a correctness requirement.
+template <typename T, size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// 64-byte-aligned float vector: drop-in replacement for the raw
+/// std::vector<float> storage of the math types.
+using AlignedVector = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace openea::math
+
+#endif  // OPENEA_MATH_ALIGNED_H_

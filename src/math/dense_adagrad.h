@@ -1,8 +1,7 @@
 #ifndef OPENEA_MATH_DENSE_ADAGRAD_H_
 #define OPENEA_MATH_DENSE_ADAGRAD_H_
 
-#include <cmath>
-
+#include "src/math/kernels.h"
 #include "src/math/matrix.h"
 
 namespace openea::math {
@@ -13,17 +12,15 @@ struct DenseAdaGrad {
   Matrix acc;
 
   /// param -= lr * grad / sqrt(acc + eps), acc += grad^2 (elementwise).
+  /// One fused kernel call over the flat storage; the update is elementwise,
+  /// so it is bit-identical under every backend.
   void Apply(Matrix& param, const Matrix& grad, float lr) {
     if (acc.rows() != param.rows() || acc.cols() != param.cols()) {
       acc = Matrix(param.rows(), param.cols(), 0.0f);
     }
-    auto p = param.Data();
-    auto a = acc.Data();
-    const auto g = grad.Data();
-    for (size_t i = 0; i < p.size(); ++i) {
-      a[i] += g[i] * g[i];
-      p[i] -= lr * g[i] / std::sqrt(a[i] + 1e-8f);
-    }
+    kernels::Active().adagrad_update(param.Data().data(), acc.Data().data(),
+                                     grad.Data().data(), param.size(), lr,
+                                     1e-8f);
   }
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/math/kernels.h"
 #include "src/math/vec.h"
 
 namespace openea::math {
@@ -55,18 +56,14 @@ EmbeddingTable::EmbeddingTable(size_t num_rows, size_t dim, InitScheme scheme,
 
 void EmbeddingTable::ApplyGradient(size_t r, std::span<const float> grad,
                                    float lr) {
-  float* row = data_.data() + r * dim_;
-  float* acc = adagrad_.data() + r * dim_;
-  for (size_t i = 0; i < dim_; ++i) {
-    acc[i] += grad[i] * grad[i];
-    row[i] -= lr * grad[i] / std::sqrt(acc[i] + 1e-8f);
-  }
+  kernels::Active().adagrad_update(data_.data() + r * dim_,
+                                   adagrad_.data() + r * dim_, grad.data(),
+                                   dim_, lr, 1e-8f);
 }
 
 void EmbeddingTable::ApplySgd(size_t r, std::span<const float> grad,
                               float lr) {
-  float* row = data_.data() + r * dim_;
-  for (size_t i = 0; i < dim_; ++i) row[i] -= lr * grad[i];
+  kernels::Active().sgd_update(data_.data() + r * dim_, grad.data(), dim_, lr);
 }
 
 void EmbeddingTable::NormalizeRow(size_t r) { NormalizeL2(Row(r)); }
@@ -89,8 +86,9 @@ EmbeddingTable EmbeddingTable::FromParts(size_t num_rows, size_t dim,
   EmbeddingTable table;
   table.num_rows_ = num_rows;
   table.dim_ = dim;
-  table.data_ = std::move(data);
-  table.adagrad_ = std::move(adagrad);
+  // Checkpoints hand over plain vectors; copy into the aligned storage.
+  table.data_.assign(data.begin(), data.end());
+  table.adagrad_.assign(adagrad.begin(), adagrad.end());
   return table;
 }
 

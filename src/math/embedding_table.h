@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/math/aligned.h"
 
 namespace openea::math {
 
@@ -79,8 +80,10 @@ class EmbeddingTable {
  private:
   size_t num_rows_;
   size_t dim_;
-  std::vector<float> data_;
-  std::vector<float> adagrad_;  // Same shape as data_.
+  // 64-byte-aligned so the dispatched SIMD kernels see aligned rows whenever
+  // dim is a multiple of 16 floats (the default dim=32 qualifies).
+  AlignedVector data_;
+  AlignedVector adagrad_;  // Same shape as data_.
 };
 
 }  // namespace openea::math

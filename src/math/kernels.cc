@@ -1,0 +1,220 @@
+#include "src/math/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace openea::math::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference backend. These loops are the historical hand-rolled
+// kernels moved behind the table verbatim: same statement order, same
+// accumulation order, so a forced-scalar run is bit-identical to the
+// pre-dispatch library. Nothing here may be "improved" without regenerating
+// every committed baseline recorded under the scalar pin.
+// ---------------------------------------------------------------------------
+
+float ScalarDot(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float ScalarSquaredL2(const float* x, size_t n) { return ScalarDot(x, x, n); }
+
+float ScalarL1(const float* x, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += std::fabs(x[i]);
+  return sum;
+}
+
+float ScalarSquaredL2Distance(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float ScalarL1Distance(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+void ScalarDotRows(const float* a, const float* b, size_t ldb, float* out,
+                   size_t rows, size_t n) {
+  for (size_t r = 0; r < rows; ++r) out[r] = ScalarDot(a, b + r * ldb, n);
+}
+
+void ScalarSquaredL2DistanceRows(const float* a, const float* b, size_t ldb,
+                                 float* out, size_t rows, size_t n) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = ScalarSquaredL2Distance(a, b + r * ldb, n);
+  }
+}
+
+void ScalarL1DistanceRows(const float* a, const float* b, size_t ldb,
+                          float* out, size_t rows, size_t n) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = ScalarL1Distance(a, b + r * ldb, n);
+  }
+}
+
+void ScalarAxpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScalarScale(float alpha, float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void ScalarAdd(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void ScalarSub(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void ScalarHadamard(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void ScalarGemmBlock(const float* a, size_t lda, const float* b, size_t ldb,
+                     float* out, size_t ldc, size_t m, size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    float* out_row = out + i * ldc;
+    for (size_t j = 0; j < n; ++j) out_row[j] = 0.0f;
+    const float* a_row = a + i * lda;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = a_row[kk];
+      if (aik == 0.0f) continue;
+      const float* b_row = b + kk * ldb;
+      for (size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void ScalarAdagradUpdate(float* row, float* acc, const float* grad, size_t n,
+                         float lr, float eps) {
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] += grad[i] * grad[i];
+    row[i] -= lr * grad[i] / std::sqrt(acc[i] + eps);
+  }
+}
+
+void ScalarSgdUpdate(float* row, const float* grad, size_t n, float lr) {
+  for (size_t i = 0; i < n; ++i) row[i] -= lr * grad[i];
+}
+
+constexpr KernelTable kScalarTable = {
+    /*dot=*/ScalarDot,
+    /*squared_l2=*/ScalarSquaredL2,
+    /*l1=*/ScalarL1,
+    /*squared_l2_distance=*/ScalarSquaredL2Distance,
+    /*l1_distance=*/ScalarL1Distance,
+    /*dot_rows=*/ScalarDotRows,
+    /*squared_l2_distance_rows=*/ScalarSquaredL2DistanceRows,
+    /*l1_distance_rows=*/ScalarL1DistanceRows,
+    /*axpy=*/ScalarAxpy,
+    /*scale=*/ScalarScale,
+    /*add=*/ScalarAdd,
+    /*sub=*/ScalarSub,
+    /*hadamard=*/ScalarHadamard,
+    /*gemm_block=*/ScalarGemmBlock,
+    /*adagrad_update=*/ScalarAdagradUpdate,
+    /*sgd_update=*/ScalarSgdUpdate,
+};
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+/// Startup selection: capability probe, then the OPENEA_KERNELS override.
+Backend SelectBackend() {
+  const bool avx2_ok = Avx2Supported();
+  const char* env = std::getenv("OPENEA_KERNELS");
+  if (env != nullptr && env[0] != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return Backend::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (avx2_ok) return Backend::kAvx2;
+      std::fprintf(stderr,
+                   "openea: OPENEA_KERNELS=avx2 requested but AVX2+FMA is "
+                   "unavailable on this CPU/build; using scalar kernels\n");
+      return Backend::kScalar;
+    }
+    std::fprintf(stderr,
+                 "openea: unknown OPENEA_KERNELS value \"%s\" (want scalar "
+                 "or avx2); using automatic dispatch\n",
+                 env);
+  }
+  return avx2_ok ? Backend::kAvx2 : Backend::kScalar;
+}
+
+std::atomic<const KernelTable*>& ActiveTablePtr() {
+  static std::atomic<const KernelTable*> table{&Table(SelectBackend())};
+  return table;
+}
+
+}  // namespace
+
+#ifdef OPENEA_HAVE_AVX2_KERNELS
+// Defined in kernels_avx2.cc (the only TU compiled with -mavx2 -mfma).
+const KernelTable& Avx2KernelTable();
+#endif
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool Avx2Supported() {
+#ifdef OPENEA_HAVE_AVX2_KERNELS
+  static const bool supported = CpuHasAvx2Fma();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+const KernelTable& Table(Backend backend) {
+#ifdef OPENEA_HAVE_AVX2_KERNELS
+  if (backend == Backend::kAvx2 && Avx2Supported()) {
+    return Avx2KernelTable();
+  }
+#else
+  (void)backend;
+#endif
+  return kScalarTable;
+}
+
+const KernelTable& Active() {
+  return *ActiveTablePtr().load(std::memory_order_relaxed);
+}
+
+Backend ActiveBackend() {
+#ifdef OPENEA_HAVE_AVX2_KERNELS
+  if (&Active() == &Avx2KernelTable()) return Backend::kAvx2;
+#endif
+  return Backend::kScalar;
+}
+
+bool SetBackendForTesting(Backend backend) {
+  if (backend == Backend::kAvx2 && !Avx2Supported()) return false;
+  ActiveTablePtr().store(&Table(backend), std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace openea::math::kernels

@@ -1,0 +1,284 @@
+// AVX2/FMA backend of the kernel dispatch table (src/math/kernels.h). This
+// is the only translation unit compiled with -mavx2 -mfma (see
+// src/CMakeLists.txt); nothing in it may be reached except through the
+// table returned by Avx2KernelTable(), which kernels.cc only hands out
+// after the CPUID probe passed.
+//
+// Bitwise contract (kernels.h): elementwise kernels perform the same IEEE
+// operation per lane as the scalar backend — multiply then add/sub, never
+// an FMA contraction — so they are bit-identical to scalar. Reduction
+// kernels use 8-lane FMA accumulators and reassociate the sum; they may
+// differ from scalar in the last ULPs and are tied to it by the
+// ULP-tolerance suite in tests/kernels_test.cc.
+
+#ifdef OPENEA_HAVE_AVX2_KERNELS
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "src/math/kernels.h"
+
+namespace openea::math::kernels {
+namespace {
+
+constexpr size_t kLanes = 8;  // floats per __m256
+
+inline float HorizontalSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x55));
+  return _mm_cvtss_f32(sum);
+}
+
+inline __m256 Abs(__m256 v) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  return _mm256_andnot_ps(sign_mask, v);
+}
+
+// ---------------------------------------------------------------------------
+// Reductions: 4 independent 8-lane accumulators (hides FMA latency at the
+// library's d=32..512 row lengths), folded pairwise, then a fixed-order
+// scalar tail added after the horizontal sum.
+// ---------------------------------------------------------------------------
+
+float Avx2Dot(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 4 * kLanes <= n; i += 4 * kLanes) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + kLanes),
+                           _mm256_loadu_ps(b + i + kLanes), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 2 * kLanes),
+                           _mm256_loadu_ps(b + i + 2 * kLanes), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 3 * kLanes),
+                           _mm256_loadu_ps(b + i + 3 * kLanes), acc3);
+  }
+  for (; i + kLanes <= n; i += kLanes) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+  }
+  acc0 = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+  float sum = HorizontalSum(acc0);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float Avx2SquaredL2(const float* x, size_t n) { return Avx2Dot(x, x, n); }
+
+float Avx2L1(const float* x, size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc = _mm256_add_ps(acc, Abs(_mm256_loadu_ps(x + i)));
+  }
+  float sum = HorizontalSum(acc);
+  for (; i < n; ++i) sum += std::fabs(x[i]);
+  return sum;
+}
+
+float Avx2SquaredL2Distance(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + kLanes),
+                                    _mm256_loadu_ps(b + i + kLanes));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float sum = HorizontalSum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float Avx2L1Distance(const float* a, const float* b, size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc = _mm256_add_ps(
+        acc, Abs(_mm256_sub_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i))));
+  }
+  float sum = HorizontalSum(acc);
+  for (; i < n; ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+void Avx2DotRows(const float* a, const float* b, size_t ldb, float* out,
+                 size_t rows, size_t n) {
+  for (size_t r = 0; r < rows; ++r) out[r] = Avx2Dot(a, b + r * ldb, n);
+}
+
+void Avx2SquaredL2DistanceRows(const float* a, const float* b, size_t ldb,
+                               float* out, size_t rows, size_t n) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Avx2SquaredL2Distance(a, b + r * ldb, n);
+  }
+}
+
+void Avx2L1DistanceRows(const float* a, const float* b, size_t ldb,
+                        float* out, size_t rows, size_t n) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Avx2L1Distance(a, b + r * ldb, n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise: multiply then add/sub (no FMA) — bit-identical to scalar.
+// ---------------------------------------------------------------------------
+
+void Avx2Axpy(float alpha, const float* x, float* y, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Avx2Scale(float alpha, float* x, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void Avx2Add(const float* a, const float* b, float* out, size_t n) {
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_ps(
+        out + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void Avx2Sub(const float* a, const float* b, float* out, size_t n) {
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_ps(
+        out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void Avx2Hadamard(const float* a, const float* b, float* out, size_t n) {
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_ps(
+        out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+// ---------------------------------------------------------------------------
+// Row-blocked GEMM: i-k-j with an FMA-vectorized j loop. A reduction over
+// k, so it may differ bitwise from scalar (which also skips aik == 0).
+// ---------------------------------------------------------------------------
+
+void Avx2GemmBlock(const float* a, size_t lda, const float* b, size_t ldb,
+                   float* out, size_t ldc, size_t m, size_t k, size_t n) {
+  for (size_t i = 0; i < m; ++i) {
+    float* out_row = out + i * ldc;
+    size_t j = 0;
+    const __m256 zero = _mm256_setzero_ps();
+    for (; j + kLanes <= n; j += kLanes) _mm256_storeu_ps(out_row + j, zero);
+    for (; j < n; ++j) out_row[j] = 0.0f;
+    const float* a_row = a + i * lda;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float aik = a_row[kk];
+      if (aik == 0.0f) continue;
+      const __m256 va = _mm256_set1_ps(aik);
+      const float* b_row = b + kk * ldb;
+      for (j = 0; j + kLanes <= n; j += kLanes) {
+        _mm256_storeu_ps(out_row + j,
+                         _mm256_fmadd_ps(va, _mm256_loadu_ps(b_row + j),
+                                         _mm256_loadu_ps(out_row + j)));
+      }
+      for (; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused optimizer updates: sqrt/div are IEEE-exact per lane and the
+// multiply-divide-subtract sequence mirrors the scalar statement order, so
+// these stay bit-identical to the scalar backend.
+// ---------------------------------------------------------------------------
+
+void Avx2AdagradUpdate(float* row, float* acc, const float* grad, size_t n,
+                       float lr, float eps) {
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 veps = _mm256_set1_ps(eps);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 g = _mm256_loadu_ps(grad + i);
+    const __m256 a =
+        _mm256_add_ps(_mm256_loadu_ps(acc + i), _mm256_mul_ps(g, g));
+    _mm256_storeu_ps(acc + i, a);
+    const __m256 step = _mm256_div_ps(_mm256_mul_ps(vlr, g),
+                                      _mm256_sqrt_ps(_mm256_add_ps(a, veps)));
+    _mm256_storeu_ps(row + i, _mm256_sub_ps(_mm256_loadu_ps(row + i), step));
+  }
+  for (; i < n; ++i) {
+    acc[i] += grad[i] * grad[i];
+    row[i] -= lr * grad[i] / std::sqrt(acc[i] + eps);
+  }
+}
+
+void Avx2SgdUpdate(float* row, const float* grad, size_t n, float lr) {
+  const __m256 vlr = _mm256_set1_ps(lr);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 step = _mm256_mul_ps(vlr, _mm256_loadu_ps(grad + i));
+    _mm256_storeu_ps(row + i, _mm256_sub_ps(_mm256_loadu_ps(row + i), step));
+  }
+  for (; i < n; ++i) row[i] -= lr * grad[i];
+}
+
+constexpr KernelTable kAvx2Table = {
+    /*dot=*/Avx2Dot,
+    /*squared_l2=*/Avx2SquaredL2,
+    /*l1=*/Avx2L1,
+    /*squared_l2_distance=*/Avx2SquaredL2Distance,
+    /*l1_distance=*/Avx2L1Distance,
+    /*dot_rows=*/Avx2DotRows,
+    /*squared_l2_distance_rows=*/Avx2SquaredL2DistanceRows,
+    /*l1_distance_rows=*/Avx2L1DistanceRows,
+    /*axpy=*/Avx2Axpy,
+    /*scale=*/Avx2Scale,
+    /*add=*/Avx2Add,
+    /*sub=*/Avx2Sub,
+    /*hadamard=*/Avx2Hadamard,
+    /*gemm_block=*/Avx2GemmBlock,
+    /*adagrad_update=*/Avx2AdagradUpdate,
+    /*sgd_update=*/Avx2SgdUpdate,
+};
+
+}  // namespace
+
+const KernelTable& Avx2KernelTable() { return kAvx2Table; }
+
+}  // namespace openea::math::kernels
+
+#endif  // OPENEA_HAVE_AVX2_KERNELS

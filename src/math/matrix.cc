@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/parallel.h"
+#include "src/math/kernels.h"
 
 namespace openea::math {
 
@@ -31,17 +32,16 @@ void Matrix::FillIdentity() {
 void Matrix::AddScaled(const Matrix& other, float alpha) {
   OPENEA_CHECK_EQ(rows_, other.rows_);
   OPENEA_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  kernels::Active().axpy(alpha, other.data_.data(), data_.data(),
+                         data_.size());
 }
 
 void Matrix::Scale(float alpha) {
-  for (float& v : data_) v *= alpha;
+  kernels::Active().scale(alpha, data_.data(), data_.size());
 }
 
 float Matrix::FrobeniusNorm() const {
-  float sum = 0.0f;
-  for (float v : data_) sum += v * v;
-  return std::sqrt(sum);
+  return std::sqrt(kernels::Active().squared_l2(data_.data(), data_.size()));
 }
 
 Matrix Matrix::Transposed() const {
@@ -55,19 +55,14 @@ Matrix Matrix::Transposed() const {
 void Gemm(const Matrix& a, const Matrix& b, Matrix& out) {
   OPENEA_CHECK_EQ(a.cols(), b.rows());
   out.Reshape(a.rows(), b.cols());
-  // Row-blocked across the pool; i-k-j loop order inside each block for
-  // row-major cache friendliness.
+  // Row-blocked across the pool; each chunk is one call into the dispatched
+  // gemm_block kernel (i-k-j order inside, matching the historical serial
+  // loop under the scalar backend).
+  const kernels::KernelTable& kt = kernels::Active();
+  const size_t k = a.cols(), n = b.cols();
   ParallelFor(0, a.rows(), 0, [&](size_t row_begin, size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      auto out_row = out.Row(i);
-      std::fill(out_row.begin(), out_row.end(), 0.0f);
-      for (size_t k = 0; k < a.cols(); ++k) {
-        const float aik = a.At(i, k);
-        if (aik == 0.0f) continue;
-        const auto b_row = b.Row(k);
-        for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
-      }
-    }
+    kt.gemm_block(a.Row(row_begin).data(), k, b.Data().data(), n,
+                  out.Row(row_begin).data(), n, row_end - row_begin, k, n);
   });
 }
 
@@ -75,7 +70,10 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& out) {
   OPENEA_CHECK_EQ(a.rows(), b.rows());
   out.Reshape(a.cols(), b.cols());
   // Blocked over output rows (columns of a); k ascends inside each output
-  // row, preserving the serial accumulation order.
+  // row, preserving the serial accumulation order. a is walked column-wise,
+  // so the inner j loop is an axpy into the output row (with the historical
+  // zero-skip kept outside the kernel).
+  const kernels::KernelTable& kt = kernels::Active();
   ParallelFor(0, a.cols(), 0, [&](size_t row_begin, size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
       auto out_row = out.Row(i);
@@ -83,8 +81,7 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& out) {
       for (size_t k = 0; k < a.rows(); ++k) {
         const float aki = a.At(k, i);
         if (aki == 0.0f) continue;
-        const auto b_row = b.Row(k);
-        for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+        kt.axpy(aki, b.Row(k).data(), out_row.data(), b.cols());
       }
     }
   });
@@ -93,16 +90,12 @@ void GemmTransposeA(const Matrix& a, const Matrix& b, Matrix& out) {
 void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& out) {
   OPENEA_CHECK_EQ(a.cols(), b.cols());
   out.Reshape(a.rows(), b.rows());
+  const kernels::KernelTable& kt = kernels::Active();
+  const size_t k = a.cols();
   ParallelFor(0, a.rows(), 0, [&](size_t row_begin, size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
-      const auto a_row = a.Row(i);
-      auto out_row = out.Row(i);
-      for (size_t j = 0; j < b.rows(); ++j) {
-        const auto b_row = b.Row(j);
-        float sum = 0.0f;
-        for (size_t k = 0; k < a.cols(); ++k) sum += a_row[k] * b_row[k];
-        out_row[j] = sum;
-      }
+      kt.dot_rows(a.Row(i).data(), b.Data().data(), k, out.Row(i).data(),
+                  b.rows(), k);
     }
   });
 }
@@ -110,13 +103,10 @@ void GemmTransposeB(const Matrix& a, const Matrix& b, Matrix& out) {
 void MatVec(const Matrix& m, std::span<const float> x, std::span<float> y) {
   OPENEA_CHECK_EQ(m.cols(), x.size());
   OPENEA_CHECK_EQ(m.rows(), y.size());
+  const kernels::KernelTable& kt = kernels::Active();
   ParallelFor(0, m.rows(), 0, [&](size_t row_begin, size_t row_end) {
-    for (size_t r = row_begin; r < row_end; ++r) {
-      const auto row = m.Row(r);
-      float sum = 0.0f;
-      for (size_t c = 0; c < row.size(); ++c) sum += row[c] * x[c];
-      y[r] = sum;
-    }
+    kt.dot_rows(x.data(), m.Row(row_begin).data(), m.cols(),
+                y.data() + row_begin, row_end - row_begin, m.cols());
   });
 }
 
@@ -125,11 +115,11 @@ void MatTransposeVec(const Matrix& m, std::span<const float> x,
   OPENEA_CHECK_EQ(m.rows(), x.size());
   OPENEA_CHECK_EQ(m.cols(), y.size());
   std::fill(y.begin(), y.end(), 0.0f);
+  const kernels::KernelTable& kt = kernels::Active();
   for (size_t r = 0; r < m.rows(); ++r) {
     const float xr = x[r];
     if (xr == 0.0f) continue;
-    const auto row = m.Row(r);
-    for (size_t c = 0; c < row.size(); ++c) y[c] += xr * row[c];
+    kt.axpy(xr, m.Row(r).data(), y.data(), m.cols());
   }
 }
 

@@ -6,12 +6,15 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/math/aligned.h"
 
 namespace openea::math {
 
 /// Dense row-major float matrix used by the deep encoders (GCN, RSN, ConvE)
 /// and the transformation-based combination mode. Deliberately minimal: only
-/// the operations the library needs, no expression templates.
+/// the operations the library needs, no expression templates. Storage is
+/// 64-byte aligned (src/math/aligned.h) so the dispatched SIMD kernels see
+/// aligned rows whenever cols is a multiple of 16.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -74,7 +77,7 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<float> data_;
+  AlignedVector data_;
 };
 
 /// The GEMM family runs row-blocked on the global thread pool (see

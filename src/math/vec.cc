@@ -1,42 +1,48 @@
+// Thin wrappers over the runtime-dispatched kernel table
+// (src/math/kernels.h). Every span-level vector operation in the library
+// resolves to the table selected at startup; nothing below hand-rolls a
+// float loop unless the operation has no kernel (softmax, sigmoid — cold
+// paths by construction).
+
 #include "src/math/vec.h"
 
 #include <algorithm>
 #include <cmath>
 
+#include "src/math/kernels.h"
+
 namespace openea::math {
 
 float Dot(std::span<const float> a, std::span<const float> b) {
-  float sum = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return kernels::Active().dot(a.data(), b.data(), a.size());
 }
 
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::Active().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void Scale(float alpha, std::span<float> x) {
-  for (float& v : x) v *= alpha;
+  kernels::Active().scale(alpha, x.data(), x.size());
 }
 
 void Add(std::span<const float> a, std::span<const float> b,
          std::span<float> out) {
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  kernels::Active().add(a.data(), b.data(), out.data(), a.size());
 }
 
 void Sub(std::span<const float> a, std::span<const float> b,
          std::span<float> out) {
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  kernels::Active().sub(a.data(), b.data(), out.data(), a.size());
 }
 
-float SquaredL2Norm(std::span<const float> x) { return Dot(x, x); }
+float SquaredL2Norm(std::span<const float> x) {
+  return kernels::Active().squared_l2(x.data(), x.size());
+}
 
 float L2Norm(std::span<const float> x) { return std::sqrt(SquaredL2Norm(x)); }
 
 float L1Norm(std::span<const float> x) {
-  float sum = 0.0f;
-  for (float v : x) sum += std::fabs(v);
-  return sum;
+  return kernels::Active().l1(x.data(), x.size());
 }
 
 void NormalizeL2(std::span<float> x) {
@@ -46,12 +52,7 @@ void NormalizeL2(std::span<float> x) {
 
 float SquaredEuclideanDistance(std::span<const float> a,
                                std::span<const float> b) {
-  float sum = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const float d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return kernels::Active().squared_l2_distance(a.data(), b.data(), a.size());
 }
 
 float EuclideanDistance(std::span<const float> a, std::span<const float> b) {
@@ -59,9 +60,7 @@ float EuclideanDistance(std::span<const float> a, std::span<const float> b) {
 }
 
 float ManhattanDistance(std::span<const float> a, std::span<const float> b) {
-  float sum = 0.0f;
-  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
-  return sum;
+  return kernels::Active().l1_distance(a.data(), b.data(), a.size());
 }
 
 float CosineSimilarity(std::span<const float> a, std::span<const float> b) {
@@ -73,7 +72,7 @@ float CosineSimilarity(std::span<const float> a, std::span<const float> b) {
 
 void Hadamard(std::span<const float> a, std::span<const float> b,
               std::span<float> out) {
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  kernels::Active().hadamard(a.data(), b.data(), out.data(), a.size());
 }
 
 void Fill(std::span<float> x, float value) {

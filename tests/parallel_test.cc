@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <utility>
@@ -13,6 +14,7 @@
 #include "src/align/similarity.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/common/telemetry.h"
 #include "src/embedding/triple_model.h"
 #include "src/eval/metrics.h"
 #include "src/interaction/trainer.h"
@@ -63,6 +65,55 @@ TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(hits[i], 1) << "index " << i;
   }
+}
+
+TEST(ParallelForTest, AutoGrainYieldsAtLeastFourChunksPerWorker) {
+  ThreadGuard guard;
+  // Regression for the auto-grain heuristic: ceil division could leave
+  // workers with ~3 chunks each (range 100 / 8 threads gave 25 chunks for
+  // a 32-chunk target). The floor guarantees >= min(range, 4 * threads).
+  for (const auto& [range, threads] : std::vector<std::pair<size_t, int>>{
+           {100, 8}, {33, 8}, {1'000, 4}, {31, 8}, {4, 2}}) {
+    SetThreads(threads);
+    std::atomic<size_t> chunks{0};
+    std::atomic<size_t> covered{0};
+    ParallelFor(0, range, 0, [&](size_t lo, size_t hi) {
+      ++chunks;
+      covered += hi - lo;
+    });
+    const size_t want =
+        std::min(range, static_cast<size_t>(threads) * 4);
+    EXPECT_GE(chunks.load(), want) << "range " << range << " threads "
+                                   << threads;
+    EXPECT_EQ(covered.load(), range);
+  }
+}
+
+TEST(ParallelForTest, AutoGrainJobObservesImbalanceGauge) {
+  ThreadGuard guard;
+  SetThreads(4);
+  telemetry::ResetForTesting();
+  telemetry::SetCollectForTesting(true);
+  std::atomic<size_t> chunks{0};
+  ParallelFor(0, 64, 0, [&](size_t lo, size_t hi) {
+    ++chunks;
+    volatile float sink = 0.0f;
+    for (size_t i = lo; i < hi; ++i) sink += static_cast<float>(i);
+    (void)sink;
+  });
+  const telemetry::MetricsSnapshot snap = telemetry::SnapshotMetrics();
+  telemetry::SetCollectForTesting(false);
+  telemetry::ResetForTesting();
+  ASSERT_EQ(snap.counters.count("parallel/chunks"), 1u);
+  EXPECT_EQ(snap.counters.at("parallel/chunks"), chunks.load());
+  EXPECT_GE(snap.counters.at("parallel/chunks"), 16u);  // 4 per worker.
+  // Every parallel job with nonzero work must observe the imbalance
+  // histogram exactly once.
+  ASSERT_EQ(snap.histograms.count("parallel/chunk_imbalance"), 1u);
+  EXPECT_EQ(snap.histograms.at("parallel/chunk_imbalance").count, 1u);
+  // max/mean ratio is >= 1 by construction.
+  EXPECT_GE(snap.histograms.at("parallel/chunk_imbalance").Quantile(0.0),
+            0.0);
 }
 
 TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
