@@ -1,0 +1,179 @@
+// Recall-vs-work curve of the sublinear candidate sources against the exact
+// streaming engine: for clustered synthetic embeddings, sweep the IVF probe
+// width and report recall@10, the fraction of target rows scanned per
+// query, and wall time; LSH rows give the bucket-union baseline. The recall
+// and scan-fraction gauges (ann/recall10/*, ann/scan_frac/*) are
+// deterministic at any thread count and gate in bench_diff_gate_ann_recall;
+// the timing gauges (ann/ms/*) are machine-dependent and skipped there.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/align/candidate_source.h"
+#include "src/align/topk.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/common/table_printer.h"
+#include "src/math/matrix.h"
+
+namespace {
+
+using namespace openea;
+
+/// Clustered targets: `clusters` uniform centers, each row a center plus
+/// small Gaussian noise — the regime where cluster routing must recover the
+/// exact neighbours (which are overwhelmingly same-cluster rows).
+math::Matrix ClusteredTargets(size_t n, size_t dim, size_t clusters,
+                              uint64_t seed) {
+  Rng rng(seed);
+  math::Matrix centers(clusters, dim);
+  centers.FillUniform(rng, 1.0f);
+  math::Matrix out(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    const auto center = centers.Row(i % clusters);
+    auto row = out.Row(i);
+    for (size_t d = 0; d < dim; ++d) {
+      row[d] = center[d] +
+               0.05f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return out;
+}
+
+/// Mean recall@k: |approx top-k ids ∩ exact top-k ids| / k per query.
+double RecallAtK(const align::TopKResult& exact,
+                 const align::TopKResult& approx, size_t k) {
+  double total = 0.0;
+  for (size_t i = 0; i < exact.rows; ++i) {
+    const auto truth = exact.Row(i);
+    const auto got = approx.Row(i);
+    size_t hit = 0;
+    for (size_t t = 0; t < k; ++t) {
+      if (truth[t].index < 0) continue;
+      for (size_t s = 0; s < k; ++s) {
+        if (got[s].index == truth[t].index) {
+          ++hit;
+          break;
+        }
+      }
+    }
+    total += static_cast<double>(hit) / static_cast<double>(k);
+  }
+  return exact.rows > 0 ? total / static_cast<double>(exact.rows) : 0.0;
+}
+
+uint64_t Counter(const telemetry::MetricsSnapshot& snapshot,
+                 const std::string& name) {
+  const auto it = snapshot.counters.find(name);
+  return it != snapshot.counters.end() ? it->second : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace openea;
+  const auto args = bench::ParseArgs("ann_recall", argc, argv, 1, 2);
+  bench::BeginRun(args);
+  // The scan accounting below reads the cand/* counters, so collection must
+  // be on even without --json.
+  if (!telemetry::Enabled()) telemetry::SetCollectForTesting(true);
+
+  // Fixed sizes (not scale-derived): the committed baseline gates these
+  // gauges exactly, so the worked set must be identical across machines.
+  const std::vector<size_t> sizes = {1000, 4000};
+  const size_t dim = 32;
+  const size_t k = 10;
+  const size_t num_queries = 256;
+  const std::vector<size_t> probes = {1, 2, 4, 8, 16};
+
+  std::printf("== ANN candidate sources vs exact top-%zu (cosine) ==\n", k);
+  TablePrinter table({"N", "source", "recall@10", "scan frac", "ms"});
+  double headline_recall = 0.0, headline_scan_frac = 1.0;
+  for (const size_t n : sizes) {
+    const math::Matrix targets = ClusteredTargets(n, dim, 16, args.seed);
+    // Queries are a strided sample of the target rows themselves: the
+    // exact neighbourhood is unambiguous and recall isolates the routing
+    // quality of the index, not the data geometry.
+    math::Matrix queries(num_queries, dim);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const auto src = targets.Row((q * n) / num_queries);
+      std::copy(src.begin(), src.end(), queries.Row(q).begin());
+    }
+    const std::string nstr = std::to_string(n);
+
+    align::CandidateSourceConfig exact_config;
+    auto exact = align::CreateCandidateSourceOrDie(exact_config);
+    OPENEA_CHECK(exact->Index(targets).ok());
+    Stopwatch exact_watch;
+    const align::TopKResult truth = exact->TopK(queries, k);
+    const double exact_ms = exact_watch.ElapsedMillis();
+    telemetry::SetGauge("ann/ms/exact_n" + nstr, exact_ms);
+    table.AddRow({nstr, "exact", "1.000", "1.000", FormatDouble(exact_ms, 2)});
+
+    const auto measure = [&](align::CandidateSource& source,
+                             const std::string& label,
+                             const std::string& scanned_counter) {
+      const uint64_t scanned_before =
+          Counter(telemetry::SnapshotMetrics(), scanned_counter);
+      Stopwatch watch;
+      const align::TopKResult approx = source.TopK(queries, k);
+      const double ms = watch.ElapsedMillis();
+      const uint64_t scanned =
+          Counter(telemetry::SnapshotMetrics(), scanned_counter) -
+          scanned_before;
+      const double recall = RecallAtK(truth, approx, k);
+      const double scan_frac =
+          static_cast<double>(scanned) /
+          (static_cast<double>(num_queries) * static_cast<double>(n));
+      telemetry::SetGauge("ann/recall10/n" + nstr + "/" + label, recall);
+      telemetry::SetGauge("ann/scan_frac/n" + nstr + "/" + label, scan_frac);
+      telemetry::SetGauge("ann/ms/n" + nstr + "/" + label, ms);
+      table.AddRow({nstr, label, FormatDouble(recall, 3),
+                    FormatDouble(scan_frac, 3), FormatDouble(ms, 2)});
+      return std::make_pair(recall, scan_frac);
+    };
+
+    for (const size_t nprobe : probes) {
+      align::CandidateSourceConfig config;
+      config.kind = align::CandidateSourceKind::kAnnIvf;
+      config.seed = args.seed;
+      config.ivf_nprobe = nprobe;
+      auto ann = align::CreateCandidateSourceOrDie(config);
+      OPENEA_CHECK(ann->Index(targets).ok());
+      const auto [recall, scan_frac] = measure(
+          *ann, "ivf_probe" + std::to_string(nprobe), "cand/ann_ivf/scanned");
+      if (n >= 4000 && nprobe == 8) {
+        headline_recall = recall;
+        headline_scan_frac = scan_frac;
+      }
+    }
+
+    align::CandidateSourceConfig lsh_config;
+    lsh_config.kind = align::CandidateSourceKind::kLsh;
+    lsh_config.seed = args.seed;
+    auto lsh = align::CreateCandidateSourceOrDie(lsh_config);
+    OPENEA_CHECK(lsh->Index(targets).ok());
+    measure(*lsh, "lsh", "cand/lsh/scanned");
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+
+  // The acceptance bar of this bench (also pinned by the committed
+  // baseline): at N >= 4000 the IVF index at nprobe=8 recovers >= 95% of
+  // the exact top-10 while scanning < 25% of the targets per query.
+  OPENEA_CHECK_GE(headline_recall, 0.95)
+      << "IVF recall@10 collapsed at n=4000, nprobe=8";
+  OPENEA_CHECK_LT(headline_scan_frac, 0.25)
+      << "IVF scan fraction not sublinear at n=4000, nprobe=8";
+  std::printf(
+      "Shape check: recall@10 climbs toward 1.0 with nprobe while the\n"
+      "scanned fraction stays ~nprobe/lists; at N=4000, nprobe=8 the IVF\n"
+      "index reaches recall %.3f scanning %.1f%% of targets per query\n"
+      "(the exact engine scans 100%%).\n",
+      headline_recall, headline_scan_frac * 100.0);
+  return bench::Finish(args);
+}

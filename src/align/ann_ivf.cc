@@ -1,0 +1,258 @@
+#include "src/align/ann_ivf.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/parallel.h"
+#include "src/common/rng.h"
+#include "src/common/telemetry.h"
+#include "src/math/vec.h"
+
+namespace openea::align {
+namespace {
+
+/// Same fixed row grain as the streaming engine / the other sources.
+constexpr size_t kQueryGrain = 8;
+
+std::vector<float> RowNormsOf(const math::Matrix& m) {
+  std::vector<float> norms(m.rows());
+  ParallelFor(0, m.rows(), 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) norms[i] = math::L2Norm(m.Row(i));
+  });
+  return norms;
+}
+
+class AnnIvfSource final : public CandidateSource {
+ public:
+  explicit AnnIvfSource(const CandidateSourceConfig& config)
+      : CandidateSource(config) {}
+
+  const char* Name() const override { return "ann_ivf"; }
+
+  Status Index(const math::Matrix& targets) override {
+    telemetry::ScopedSpan span("ann_ivf_build");
+    targets_ = targets;
+    const size_t n = targets_.rows();
+    const size_t dim = targets_.cols();
+
+    // ceil(sqrt(N)) lists by default: balances the `lists` centroid scan
+    // against the ~nprobe*N/lists list scan.
+    size_t lists = config_.ivf_lists;
+    if (lists == 0 && n > 0) {
+      lists = static_cast<size_t>(
+          std::ceil(std::sqrt(static_cast<double>(n))));
+    }
+    lists = std::min(std::max<size_t>(lists, 1), std::max<size_t>(n, 1));
+    num_lists_ = n > 0 ? lists : 0;
+
+    centroids_ = math::Matrix(num_lists_, dim);
+    packed_ = math::Matrix(n, dim);
+    packed_ids_.assign(n, 0);
+    list_offsets_.assign(num_lists_ + 1, 0);
+    if (n == 0) {
+      indexed_ = true;
+      return Status::OK();
+    }
+
+    // Seeded k-means init: `lists` distinct rows, chosen by a deterministic
+    // shuffle of the row indices.
+    Rng rng(config_.seed);
+    std::vector<int> seeds(n);
+    std::iota(seeds.begin(), seeds.end(), 0);
+    rng.Shuffle(seeds);
+    for (size_t c = 0; c < num_lists_; ++c) {
+      const auto row = targets_.Row(static_cast<size_t>(seeds[c]));
+      std::copy(row.begin(), row.end(), centroids_.Row(c).begin());
+    }
+
+    // Lloyd iterations. Assignment runs in parallel (disjoint writes per
+    // point, ties toward the lower centroid id); the centroid update
+    // accumulates serially in row order — both deterministic at any thread
+    // count.
+    std::vector<int> assign(n, 0);
+    std::vector<float> centroid_norms;
+    for (int iter = 0; iter < config_.ivf_iters; ++iter) {
+      if (config_.metric == DistanceMetric::kCosine) {
+        centroid_norms = RowNormsOf(centroids_);
+      }
+      ParallelFor(0, n, kQueryGrain, [&](size_t begin, size_t end) {
+        std::vector<float> sims(num_lists_);
+        for (size_t i = begin; i < end; ++i) {
+          const auto row = targets_.Row(i);
+          const float nq =
+              config_.metric == DistanceMetric::kCosine
+                  ? math::L2Norm(row)
+                  : 0.0f;
+          detail::MetricRowBlock(
+              config_.metric, row.data(), nq, centroids_.Row(0).data(), dim,
+              centroid_norms.empty() ? nullptr : centroid_norms.data(),
+              sims.data(), num_lists_, dim);
+          int best = 0;
+          float best_value = sims[0];
+          for (size_t c = 1; c < num_lists_; ++c) {
+            // NaN sims never beat: the comparison is false, so the point
+            // stays on the lowest finite (or 0th) centroid.
+            if (sims[c] > best_value) {
+              best = static_cast<int>(c);
+              best_value = sims[c];
+            }
+          }
+          assign[i] = best;
+        }
+      });
+      std::vector<double> sums(num_lists_ * dim, 0.0);
+      std::vector<uint32_t> counts(num_lists_, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const auto row = targets_.Row(i);
+        double* acc = sums.data() + static_cast<size_t>(assign[i]) * dim;
+        for (size_t d = 0; d < dim; ++d) acc[d] += row[d];
+        ++counts[static_cast<size_t>(assign[i])];
+      }
+      for (size_t c = 0; c < num_lists_; ++c) {
+        if (counts[c] == 0) continue;  // Empty list keeps its centroid.
+        auto row = centroids_.Row(c);
+        const double* acc = sums.data() + c * dim;
+        for (size_t d = 0; d < dim; ++d) {
+          row[d] = static_cast<float>(acc[d] / counts[c]);
+        }
+      }
+    }
+
+    // Inverted-list layout: rows regrouped contiguously per list, members
+    // in ascending original id, so a probe is one batched kernel call.
+    std::vector<uint32_t> counts(num_lists_, 0);
+    for (size_t i = 0; i < n; ++i) ++counts[static_cast<size_t>(assign[i])];
+    for (size_t c = 0; c < num_lists_; ++c) {
+      list_offsets_[c + 1] = list_offsets_[c] + counts[c];
+    }
+    std::vector<size_t> cursor(list_offsets_.begin(),
+                               list_offsets_.end() - 1);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t slot = cursor[static_cast<size_t>(assign[i])]++;
+      packed_ids_[slot] = static_cast<int>(i);
+      const auto row = targets_.Row(i);
+      std::copy(row.begin(), row.end(), packed_.Row(slot).begin());
+    }
+    if (config_.metric == DistanceMetric::kCosine) {
+      packed_norms_ = RowNormsOf(packed_);
+      centroid_norms_ = RowNormsOf(centroids_);
+    } else {
+      packed_norms_.clear();
+      centroid_norms_.clear();
+    }
+    telemetry::SetGauge("ann/lists", static_cast<double>(num_lists_));
+    indexed_ = true;
+    return Status::OK();
+  }
+
+  TopKResult TopK(const math::Matrix& queries, size_t k) const override {
+    OPENEA_CHECK(indexed_) << "AnnIvfSource::TopK before Index";
+    OPENEA_CHECK_EQ(queries.cols(), targets_.cols());
+    TopKResult result;
+    result.rows = queries.rows();
+    result.k = k;
+    result.entries.assign(queries.rows() * k, TopKEntry{});
+    if (queries.rows() == 0 || num_lists_ == 0) return result;
+
+    telemetry::ScopedSpan span("ann_ivf_topk");
+    const size_t dim = targets_.cols();
+    const size_t nprobe = std::min(config_.ivf_nprobe, num_lists_);
+    const std::vector<float> query_norms =
+        config_.metric == DistanceMetric::kCosine ? RowNormsOf(queries)
+                                                  : std::vector<float>();
+    std::atomic<uint64_t> scanned{0};
+    std::atomic<uint64_t> nan_cells{0};
+    ParallelFor(0, queries.rows(), kQueryGrain, [&](size_t begin, size_t end) {
+      std::vector<float> centroid_sims(num_lists_);
+      std::vector<TopKEntry> probes(nprobe);
+      std::vector<TopKEntry> heap(std::max<size_t>(k, 1));
+      std::vector<float> cell_buf;
+      uint64_t local_scanned = 0;
+      uint64_t local_nan = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const auto q = queries.Row(i);
+        const float nq = query_norms.empty() ? 0.0f : query_norms[i];
+        // Rank the coarse quantizer: one batched call over all centroids,
+        // probe selection under the shared total order.
+        detail::MetricRowBlock(
+            config_.metric, q.data(), nq, centroids_.Row(0).data(), dim,
+            centroid_norms_.empty() ? nullptr : centroid_norms_.data(),
+            centroid_sims.data(), num_lists_, dim);
+        size_t probe_count = 0;
+        for (size_t c = 0; c < num_lists_; ++c) {
+          if (std::isnan(centroid_sims[c])) continue;
+          detail::TopKInsert(probes.data(), probe_count, nprobe,
+                             centroid_sims[c], static_cast<int>(c));
+        }
+        size_t count = 0;
+        for (size_t p = 0; p < probe_count; ++p) {
+          const size_t list = static_cast<size_t>(probes[p].index);
+          const size_t lo = list_offsets_[list];
+          const size_t hi = list_offsets_[list + 1];
+          if (lo == hi) continue;
+          cell_buf.resize(hi - lo);
+          detail::MetricRowBlock(
+              config_.metric, q.data(), nq, packed_.Row(lo).data(), dim,
+              packed_norms_.empty() ? nullptr : packed_norms_.data() + lo,
+              cell_buf.data(), hi - lo, dim);
+          local_scanned += hi - lo;
+          for (size_t s = lo; s < hi; ++s) {
+            const float v = cell_buf[s - lo];
+            if (std::isnan(v)) {
+              ++local_nan;
+              continue;
+            }
+            if (k > 0) {
+              detail::TopKInsert(heap.data(), count, k, v, packed_ids_[s]);
+            }
+          }
+        }
+        if (k > 0) {
+          TopKEntry* out = result.entries.data() + i * k;
+          for (size_t t = 0; t < count; ++t) out[t] = heap[t];
+        }
+      }
+      scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+      if (local_nan > 0) {
+        nan_cells.fetch_add(local_nan, std::memory_order_relaxed);
+      }
+    });
+    result.nan_cells = nan_cells.load(std::memory_order_relaxed);
+    telemetry::IncrCounter("cand/ann_ivf/queries", queries.rows());
+    telemetry::IncrCounter("cand/ann_ivf/scanned",
+                           scanned.load(std::memory_order_relaxed));
+    telemetry::IncrCounter("cand/ann_ivf/centroid_scans",
+                           queries.rows() * num_lists_);
+    if (result.nan_cells > 0) {
+      telemetry::IncrCounter("cand/ann_ivf/nan_cells", result.nan_cells);
+    }
+    return result;
+  }
+
+ private:
+  size_t num_lists_ = 0;
+  math::Matrix centroids_;
+  /// Target rows regrouped contiguously per list (ascending original id
+  /// within a list); packed_ids_[slot] maps back to the original row.
+  math::Matrix packed_;
+  std::vector<int> packed_ids_;
+  std::vector<size_t> list_offsets_;  // num_lists_ + 1 entries.
+  std::vector<float> packed_norms_;    // Cosine only.
+  std::vector<float> centroid_norms_;  // Cosine only.
+};
+
+}  // namespace
+
+namespace internal {
+
+std::unique_ptr<CandidateSource> MakeAnnIvfSource(
+    const CandidateSourceConfig& config) {
+  return std::make_unique<AnnIvfSource>(config);
+}
+
+}  // namespace internal
+}  // namespace openea::align

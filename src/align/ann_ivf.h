@@ -1,0 +1,39 @@
+#ifndef OPENEA_ALIGN_ANN_IVF_H_
+#define OPENEA_ALIGN_ANN_IVF_H_
+
+#include <memory>
+
+#include "src/align/candidate_source.h"
+
+namespace openea::align {
+
+/// IVF (inverted-file) approximate-nearest-neighbour candidate source
+/// (DESIGN.md, "Candidate generation & serving"): a k-means coarse
+/// quantizer partitions the target rows into `lists` clusters; a query
+/// ranks the centroids under the configured metric and exhaustively scans
+/// only the `nprobe` nearest lists. Scanned work per query is
+/// `lists + sum(|probed lists|)` ≈ sqrt(N) + nprobe·N/lists instead of N —
+/// the sublinear candidate-generation step Dao et al. 2023 identify as the
+/// EA scalability wall.
+///
+/// Determinism: the k-means initialization samples seeds from the config
+/// seed, assignment ties break toward the lower centroid id, centroid
+/// updates accumulate serially in row order, and the per-list layout orders
+/// members by ascending original id — Index() and TopK() are pure functions
+/// of (config, targets, queries) at any thread count.
+///
+/// Recall: measured (and gated) by bench_ann_recall against the exact
+/// engine; the scores of the candidates it does return are bit-identical to
+/// the exact source's scores for the same ids (shared cell kernel).
+namespace internal {
+
+/// Factory hook used by CreateCandidateSource; the config must already be
+/// validated. Exposed for the factory TU only — library callers go through
+/// CreateCandidateSource with kind == kAnnIvf.
+std::unique_ptr<CandidateSource> MakeAnnIvfSource(
+    const CandidateSourceConfig& config);
+
+}  // namespace internal
+}  // namespace openea::align
+
+#endif  // OPENEA_ALIGN_ANN_IVF_H_

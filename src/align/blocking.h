@@ -23,8 +23,10 @@ class LshBlocker {
   /// Indexes the target embedding rows.
   void Index(const math::Matrix& targets);
 
-  /// Returns the candidate target ids for `query` (deduplicated,
-  /// unordered). May be empty when no bucket matches.
+  /// Returns the candidate target ids for `query`, deduplicated and sorted
+  /// ascending — a deterministic function of (seed, indexed targets, query),
+  /// independent of bucket iteration order. May be empty when no bucket
+  /// matches.
   std::vector<int> Candidates(std::span<const float> query) const;
 
   size_t dim() const { return dim_; }
@@ -44,6 +46,10 @@ class LshBlocker {
 /// match[i] = argmax over Candidates(src row i) of cosine similarity, or
 /// -1 when the block is empty. Sub-quadratic in practice, trading a little
 /// recall for speed — quantified by bench_scalability.
+///
+/// Deprecated shim: routes through the kLsh CandidateSource
+/// (candidate_source.h) so all call sites share one candidate-generation
+/// path; new code should create the source directly.
 std::vector<int> BlockedGreedyMatch(const math::Matrix& src,
                                     const math::Matrix& tgt, int bits,
                                     int num_tables, uint64_t seed);

@@ -1,0 +1,227 @@
+#include "src/align/candidate_source.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "src/align/ann_ivf.h"
+#include "src/align/blocking.h"
+#include "src/common/logging.h"
+#include "src/common/parallel.h"
+#include "src/common/telemetry.h"
+#include "src/math/vec.h"
+
+namespace openea::align {
+namespace {
+
+/// Fixed row grain of the candidate scans — same as the streaming engine's,
+/// so the chunk layout (and every per-chunk counter) is identical at any
+/// thread count.
+constexpr size_t kQueryGrain = 8;
+
+/// One similarity cell through the shared kernel, same as topk.cc's Cell.
+inline float ScoreCell(DistanceMetric metric, std::span<const float> a,
+                       float na, std::span<const float> b, float nb) {
+  float out = 0.0f;
+  detail::MetricRowBlock(metric, a.data(), na, b.data(), b.size(), &nb, &out,
+                         1, a.size());
+  return out;
+}
+
+std::vector<float> RowNormsOf(const math::Matrix& m) {
+  std::vector<float> norms(m.rows());
+  ParallelFor(0, m.rows(), 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) norms[i] = math::L2Norm(m.Row(i));
+  });
+  return norms;
+}
+
+/// Exhaustive source: every target is a candidate, so TopK is exactly
+/// `StreamingTopK` — bit-identical to the dense SimilarityMatrix path at
+/// any thread count, including the CSLS mode.
+class ExactTopKSource final : public CandidateSource {
+ public:
+  explicit ExactTopKSource(const CandidateSourceConfig& config)
+      : CandidateSource(config) {}
+
+  const char* Name() const override { return "exact"; }
+  bool csls() const override { return config_.csls; }
+
+  Status Index(const math::Matrix& targets) override {
+    targets_ = targets;
+    indexed_ = true;
+    return Status::OK();
+  }
+
+  TopKResult TopK(const math::Matrix& queries, size_t k) const override {
+    OPENEA_CHECK(indexed_) << "ExactTopKSource::TopK before Index";
+    OPENEA_CHECK_EQ(queries.cols(), targets_.cols());
+    TopKOptions options;
+    options.k = k;
+    options.metric = config_.metric;
+    options.csls = config_.csls;
+    options.csls_k = config_.csls_k;
+    TopKResult result = StreamingTopK(queries, targets_, options);
+    telemetry::IncrCounter("cand/exact/queries", queries.rows());
+    telemetry::IncrCounter("cand/exact/scanned",
+                           queries.rows() * targets_.rows());
+    return result;
+  }
+};
+
+/// LSH source: candidates are the deterministic (ascending-id) bucket
+/// union of `LshBlocker`, scored through the shared cell kernel and
+/// selected with the same total order as the streaming engine. Scanned
+/// work per query is the candidate-set size, not N.
+class LshSource final : public CandidateSource {
+ public:
+  explicit LshSource(const CandidateSourceConfig& config)
+      : CandidateSource(config) {}
+
+  const char* Name() const override { return "lsh"; }
+
+  Status Index(const math::Matrix& targets) override {
+    targets_ = targets;
+    blocker_ = std::make_unique<LshBlocker>(
+        targets.cols() > 0 ? targets.cols() : 1, config_.lsh_bits,
+        config_.lsh_tables, config_.seed);
+    if (targets.cols() > 0) blocker_->Index(targets_);
+    if (config_.metric == DistanceMetric::kCosine) {
+      tgt_norms_ = RowNormsOf(targets_);
+    }
+    indexed_ = true;
+    return Status::OK();
+  }
+
+  TopKResult TopK(const math::Matrix& queries, size_t k) const override {
+    OPENEA_CHECK(indexed_) << "LshSource::TopK before Index";
+    OPENEA_CHECK_EQ(queries.cols(), targets_.cols());
+    TopKResult result;
+    result.rows = queries.rows();
+    result.k = k;
+    result.entries.assign(queries.rows() * k, TopKEntry{});
+    if (queries.rows() == 0) return result;
+
+    telemetry::ScopedSpan span("lsh_topk");
+    const std::vector<float> query_norms =
+        config_.metric == DistanceMetric::kCosine ? RowNormsOf(queries)
+                                                  : std::vector<float>();
+    std::atomic<uint64_t> scanned{0};
+    std::atomic<uint64_t> nan_cells{0};
+    ParallelFor(0, queries.rows(), kQueryGrain, [&](size_t begin, size_t end) {
+      std::vector<TopKEntry> heap(std::max<size_t>(k, 1));
+      uint64_t local_scanned = 0;
+      uint64_t local_nan = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const auto q = queries.Row(i);
+        const float nq = query_norms.empty() ? 0.0f : query_norms[i];
+        size_t count = 0;
+        for (const int cand : blocker_->Candidates(q)) {
+          const float nb = tgt_norms_.empty()
+                               ? 0.0f
+                               : tgt_norms_[static_cast<size_t>(cand)];
+          const float v = ScoreCell(config_.metric, q,
+                                    nq, targets_.Row(cand), nb);
+          ++local_scanned;
+          if (std::isnan(v)) {
+            ++local_nan;
+            continue;
+          }
+          if (k > 0) detail::TopKInsert(heap.data(), count, k, v, cand);
+        }
+        if (k > 0) {
+          TopKEntry* out = result.entries.data() + i * k;
+          for (size_t t = 0; t < count; ++t) out[t] = heap[t];
+        }
+      }
+      scanned.fetch_add(local_scanned, std::memory_order_relaxed);
+      if (local_nan > 0) {
+        nan_cells.fetch_add(local_nan, std::memory_order_relaxed);
+      }
+    });
+    result.nan_cells = nan_cells.load(std::memory_order_relaxed);
+    telemetry::IncrCounter("cand/lsh/queries", queries.rows());
+    telemetry::IncrCounter("cand/lsh/scanned",
+                           scanned.load(std::memory_order_relaxed));
+    if (result.nan_cells > 0) {
+      telemetry::IncrCounter("cand/lsh/nan_cells", result.nan_cells);
+    }
+    return result;
+  }
+
+ private:
+  std::unique_ptr<LshBlocker> blocker_;
+  std::vector<float> tgt_norms_;
+};
+
+}  // namespace
+
+const char* CandidateSourceKindName(CandidateSourceKind kind) {
+  switch (kind) {
+    case CandidateSourceKind::kExact: return "exact";
+    case CandidateSourceKind::kLsh: return "lsh";
+    case CandidateSourceKind::kAnnIvf: return "ann_ivf";
+  }
+  return "?";
+}
+
+Status CandidateSourceConfig::Validate() const {
+  if (csls && kind != CandidateSourceKind::kExact) {
+    return Status::InvalidArgument(
+        "csls requires the exact source (CSLS neighbourhood means need every "
+        "similarity cell; the sublinear sources never see them)");
+  }
+  if (csls && csls_k < 1) {
+    return Status::InvalidArgument("csls_k must be >= 1");
+  }
+  switch (kind) {
+    case CandidateSourceKind::kExact:
+      break;
+    case CandidateSourceKind::kLsh:
+      if (lsh_bits < 1 || lsh_bits > 63) {
+        return Status::InvalidArgument("lsh_bits must be in [1, 63]");
+      }
+      if (lsh_tables < 1) {
+        return Status::InvalidArgument("lsh_tables must be >= 1");
+      }
+      break;
+    case CandidateSourceKind::kAnnIvf:
+      if (ivf_nprobe < 1) {
+        return Status::InvalidArgument("ivf_nprobe must be >= 1");
+      }
+      if (ivf_iters < 1) {
+        return Status::InvalidArgument("ivf_iters must be >= 1");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<CandidateSource>> CreateCandidateSource(
+    const CandidateSourceConfig& config) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) return valid;
+  switch (config.kind) {
+    case CandidateSourceKind::kExact:
+      return std::unique_ptr<CandidateSource>(
+          std::make_unique<ExactTopKSource>(config));
+    case CandidateSourceKind::kLsh:
+      return std::unique_ptr<CandidateSource>(
+          std::make_unique<LshSource>(config));
+    case CandidateSourceKind::kAnnIvf:
+      return std::unique_ptr<CandidateSource>(
+          internal::MakeAnnIvfSource(config));
+  }
+  return Status::InvalidArgument("unknown candidate source kind");
+}
+
+std::unique_ptr<CandidateSource> CreateCandidateSourceOrDie(
+    const CandidateSourceConfig& config) {
+  StatusOr<std::unique_ptr<CandidateSource>> source =
+      CreateCandidateSource(config);
+  OPENEA_CHECK(source.ok()) << source.status().ToString();
+  return std::move(source).value();
+}
+
+}  // namespace openea::align

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "src/align/similarity.h"
 #include "src/align/topk.h"
+#include "src/common/logging.h"
 #include "src/common/telemetry.h"
 
 namespace openea::align {
@@ -188,24 +190,32 @@ std::vector<int> InferAlignment(const math::Matrix& sim,
   return GreedyMatch(sim);
 }
 
-std::vector<int> InferAlignment(const math::Matrix& src_emb,
-                                const math::Matrix& tgt_emb,
-                                DistanceMetric metric,
+std::vector<int> InferAlignment(const CandidateSource& source,
+                                const math::Matrix& queries,
                                 InferenceStrategy strategy, int csls_k) {
   telemetry::ScopedSpan span("infer_alignment");
   telemetry::IncrCounter("align/inference_calls");
   switch (strategy) {
     case InferenceStrategy::kGreedy:
-      return StreamingGreedyMatch(src_emb, tgt_emb, metric, /*csls=*/false);
-    case InferenceStrategy::kGreedyCsls:
-      return StreamingGreedyMatch(src_emb, tgt_emb, metric, /*csls=*/true,
-                                  csls_k);
+    case InferenceStrategy::kGreedyCsls: {
+      const bool want_csls = strategy == InferenceStrategy::kGreedyCsls;
+      OPENEA_CHECK_EQ(source.csls(), want_csls)
+          << "InferAlignment(" << InferenceStrategyName(strategy)
+          << ") needs a source with csls=" << want_csls
+          << "; the ranking function lives in the CandidateSource config";
+      const TopKResult top1 = source.TopK(queries, 1);
+      std::vector<int> match(queries.rows(), -1);
+      for (size_t i = 0; i < queries.rows(); ++i) match[i] = top1.BestIndex(i);
+      return match;
+    }
     default:
       break;
   }
   // Stable marriage needs full preference lists and Kuhn-Munkres the full
-  // cost structure; both keep the dense reference path.
-  math::Matrix sim = SimilarityMatrix(src_emb, tgt_emb, metric);
+  // cost structure; both materialize the dense similarity matrix against
+  // the source's indexed targets — exact regardless of the source kind.
+  math::Matrix sim = SimilarityMatrix(queries, source.targets(),
+                                      source.metric());
   switch (strategy) {
     case InferenceStrategy::kStableMarriage:
       return StableMarriage(sim);
@@ -217,6 +227,22 @@ std::vector<int> InferAlignment(const math::Matrix& src_emb,
     default:
       return GreedyMatch(sim);
   }
+}
+
+std::vector<int> InferAlignment(const math::Matrix& src_emb,
+                                const math::Matrix& tgt_emb,
+                                DistanceMetric metric,
+                                InferenceStrategy strategy, int csls_k) {
+  // Deprecated shim: one-shot exact source. The index copy is cheap (the
+  // exact source has no build step); callers that reuse targets should
+  // hold a CandidateSource instead.
+  CandidateSourceConfig config;
+  config.metric = metric;
+  config.csls = strategy == InferenceStrategy::kGreedyCsls;
+  config.csls_k = csls_k;
+  std::unique_ptr<CandidateSource> source = CreateCandidateSourceOrDie(config);
+  OPENEA_CHECK(source->Index(tgt_emb).ok());
+  return InferAlignment(*source, src_emb, strategy, csls_k);
 }
 
 }  // namespace openea::align

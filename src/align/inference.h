@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/align/candidate_source.h"
 #include "src/align/similarity.h"
 #include "src/math/matrix.h"
 
@@ -40,11 +41,24 @@ std::vector<int> KuhnMunkres(const math::Matrix& sim);
 std::vector<int> InferAlignment(const math::Matrix& sim,
                                 InferenceStrategy strategy, int csls_k = 10);
 
+/// Candidate-source overload — the unified inference path (DESIGN.md,
+/// "Candidate generation & serving"). Greedy strategies take the source's
+/// top-1 per query, so the scanned work is whatever the source's index
+/// does (exhaustive, LSH, or IVF); the greedy CSLS variant requires a
+/// source configured with csls=true (and vice versa — the ranking function
+/// lives in the source, so a mismatch is CHECK-rejected). Stable marriage
+/// and Kuhn-Munkres need the full preference structure and materialize
+/// `SimilarityMatrix(queries, source.targets())` — exact regardless of the
+/// source kind. `source` must be Index()ed.
+std::vector<int> InferAlignment(const CandidateSource& source,
+                                const math::Matrix& queries,
+                                InferenceStrategy strategy, int csls_k = 10);
+
 /// Streaming overload: infers the alignment straight from the row
-/// embeddings. Greedy and Greedy+CSLS route through the O(N*k)-memory
-/// streaming top-k engine (src/align/topk.h) and are bit-identical to the
-/// dense path; stable marriage and Kuhn-Munkres need the full preference
-/// structure and fall back to materializing `SimilarityMatrix`.
+/// embeddings. Deprecated shim over the candidate-source overload with an
+/// exact source — bit-identical to the historical dense/streaming paths;
+/// new code should build a CandidateSource and reuse its index across
+/// calls.
 std::vector<int> InferAlignment(const math::Matrix& src_emb,
                                 const math::Matrix& tgt_emb,
                                 DistanceMetric metric,

@@ -46,29 +46,10 @@ inline float CslsAdjust(float sim, float psi_src, float psi_tgt) {
   return 2.0f * sim - psi_src - psi_tgt;
 }
 
-/// Strict total order of top-k selection: larger value wins; equal values
-/// break toward the lower column (the dense argmax/partial_sort keeps the
-/// first occurrence). A strict total order makes the selected set
-/// independent of the scan/block order.
-inline bool Better(float v, int j, const TopKEntry& than) {
-  return v > than.value || (v == than.value && j < than.index);
-}
-
-/// Sorted-descending bounded insert into ents[0..count), capacity k.
-inline void InsertEntry(TopKEntry* ents, size_t& count, size_t k, float v,
-                        int j) {
-  if (count == k) {
-    if (!Better(v, j, ents[k - 1])) return;
-    --count;
-  }
-  size_t pos = count;
-  while (pos > 0 && Better(v, j, ents[pos - 1])) {
-    ents[pos] = ents[pos - 1];
-    --pos;
-  }
-  ents[pos] = {v, j};
-  ++count;
-}
+/// Top-k selection order and bounded insert live in topk.h (detail::) so
+/// the candidate-source implementations select with exactly the same total
+/// order as this engine.
+using detail::TopKInsert;
 
 /// Sorted-ascending bounded insert of a bare value (the k-largest multiset
 /// is uniquely defined, so value-only buffers merge deterministically in
@@ -302,8 +283,8 @@ TopKResult StreamingTopK(const math::Matrix& src, const math::Matrix& tgt,
               continue;
             }
             if (options.k > 0) {
-              InsertEntry(heap.data(), count, options.k, v,
-                          static_cast<int>(j));
+              TopKInsert(heap.data(), count, options.k, v,
+                         static_cast<int>(j));
             }
             if (has_true && static_cast<int>(j) != true_col) {
               if (v > true_val) {

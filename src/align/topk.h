@@ -104,6 +104,37 @@ std::vector<int> StreamingGreedyMatch(const math::Matrix& src,
                                       DistanceMetric metric, bool csls = false,
                                       int csls_k = 10);
 
+namespace detail {
+
+/// Strict total order of top-k selection: larger value wins; equal values
+/// break toward the lower column (the dense argmax/partial_sort keeps the
+/// first occurrence). A strict total order makes the selected set
+/// independent of the scan order, which is what lets the streaming engine,
+/// the LSH bucket scan, and the IVF list probes all produce the same
+/// entries for the same candidate set.
+inline bool TopKBetter(float v, int j, const TopKEntry& than) {
+  return v > than.value || (v == than.value && j < than.index);
+}
+
+/// Sorted-descending bounded insert into ents[0..count), capacity k. Shared
+/// by every CandidateSource implementation (src/align/candidate_source.h).
+inline void TopKInsert(TopKEntry* ents, size_t& count, size_t k, float v,
+                       int j) {
+  if (count == k) {
+    if (!TopKBetter(v, j, ents[k - 1])) return;
+    --count;
+  }
+  size_t pos = count;
+  while (pos > 0 && TopKBetter(v, j, ents[pos - 1])) {
+    ents[pos] = ents[pos - 1];
+    --pos;
+  }
+  ents[pos] = {v, j};
+  ++count;
+}
+
+}  // namespace detail
+
 }  // namespace openea::align
 
 #endif  // OPENEA_ALIGN_TOPK_H_

@@ -303,6 +303,16 @@ CheckpointConfig& MutableDefaultCheckpointConfig() {
 
 }  // namespace
 
+StatusOr<AlignmentModel> LoadCvFoldModel(const std::string& path) {
+  StatusOr<CvCheckpointState> state = LoadCvCheckpoint(path);
+  if (!state.ok()) return state.status();
+  if (!state->has_first_fold) {
+    return Status::FailedPrecondition(
+        "CV checkpoint " + path + " has no completed fold 0 yet");
+  }
+  return std::move(state->first_fold_model);
+}
+
 void SetDefaultCheckpointConfig(const CheckpointConfig& config) {
   MutableDefaultCheckpointConfig() = config;
 }

@@ -149,6 +149,15 @@ CrossValidationResult RunCrossValidation(
     const TrainConfig& config, int num_folds,
     const CheckpointConfig& checkpoint_config);
 
+/// Loads the fold-0 alignment model (emb1 = source KG, emb2 = target KG
+/// embeddings) out of a CV checkpoint written under `CheckpointConfig`.
+/// This is the offline-train -> online-serve bridge: align-serve falls back
+/// to it when a --checkpoint file is not a raw TrainState, so the files a
+/// bench --checkpoint-dir leaves behind are directly servable. NotFound
+/// when the file is absent; FailedPrecondition when it exists but predates
+/// a completed fold 0 (nothing to serve yet) or is not a CV checkpoint.
+StatusOr<AlignmentModel> LoadCvFoldModel(const std::string& path);
+
 /// Process-wide default CheckpointConfig used by the overloads that do not
 /// take one explicitly. Set by the bench driver from --checkpoint-dir /
 /// --resume so checkpointing reaches every bench through the shared flag

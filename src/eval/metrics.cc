@@ -118,6 +118,78 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
   return metrics;
 }
 
+RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
+                               const kg::Alignment& test_pairs,
+                               align::CandidateSource& source,
+                               size_t candidate_k) {
+  RankingMetrics metrics;
+  if (test_pairs.empty()) return metrics;
+  OPENEA_CHECK_GT(candidate_k, 0u);
+  telemetry::ScopedSpan eval_span("eval_ranking_candidates");
+  align::TopKResult topk;
+  {
+    telemetry::ScopedSpan span("similarity");
+    auto [src, tgt] = TestEmbeddings(model, test_pairs);
+    OPENEA_CHECK(source.Index(tgt).ok());
+    topk = source.TopK(src, candidate_k);
+  }
+  telemetry::IncrCounter("eval/ranking_calls");
+  telemetry::IncrCounter("eval/test_pairs", test_pairs.size());
+
+  struct Accum {
+    double hits1 = 0, hits5 = 0, mr = 0, mrr = 0;
+    uint64_t misses = 0;
+  };
+  const double miss_rank = static_cast<double>(test_pairs.size()) + 1.0;
+  constexpr size_t kGrain = 64;
+  const Accum total = ParallelReduceOrdered(
+      0, test_pairs.size(), kGrain, Accum{},
+      [&](size_t begin, size_t end) {
+        Accum acc;
+        for (size_t i = begin; i < end; ++i) {
+          // Recover greater/tie counts from the returned (sorted) list; the
+          // true counterpart of pair i is target column i.
+          const auto row = topk.Row(i);
+          double rank = miss_rank;
+          for (size_t t = 0; t < row.size(); ++t) {
+            if (row[t].index != static_cast<int>(i)) continue;
+            size_t greater = 0, ties = 0;
+            for (const auto& e : row) {
+              if (e.index < 0 || e.index == static_cast<int>(i)) continue;
+              if (e.value > row[t].value) ++greater;
+              else if (e.value == row[t].value) ++ties;
+            }
+            rank = 1.0 + static_cast<double>(greater) +
+                   0.5 * static_cast<double>(ties);
+            break;
+          }
+          if (rank == miss_rank) ++acc.misses;
+          if (rank <= 1.0) acc.hits1 += 1;
+          if (rank <= 5.0) acc.hits5 += 1;
+          acc.mr += rank;
+          acc.mrr += 1.0 / rank;
+        }
+        return acc;
+      },
+      [](Accum acc, Accum part) {
+        acc.hits1 += part.hits1;
+        acc.hits5 += part.hits5;
+        acc.mr += part.mr;
+        acc.mrr += part.mrr;
+        acc.misses += part.misses;
+        return acc;
+      });
+  if (total.misses > 0) {
+    telemetry::IncrCounter("eval/candidate_misses", total.misses);
+  }
+  const double n = static_cast<double>(test_pairs.size());
+  metrics.hits1 = total.hits1 / n;
+  metrics.hits5 = total.hits5 / n;
+  metrics.mr = total.mr / n;
+  metrics.mrr = total.mrr / n;
+  return metrics;
+}
+
 double Hits1(const core::AlignmentModel& model, const kg::Alignment& pairs,
              align::DistanceMetric metric) {
   return EvaluateRanking(model, pairs, metric).hits1;
@@ -129,8 +201,9 @@ std::vector<bool> CorrectlyMatched(const core::AlignmentModel& model,
                                    align::InferenceStrategy strategy) {
   std::vector<bool> correct(test_pairs.size(), false);
   if (test_pairs.empty()) return correct;
-  // The streaming InferAlignment overload keeps greedy(+CSLS) at O(N*k)
-  // memory; stable marriage / Kuhn-Munkres materialize the dense matrix.
+  // Routes through the unified CandidateSource inference path (exact
+  // source): greedy(+CSLS) stays at O(N*k) memory, stable marriage /
+  // Kuhn-Munkres materialize the dense matrix.
   const auto [src, tgt] = TestEmbeddings(model, test_pairs);
   const std::vector<int> match =
       align::InferAlignment(src, tgt, metric, strategy);

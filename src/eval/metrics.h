@@ -41,6 +41,21 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
                                align::DistanceMetric metric,
                                bool csls = false);
 
+/// Candidate-limited ranking through a CandidateSource: `source` is
+/// (re)indexed over the right-side test embeddings (metric/CSLS come from
+/// its config) and each pair's true counterpart is ranked within the
+/// top-`candidate_k` list it returns — rank = 1 + #strictly-better +
+/// #ties/2 among the returned candidates. A pair whose true counterpart
+/// the source never surfaced (a recall miss, counted under
+/// `eval/candidate_misses`) pessimistically scores rank = #targets + 1.
+/// With the exact source and candidate_k >= the pair count this matches
+/// the exhaustive overload; with a sublinear source it quantifies what the
+/// recall loss costs in Hits@k/MR/MRR terms.
+RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
+                               const kg::Alignment& test_pairs,
+                               align::CandidateSource& source,
+                               size_t candidate_k);
+
 /// Convenience: validation Hits@1 (early-stopping criterion).
 double Hits1(const core::AlignmentModel& model, const kg::Alignment& pairs,
              align::DistanceMetric metric);

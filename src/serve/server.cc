@@ -1,0 +1,456 @@
+#include "src/serve/server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/common/telemetry.h"
+#include "src/core/benchmark.h"
+
+namespace openea::serve {
+namespace {
+
+// FNV-1a, same constants as core::ConfigFingerprint.
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvU64(uint64_t h, uint64_t v) { return FnvBytes(h, &v, sizeof(v)); }
+
+/// Reads newline-delimited lines off a descriptor through an internal
+/// buffer. `Next` blocks only when the caller allows it; the non-blocking
+/// mode is what lets the server detect "no more pipelined requests right
+/// now" and flush the pending micro-batch.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  enum class Result { kLine, kWouldBlock, kEof };
+
+  Result Next(std::string* line, bool block) {
+    for (;;) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line->assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        return Result::kLine;
+      }
+      if (eof_) {
+        // Final unterminated line, if any.
+        if (buffer_.empty()) return Result::kEof;
+        line->assign(std::move(buffer_));
+        buffer_.clear();
+        return Result::kLine;
+      }
+      if (!block) {
+        pollfd pfd{fd_, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 0);
+        if (rc == 0) return Result::kWouldBlock;
+        if (rc < 0 && errno != EINTR) {
+          eof_ = true;
+          continue;
+        }
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<size_t>(n));
+      } else if (n == 0) {
+        eof_ = true;
+      } else if (errno != EINTR) {
+        eof_ = true;
+      }
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+Status WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// One queued topk request awaiting the batched scan.
+struct PendingTopK {
+  json::Value id;       // Echoed verbatim (null when absent).
+  size_t k = 0;
+  size_t row_begin = 0;  // First row in the batch matrix.
+  size_t rows = 0;
+  Stopwatch watch;       // Parse -> response write.
+};
+
+json::Value ErrorResponse(const json::Value& id, const Status& status) {
+  json::Value::Object obj;
+  obj["id"] = id;
+  obj["ok"] = json::Value(false);
+  obj["error"] = json::Value(status.ToString());
+  return json::Value(std::move(obj));
+}
+
+}  // namespace
+
+Status ServeConfig::Validate() const {
+  if (checkpoint_path.empty()) {
+    return Status::InvalidArgument("checkpoint_path must be set");
+  }
+  if (default_k < 1) return Status::InvalidArgument("default_k must be >= 1");
+  if (max_batch < 1) return Status::InvalidArgument("max_batch must be >= 1");
+  if (max_rows_per_request < 1) {
+    return Status::InvalidArgument("max_rows_per_request must be >= 1");
+  }
+  return source.Validate();
+}
+
+std::string ModelFingerprint(const checkpoint::TrainState& state) {
+  uint64_t h = kFnvBasis;
+  h = FnvU64(h, state.epoch);
+  h = FnvU64(h, state.tables.size());
+  for (const auto& table : state.tables) {
+    h = FnvU64(h, table.num_rows());
+    h = FnvU64(h, table.dim());
+    const auto data = table.Data();
+    h = FnvBytes(h, data.data(), data.size() * sizeof(float));
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(hex);
+}
+
+StatusOr<ServingModel> LoadServingModel(const ServeConfig& config) {
+  checkpoint::TrainState state;
+  StatusOr<checkpoint::TrainState> loaded =
+      checkpoint::LoadTrainState(config.checkpoint_path);
+  if (loaded.ok()) {
+    state = *std::move(loaded);
+  } else {
+    // Not a raw TrainState — fall back to the CV checkpoints a bench
+    // --checkpoint-dir writes, serving their fold-0 embeddings (table 0 =
+    // source KG, table 1 = target KG, epoch reported as 0).
+    StatusOr<core::AlignmentModel> fold =
+        core::LoadCvFoldModel(config.checkpoint_path);
+    if (!fold.ok()) {
+      return Status::InvalidArgument(
+          config.checkpoint_path + " is neither a TrainState checkpoint (" +
+          loaded.status().ToString() + ") nor a CV checkpoint (" +
+          fold.status().ToString() + ")");
+    }
+    for (const math::Matrix* emb : {&fold->emb1, &fold->emb2}) {
+      const auto data = emb->Data();
+      state.tables.push_back(math::EmbeddingTable::FromParts(
+          emb->rows(), emb->cols(),
+          std::vector<float>(data.begin(), data.end()),
+          std::vector<float>(data.size(), 0.0f)));
+    }
+  }
+  if (config.table >= state.tables.size()) {
+    return Status::InvalidArgument(
+        "table " + std::to_string(config.table) +
+        " out of range: checkpoint has " +
+        std::to_string(state.tables.size()) + " tables");
+  }
+  const math::EmbeddingTable& table = state.tables[config.table];
+  ServingModel model;
+  model.epoch = state.epoch;
+  model.fingerprint = ModelFingerprint(state);
+  model.targets = math::Matrix(table.num_rows(), table.dim());
+  const auto data = table.Data();
+  std::copy(data.begin(), data.end(), model.targets.Data().begin());
+  return model;
+}
+
+AlignServer::AlignServer(ServeConfig config, ServingModel model,
+                         std::unique_ptr<align::CandidateSource> source)
+    : config_(std::move(config)),
+      model_(std::move(model)),
+      source_(std::move(source)) {}
+
+StatusOr<std::unique_ptr<AlignServer>> AlignServer::Create(
+    const ServeConfig& config) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) return valid;
+  StatusOr<ServingModel> model = LoadServingModel(config);
+  if (!model.ok()) return model.status();
+  StatusOr<std::unique_ptr<align::CandidateSource>> source =
+      align::CreateCandidateSource(config.source);
+  if (!source.ok()) return source.status();
+  const Status indexed = (*source)->Index(model->targets);
+  if (!indexed.ok()) return indexed;
+  return std::unique_ptr<AlignServer>(new AlignServer(
+      config, *std::move(model), *std::move(source)));
+}
+
+json::Value AlignServer::Hello() const {
+  json::Value::Object obj;
+  obj["event"] = json::Value("ready");
+  obj["source"] = json::Value(source_->Name());
+  obj["dim"] = json::Value(static_cast<uint64_t>(source_->dim()));
+  obj["targets"] = json::Value(static_cast<uint64_t>(source_->num_targets()));
+  obj["epoch"] = json::Value(model_.epoch);
+  obj["fingerprint"] = json::Value(model_.fingerprint);
+  return json::Value(std::move(obj));
+}
+
+StatusOr<uint64_t> AlignServer::Serve(int in_fd, int out_fd) {
+  telemetry::ScopedSpan session_span("serve_session");
+  telemetry::DefineHistogram(
+      "serve/latency_ms",
+      {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
+       1000});
+  telemetry::DefineHistogram("serve/batch_size",
+                             {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  LineReader reader(in_fd);
+  Stopwatch session_watch;
+  uint64_t answered = 0;
+
+  std::vector<PendingTopK> pending;
+  std::vector<float> batch_rows;  // Flattened query rows of `pending`.
+  const size_t dim = source_->dim();
+
+  auto respond = [&](const json::Value& value) -> Status {
+    return WriteAll(out_fd, value.Dump(/*indent=*/0) + "\n");
+  };
+
+  auto refresh_gauges = [&] {
+    const double elapsed = session_watch.ElapsedSeconds();
+    telemetry::SetGauge("serve/qps",
+                        elapsed > 0 ? static_cast<double>(answered) / elapsed
+                                    : 0.0);
+    const auto snapshot = telemetry::SnapshotMetrics();
+    const auto it = snapshot.histograms.find("serve/latency_ms");
+    if (it != snapshot.histograms.end() && it->second.count > 0) {
+      telemetry::SetGauge("serve/p50_ms", it->second.P50());
+      telemetry::SetGauge("serve/p95_ms", it->second.P95());
+      telemetry::SetGauge("serve/p99_ms", it->second.P99());
+    }
+  };
+
+  // Runs the batched scan over every queued request and writes their
+  // responses in arrival order.
+  auto flush = [&]() -> Status {
+    if (pending.empty()) return Status::OK();
+    telemetry::ScopedSpan span("serve_flush");
+    const size_t total_rows = batch_rows.size() / (dim > 0 ? dim : 1);
+    math::Matrix queries(total_rows, dim);
+    std::copy(batch_rows.begin(), batch_rows.end(), queries.Data().begin());
+    size_t max_k = 1;
+    for (const auto& req : pending) max_k = std::max(max_k, req.k);
+    const align::TopKResult topk = source_->TopK(queries, max_k);
+    telemetry::IncrCounter("serve/batches");
+    telemetry::Observe("serve/batch_size", static_cast<double>(total_rows));
+    for (const auto& req : pending) {
+      json::Value::Array ids, scores;
+      ids.reserve(req.rows);
+      scores.reserve(req.rows);
+      for (size_t r = 0; r < req.rows; ++r) {
+        const auto row = topk.Row(req.row_begin + r);
+        json::Value::Array row_ids, row_scores;
+        for (size_t t = 0; t < req.k; ++t) {
+          row_ids.push_back(json::Value(row[t].index));
+          // -inf padding is not representable in JSON; pad scores with 0
+          // (the -1 id already marks the slot as empty).
+          row_scores.push_back(json::Value(
+              row[t].index >= 0 ? static_cast<double>(row[t].value) : 0.0));
+        }
+        ids.push_back(json::Value(std::move(row_ids)));
+        scores.push_back(json::Value(std::move(row_scores)));
+      }
+      json::Value::Object obj;
+      obj["id"] = req.id;
+      obj["ok"] = json::Value(true);
+      obj["ids"] = json::Value(std::move(ids));
+      obj["scores"] = json::Value(std::move(scores));
+      const Status written = respond(json::Value(std::move(obj)));
+      if (!written.ok()) return written;
+      telemetry::Observe("serve/latency_ms", req.watch.ElapsedMillis());
+      answered += req.rows;
+    }
+    telemetry::IncrCounter("serve/queries", total_rows);
+    pending.clear();
+    batch_rows.clear();
+    return Status::OK();
+  };
+
+  // Parses one topk request into the pending batch; any error is returned
+  // to the caller for an in-order error response.
+  auto queue_topk = [&](const json::Value& request) -> Status {
+    const json::Value* rows = request.Find("rows");
+    if (rows == nullptr || !rows->is_array()) {
+      return Status::InvalidArgument("topk request needs a \"rows\" array");
+    }
+    if (rows->array().empty() ||
+        rows->array().size() > config_.max_rows_per_request) {
+      return Status::InvalidArgument(
+          "\"rows\" must hold 1.." +
+          std::to_string(config_.max_rows_per_request) + " rows");
+    }
+    const json::Value* fp = request.Find("fingerprint");
+    if (fp != nullptr &&
+        (!fp->is_string() || fp->string_value() != model_.fingerprint)) {
+      return Status::FailedPrecondition(
+          "model fingerprint mismatch: serving " + model_.fingerprint);
+    }
+    size_t k = config_.default_k;
+    if (const json::Value* kv = request.Find("k"); kv != nullptr) {
+      if (!kv->is_number() || kv->number() < 1 ||
+          kv->number() != std::floor(kv->number())) {
+        return Status::InvalidArgument("\"k\" must be a positive integer");
+      }
+      k = static_cast<size_t>(kv->number());
+    }
+    PendingTopK req;
+    if (const json::Value* id = request.Find("id")) req.id = *id;
+    req.k = k;
+    req.row_begin = batch_rows.size() / (dim > 0 ? dim : 1);
+    req.rows = rows->array().size();
+    for (const json::Value& row : rows->array()) {
+      if (!row.is_array() || row.array().size() != dim) {
+        return Status::InvalidArgument(
+            "every row must be an array of dim=" + std::to_string(dim) +
+            " numbers");
+      }
+      for (const json::Value& cell : row.array()) {
+        if (!cell.is_number()) {
+          return Status::InvalidArgument("row cells must be numbers");
+        }
+        batch_rows.push_back(static_cast<float>(cell.number()));
+      }
+    }
+    pending.push_back(std::move(req));
+    return Status::OK();
+  };
+
+  std::string line;
+  bool shutdown = false;
+  while (!shutdown) {
+    // Block only when the batch is empty; otherwise drain what is already
+    // readable and flush as soon as the client pauses.
+    const LineReader::Result got = reader.Next(&line, pending.empty());
+    if (got == LineReader::Result::kEof) break;
+    if (got == LineReader::Result::kWouldBlock) {
+      const Status flushed = flush();
+      if (!flushed.ok()) return flushed;
+      continue;
+    }
+    if (line.empty()) continue;
+    telemetry::IncrCounter("serve/requests");
+
+    json::Value request;
+    const Status parsed = json::Parse(line, &request);
+    if (!parsed.ok() || !request.is_object()) {
+      const Status flushed = flush();  // Keep responses in request order.
+      if (!flushed.ok()) return flushed;
+      telemetry::IncrCounter("serve/errors");
+      const Status written = respond(ErrorResponse(
+          json::Value(),
+          parsed.ok() ? Status::InvalidArgument("request must be an object")
+                      : parsed));
+      if (!written.ok()) return written;
+      continue;
+    }
+    const json::Value* op = request.Find("op");
+    const std::string op_name =
+        op != nullptr && op->is_string() ? op->string_value() : "";
+    const json::Value* id = request.Find("id");
+    const json::Value id_value = id != nullptr ? *id : json::Value();
+
+    if (op_name == "topk") {
+      // Queue first: a partially-queued bad request must not leak rows
+      // into the batch, so queue_topk rolls nothing back — it validates
+      // before mutating per row, and on error we truncate to the last
+      // committed request boundary.
+      const size_t rows_mark = batch_rows.size();
+      const Status queued = queue_topk(request);
+      if (!queued.ok()) {
+        batch_rows.resize(rows_mark);
+        const Status flushed = flush();
+        if (!flushed.ok()) return flushed;
+        telemetry::IncrCounter("serve/errors");
+        const Status written = respond(ErrorResponse(id_value, queued));
+        if (!written.ok()) return written;
+      } else if (pending.size() >= config_.max_batch) {
+        const Status flushed = flush();
+        if (!flushed.ok()) return flushed;
+      }
+      continue;
+    }
+
+    // Control ops barrier on the pending batch.
+    const Status flushed = flush();
+    if (!flushed.ok()) return flushed;
+    if (op_name == "ping") {
+      json::Value::Object obj;
+      obj["id"] = id_value;
+      obj["ok"] = json::Value(true);
+      obj["event"] = json::Value("pong");
+      const Status written = respond(json::Value(std::move(obj)));
+      if (!written.ok()) return written;
+    } else if (op_name == "stats") {
+      refresh_gauges();
+      json::Value::Object obj;
+      obj["id"] = id_value;
+      obj["ok"] = json::Value(true);
+      obj["queries"] = json::Value(answered);
+      const auto snapshot = telemetry::SnapshotMetrics();
+      auto gauge = [&](const char* name) {
+        const auto it = snapshot.gauges.find(name);
+        return it != snapshot.gauges.end() ? it->second : 0.0;
+      };
+      obj["qps"] = json::Value(gauge("serve/qps"));
+      obj["p50_ms"] = json::Value(gauge("serve/p50_ms"));
+      obj["p95_ms"] = json::Value(gauge("serve/p95_ms"));
+      obj["p99_ms"] = json::Value(gauge("serve/p99_ms"));
+      const Status written = respond(json::Value(std::move(obj)));
+      if (!written.ok()) return written;
+    } else if (op_name == "shutdown") {
+      json::Value::Object obj;
+      obj["id"] = id_value;
+      obj["ok"] = json::Value(true);
+      obj["event"] = json::Value("bye");
+      const Status written = respond(json::Value(std::move(obj)));
+      if (!written.ok()) return written;
+      shutdown = true;
+    } else {
+      telemetry::IncrCounter("serve/errors");
+      const Status written = respond(ErrorResponse(
+          id_value, Status::InvalidArgument(
+                        op_name.empty() ? "request needs an \"op\" string"
+                                        : "unknown op \"" + op_name + "\"")));
+      if (!written.ok()) return written;
+    }
+  }
+  const Status flushed = flush();
+  if (!flushed.ok()) return flushed;
+  refresh_gauges();
+  return answered;
+}
+
+}  // namespace openea::serve

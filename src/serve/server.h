@@ -1,0 +1,119 @@
+#ifndef OPENEA_SERVE_SERVER_H_
+#define OPENEA_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/align/candidate_source.h"
+#include "src/common/checkpoint.h"
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/math/matrix.h"
+
+namespace openea::serve {
+
+/// Online alignment serving (DESIGN.md, "Candidate generation & serving"):
+/// `align-serve` loads a trained embedding table from a training-state
+/// checkpoint, indexes it behind a CandidateSource, and answers batched
+/// top-k lookups over a newline-delimited JSON protocol (stdin/stdout or a
+/// TCP socket).
+///
+/// Wire protocol — one JSON object per line, answered in request order:
+///
+///   server hello   {"event":"ready","source":"ann_ivf","dim":D,
+///                   "targets":N,"epoch":E,"fingerprint":"<16 hex>"}
+///   topk request   {"op":"topk","id":<any>,"rows":[[f..],..],"k":K,
+///                   "fingerprint":"<optional, must match the hello>"}
+///   topk response  {"id":<echoed>,"ok":true,"ids":[[..],..],
+///                   "scores":[[..],..]}   (-1 id pads short rows)
+///   ping           {"op":"ping"}        -> {"ok":true,"event":"pong"}
+///   stats          {"op":"stats"}       -> {"ok":true,"queries":..,
+///                   "qps":..,"p50_ms":..,"p95_ms":..,"p99_ms":..}
+///   shutdown       {"op":"shutdown"}    -> {"ok":true,"event":"bye"}
+///   any error      {"id":<echoed|null>,"ok":false,"error":"<Status>"}
+///
+/// Consecutive topk requests are micro-batched: the server drains every
+/// line the descriptor can deliver without blocking (up to `max_batch`
+/// queued requests), packs all their query rows into one matrix, and runs
+/// a single CandidateSource::TopK over the ParallelFor pool — so a client
+/// that pipelines M small requests gets one M-row batched scan, not M
+/// index probes. Control ops (ping/stats/shutdown) and malformed lines act
+/// as barriers: the pending batch flushes first, keeping responses in
+/// request order.
+///
+/// Telemetry: counters `serve/requests`, `serve/queries`, `serve/batches`,
+/// `serve/errors`; histograms `serve/latency_ms` (request parse ->
+/// response write) and `serve/batch_size` (queries per flushed batch);
+/// gauges `serve/qps`, `serve/p50_ms`, `serve/p95_ms`, `serve/p99_ms`
+/// refreshed on every stats op and at session end. The whole session runs
+/// under a `serve_session` span; each flush under `serve_flush`.
+struct ServeConfig {
+  /// Checkpoint to serve from: a raw TrainState (SaveTrainState format) or,
+  /// as a fallback, a CV checkpoint written by a bench --checkpoint-dir
+  /// (its fold-0 embeddings become tables 0/1; see core::LoadCvFoldModel).
+  std::string checkpoint_path;
+  /// Which checkpoint table holds the target (indexed) embeddings. The
+  /// convention of the training loop is table 0 = source KG, 1 = target KG.
+  size_t table = 1;
+  /// Candidate index built over the table rows.
+  align::CandidateSourceConfig source;
+  /// k used by topk requests that omit "k".
+  size_t default_k = 10;
+  /// Flush threshold: at most this many queued topk requests per batch.
+  size_t max_batch = 64;
+  /// Per-request row cap — oversized requests get InvalidArgument, keeping
+  /// one client from unboundedly growing the batch matrix.
+  size_t max_rows_per_request = 4096;
+
+  Status Validate() const;
+};
+
+/// An embedding table extracted from a checkpoint, plus the identity the
+/// protocol checks: a FNV-1a fingerprint over every table's shape and
+/// value bytes (16 lowercase hex chars), so a client can pin the exact
+/// model revision it expects and a stale/foreign checkpoint is rejected
+/// with FailedPrecondition instead of silently serving wrong neighbours.
+struct ServingModel {
+  math::Matrix targets;
+  uint64_t epoch = 0;
+  std::string fingerprint;
+};
+
+/// FNV-1a fingerprint of a training state (shape + values of every table).
+std::string ModelFingerprint(const checkpoint::TrainState& state);
+
+/// Loads `config.table` out of the checkpoint at `config.checkpoint_path`.
+StatusOr<ServingModel> LoadServingModel(const ServeConfig& config);
+
+class AlignServer {
+ public:
+  /// Validates the config, loads the model, builds + indexes the candidate
+  /// source. Any failure (bad config, unreadable checkpoint, table out of
+  /// range) surfaces as the returned Status.
+  static StatusOr<std::unique_ptr<AlignServer>> Create(
+      const ServeConfig& config);
+
+  /// The "ready" hello object (first line of every session).
+  json::Value Hello() const;
+
+  /// Serves NDJSON requests from `in_fd` until EOF or a shutdown op,
+  /// writing responses to `out_fd`. Returns the number of topk query rows
+  /// answered. Not an error to serve an empty session.
+  StatusOr<uint64_t> Serve(int in_fd, int out_fd);
+
+  const ServingModel& model() const { return model_; }
+  const align::CandidateSource& source() const { return *source_; }
+
+ private:
+  AlignServer(ServeConfig config, ServingModel model,
+              std::unique_ptr<align::CandidateSource> source);
+
+  ServeConfig config_;
+  ServingModel model_;
+  std::unique_ptr<align::CandidateSource> source_;
+};
+
+}  // namespace openea::serve
+
+#endif  // OPENEA_SERVE_SERVER_H_
