@@ -25,6 +25,11 @@
 //   --fault=point:n[:kill|fail][:repeat]
 //                         arm the named fault point to fire on its n-th
 //                         hit (deterministic fault injection; repeatable)
+//   --metrics-interval=SEC  periodic telemetry flush + structured heartbeat
+//                         log line (epoch/fold/rows-per-sec/RSS) every SEC
+//                         seconds, for watching long runs live
+//   --log-format=text|json  log line format (default text; json emits one
+//                         machine-parseable object per line)
 //   --help                print usage and exit
 // Unknown flags are rejected with the usage text. Every binary prints the
 // rows of its paper table/figure, finishes with a short "shape check" note
@@ -39,6 +44,8 @@
 #include <vector>
 
 #include "src/common/fault.h"
+#include "src/common/logging.h"
+#include "src/common/metrics_export.h"
 #include "src/common/parallel.h"
 #include "src/common/strings.h"
 #include "src/common/telemetry.h"
@@ -60,6 +67,8 @@ struct BenchArgs {
   std::string trace_path;  // Empty = no Chrome trace timeline.
   std::string checkpoint_dir;  // Empty = no fold checkpoints.
   bool resume = false;
+  /// Heartbeat/flush period of the live-metrics thread; <= 0 = off.
+  double metrics_interval = 0.0;
   /// Approaches to iterate for "all approaches" benches.
   std::vector<std::string> approaches = core::ApproachNames();
 };
@@ -80,6 +89,8 @@ inline void PrintUsage(const std::string& bench_name, int default_folds,
       "  --checkpoint-dir=path  crash-safe per-fold checkpoints\n"
       "  --resume             skip folds completed by a previous run\n"
       "  --fault=point:n[:kill|fail][:repeat]  arm a fault point\n"
+      "  --metrics-interval=SEC  heartbeat log + telemetry flush every SEC\n"
+      "  --log-format=text|json  log line format (default text)\n"
       "  --help               this text\n",
       bench_name.c_str(), default_folds, default_epochs, bench_name.c_str());
 }
@@ -139,6 +150,12 @@ inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
         std::fprintf(stderr, "bad --fault: %s\n", armed.ToString().c_str());
         std::exit(2);
       }
+    } else if (StartsWith(arg, "--metrics-interval=")) {
+      args.metrics_interval = std::atof(arg.c_str() + 19);
+    } else if (arg == "--log-format=text") {
+      SetLogFormat(LogFormat::kText);
+    } else if (arg == "--log-format=json") {
+      SetLogFormat(LogFormat::kJson);
     } else if (StartsWith(arg, "--approaches=")) {
       args.approaches = Split(arg.substr(13), ',');
       const std::vector<std::string> registered =
@@ -206,6 +223,16 @@ inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
         "kernels/backend",
         static_cast<double>(math::kernels::ActiveBackend()));
   }
+  // Live observability: the background RSS sampler feeds the windowed
+  // mem/rss_mb series of every --json run; --metrics-interval additionally
+  // emits heartbeat log lines and flushes the sink periodically. A
+  // heartbeat without a JSON sink still needs the registry collecting.
+  if (args.metrics_interval > 0) telemetry::SetCollection(true);
+  if (!args.json_path.empty() || args.metrics_interval > 0) {
+    telemetry::LiveMetricsConfig live;
+    live.flush_interval_seconds = args.metrics_interval;
+    telemetry::StartLiveMetrics(live);
+  }
   return args;
 }
 
@@ -231,6 +258,9 @@ inline void BeginRun(const BenchArgs& args) {
 /// --trace file (each a no-op without its flag) and returns the process
 /// exit code. Call as the last statement of main().
 inline int Finish(const BenchArgs& args) {
+  // Join the sampler before the final flush so the JSON document carries
+  // the true sampled RSS peak and a complete mem/rss_mb window.
+  telemetry::StopLiveMetrics();
   if (!args.json_path.empty()) {
     telemetry::Flush();
     std::fprintf(stderr, "telemetry: wrote %s\n", args.json_path.c_str());

@@ -30,8 +30,8 @@ void PrintUsage(std::FILE* out) {
       "  --gauge-tolerance=R    allowed relative gauge drift (default 1e-6)\n"
       "  --min-span-ms=T        skip the wall-time gate for spans whose\n"
       "                         baseline total_ms is below T (default 50)\n"
-      "  --skip=p1,p2           key prefixes to ignore\n"
-      "                         (default telemetry/,mem/)\n"
+      "  --skip=p1,p2           key prefixes to ignore (default\n"
+      "                         telemetry/,mem/,fault/,heartbeat/)\n"
       "  --ignore-config        do not require identical config objects\n"
       "  --help                 this text\n");
 }

@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const char* key : {"counters", "gauges", "histograms", "series"}) {
+  for (const char* key :
+       {"counters", "gauges", "histograms", "series", "windows"}) {
     const Value* section = doc.Find(key);
     if (section == nullptr || !section->is_object()) {
       return Fail(path, std::string(key) + " must be an object");
@@ -94,6 +95,31 @@ int main(int argc, char** argv) {
     if (buckets != bounds + 1) {
       return Fail(path, "histogram " + name +
                             " needs bounds+1 bucket_counts (overflow)");
+    }
+  }
+
+  for (const auto& [name, window] : doc.Find("windows")->object()) {
+    for (const char* key :
+         {"count", "sum", "min", "max", "p50", "p95", "p99", "rate_per_sec",
+          "value_rate_per_sec", "window_seconds"}) {
+      const Value* v = window.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        return Fail(path, "window " + name + " needs numeric \"" + key + "\"");
+      }
+    }
+  }
+
+  // Serving runs stamp the last server-generated request id into the
+  // context; when present it must look like "r-<seq>".
+  if (const Value* last = doc.Find("last_request_id"); last != nullptr) {
+    const std::string& id =
+        last->is_string() ? last->string_value() : std::string();
+    bool valid = id.size() > 2 && id.compare(0, 2, "r-") == 0;
+    for (size_t i = 2; valid && i < id.size(); ++i) {
+      valid = id[i] >= '0' && id[i] <= '9';
+    }
+    if (!valid) {
+      return Fail(path, "last_request_id must match r-<digits>");
     }
   }
 

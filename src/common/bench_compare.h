@@ -17,18 +17,22 @@ namespace openea::bench {
 ///  * span wall times are environment noise at small scales — they gate
 ///    with a relative tolerance and an absolute floor below which a span is
 ///    too short to judge;
-///  * "telemetry/" (self-observation), "mem/" (machine-dependent RSS), and
+///  * "telemetry/" (self-observation), "mem/" (machine-dependent RSS),
 ///    "fault/" (fault-tolerance bookkeeping: retries, resumed folds,
-///    checkpoint writes) keys are skipped by default — fault counters and
-///    the "faults" degraded-fold annotations are informational and must
-///    never gate a perf comparison.
+///    checkpoint writes), and "heartbeat/" (live-progress gauges sampled at
+///    whatever instant the run flushed) keys are skipped by default — these
+///    are informational and must never gate a perf comparison. The
+///    document's "windows" section (sliding-window live metrics) is never
+///    compared at all: wall-clock-window contents are inherently
+///    run-relative.
 struct DiffOptions {
   double span_tolerance = 0.40;    // Allowed relative total_ms increase.
   double counter_tolerance = 0.0;  // Allowed relative counter drift.
   double gauge_tolerance = 1e-6;   // Allowed relative gauge drift.
   double min_span_ms = 50.0;       // Spans shorter than this aren't timed-gated.
   bool check_config = true;        // Require identical "config" objects.
-  std::vector<std::string> skip_prefixes = {"telemetry/", "mem/", "fault/"};
+  std::vector<std::string> skip_prefixes = {"telemetry/", "mem/", "fault/",
+                                            "heartbeat/"};
 };
 
 struct DiffReport {

@@ -1,11 +1,16 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "src/common/json.h"
 
 namespace openea {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_log_format{static_cast<int>(LogFormat::kText)};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -17,12 +22,41 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+const char* LevelWord(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarning: return "warning";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
 const char* Basename(const char* path) {
   const char* base = path;
   for (const char* p = path; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
   return base;
+}
+
+double UnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One line per emit even under concurrent loggers (the flusher thread and
+/// the serving loop both log): interleaved characters would break the
+/// one-JSON-object-per-line contract.
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+void EmitLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::cerr << line << std::endl;
 }
 
 }  // namespace
@@ -35,26 +69,89 @@ void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(g_log_format.load(std::memory_order_relaxed));
+}
+
+void SetLogFormat(LogFormat format) {
+  g_log_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage& LogMessage::Field(std::string_view key, std::string_view value) {
+  LogField field;
+  field.key = std::string(key);
+  field.is_string = true;
+  field.str = std::string(value);
+  fields_.push_back(std::move(field));
+  return *this;
+}
+
+LogMessage& LogMessage::Field(std::string_view key, double value) {
+  LogField field;
+  field.key = std::string(key);
+  field.num = value;
+  fields_.push_back(std::move(field));
+  return *this;
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= GetLogLevel()) {
-    std::cerr << stream_.str() << std::endl;
+  if (level_ < GetLogLevel()) return;
+  const std::string src =
+      std::string(Basename(file_)) + ":" + std::to_string(line_);
+  if (GetLogFormat() == LogFormat::kJson) {
+    json::Value::Object obj;
+    obj.emplace("ts", UnixSeconds());
+    obj.emplace("level", std::string(LevelWord(level_)));
+    obj.emplace("src", src);
+    obj.emplace("msg", stream_.str());
+    if (!fields_.empty()) {
+      json::Value::Object fields;
+      for (const LogField& field : fields_) {
+        if (field.is_string) {
+          fields[field.key] = json::Value(field.str);
+        } else {
+          fields[field.key] = json::Value(field.num);
+        }
+      }
+      obj.emplace("fields", std::move(fields));
+    }
+    EmitLine(json::Value(std::move(obj)).Dump(/*indent=*/0));
+    return;
   }
+  std::ostringstream line;
+  line << "[" << LevelName(level_) << " " << src << "] " << stream_.str();
+  for (const LogField& field : fields_) {
+    line << " " << field.key << "=";
+    if (field.is_string) {
+      line << field.str;
+    } else {
+      line << field.num;
+    }
+  }
+  EmitLine(line.str());
 }
 
-FatalLogMessage::FatalLogMessage(const char* file, int line) {
-  stream_ << "[F " << Basename(file) << ":" << line << "] ";
-}
+FatalLogMessage::FatalLogMessage(const char* file, int line)
+    : file_(file), line_(line) {}
 
 FatalLogMessage::~FatalLogMessage() {
-  std::cerr << stream_.str() << std::endl;
+  const std::string src =
+      std::string(Basename(file_)) + ":" + std::to_string(line_);
+  if (GetLogFormat() == LogFormat::kJson) {
+    json::Value::Object obj;
+    obj.emplace("ts", UnixSeconds());
+    obj.emplace("level", std::string("fatal"));
+    obj.emplace("src", src);
+    obj.emplace("msg", stream_.str());
+    EmitLine(json::Value(std::move(obj)).Dump(/*indent=*/0));
+  } else {
+    EmitLine("[F " + src + "] " + stream_.str());
+  }
   std::abort();
 }
 

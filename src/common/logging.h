@@ -1,10 +1,13 @@
 #ifndef OPENEA_COMMON_LOGGING_H_
 #define OPENEA_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace openea {
 
@@ -17,10 +20,22 @@ LogLevel GetLogLevel();
 /// Sets the process-wide minimum severity.
 void SetLogLevel(LogLevel level);
 
+/// Output shape of every log line on stderr:
+///  * kText (default): "[I file:line] message key=value ..."
+///  * kJson: one JSON object per line — {"ts": <unix seconds>, "level":
+///    "info", "src": "file:line", "msg": "...", "fields": {...}} — so
+///    server and long-run logs are machine-parseable (--log-format=json).
+enum class LogFormat { kText = 0, kJson = 1 };
+
+LogFormat GetLogFormat();
+void SetLogFormat(LogFormat format);
+
 namespace internal_logging {
 
-/// Stream-style log message that emits on destruction. Used via the LOG()
-/// macro; not part of the public API.
+/// Stream-style log message that emits on destruction. Used via the
+/// OPENEA_LOG / OPENEA_SLOG macros; not part of the public API. Structured
+/// key/value fields attach with Field() and render as "key=value" suffixes
+/// in text mode or a "fields" object in JSON mode.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -31,8 +46,41 @@ class LogMessage {
 
   std::ostringstream& stream() { return stream_; }
 
+  LogMessage& Field(std::string_view key, std::string_view value);
+  LogMessage& Field(std::string_view key, const char* value) {
+    return Field(key, std::string_view(value));
+  }
+  LogMessage& Field(std::string_view key, double value);
+  LogMessage& Field(std::string_view key, uint64_t value) {
+    return Field(key, static_cast<double>(value));
+  }
+  LogMessage& Field(std::string_view key, int64_t value) {
+    return Field(key, static_cast<double>(value));
+  }
+  LogMessage& Field(std::string_view key, int value) {
+    return Field(key, static_cast<double>(value));
+  }
+
+  /// Message text appends directly on the object, so OPENEA_SLOG chains
+  /// read naturally: OPENEA_SLOG(kInfo).Field("req", id) << "slow request".
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
  private:
+  struct LogField {
+    std::string key;
+    bool is_string = false;
+    std::string str;
+    double num = 0.0;
+  };
+
   LogLevel level_;
+  const char* file_;
+  int line_;
+  std::vector<LogField> fields_;
   std::ostringstream stream_;
 };
 
@@ -48,6 +96,8 @@ class FatalLogMessage {
   std::ostringstream& stream() { return stream_; }
 
  private:
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 
@@ -58,6 +108,12 @@ class FatalLogMessage {
   ::openea::internal_logging::LogMessage(::openea::LogLevel::level, \
                                          __FILE__, __LINE__)        \
       .stream()
+
+/// Structured variant: yields the LogMessage itself so call sites can chain
+/// .Field(key, value) before streaming the message text.
+#define OPENEA_SLOG(level)                                          \
+  ::openea::internal_logging::LogMessage(::openea::LogLevel::level, \
+                                         __FILE__, __LINE__)
 
 /// CHECK aborts with a message when `cond` is false. Used for programmer
 /// errors (precondition violations), not for recoverable failures.

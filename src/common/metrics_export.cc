@@ -1,0 +1,279 @@
+#include "src/common/metrics_export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/stopwatch.h"
+#include "src/common/trace.h"
+
+namespace openea::telemetry {
+namespace {
+
+std::string FormatValue(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+bool LegalNameByte(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// `{key="value",...}` re-rendered from parsed labels, "" when unlabeled.
+std::string RenderLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += SanitizeMetricName(key);
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Merges `{...}` label text with an extra pre-rendered label (for `le`).
+std::string MergeLabels(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+/// One base metric's samples, keyed by rendered label text so output order
+/// is deterministic.
+struct SampleGroup {
+  std::vector<std::pair<std::string, std::string>> samples;  // labels, value.
+};
+
+template <typename Map, typename Render>
+void CollectGroups(const Map& metrics, Render render,
+                   std::map<std::string, SampleGroup>* groups) {
+  for (const auto& [name, value] : metrics) {
+    const MetricName parsed = ParseMetricName(name);
+    (*groups)[SanitizeMetricName(parsed.base)].samples.emplace_back(
+        RenderLabels(parsed.labels), render(value));
+  }
+}
+
+void RenderSimpleGroups(const std::map<std::string, SampleGroup>& groups,
+                        const char* type, std::string* out) {
+  for (const auto& [base, group] : groups) {
+    *out += "# TYPE " + base + " " + type + "\n";
+    for (const auto& [labels, value] : group.samples) {
+      *out += base + labels + " " + value + "\n";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live metrics thread.
+// ---------------------------------------------------------------------------
+
+struct LiveState {
+  LiveMetricsConfig config;
+  std::thread thread;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  double sampled_peak_rss_mb = 0.0;
+  Stopwatch uptime;
+};
+
+LiveState* g_live = nullptr;
+
+void SampleRss(LiveState* state) {
+  const double rss = CurrentRssMb();
+  ObserveWindowed("mem/rss_mb", rss);
+  state->sampled_peak_rss_mb = std::max(state->sampled_peak_rss_mb, rss);
+  SetGauge("mem/sampled_peak_rss_mb", state->sampled_peak_rss_mb);
+}
+
+void EmitHeartbeat(LiveState* state) {
+  const MetricsSnapshot snap = SnapshotMetrics();
+  auto log = OPENEA_SLOG(kInfo);
+  log.Field("uptime_s", state->uptime.ElapsedSeconds())
+      .Field("rss_mb", CurrentRssMb())
+      .Field("peak_rss_mb", PeakRssMb());
+  for (const char* gauge :
+       {"heartbeat/epoch", "heartbeat/fold", "heartbeat/rows_per_sec"}) {
+    const auto it = snap.gauges.find(gauge);
+    if (it != snap.gauges.end()) {
+      log.Field(std::string_view(gauge + sizeof("heartbeat/") - 1),
+                it->second);
+    }
+  }
+  const auto rss_window = snap.windows.find("mem/rss_mb");
+  if (rss_window != snap.windows.end() &&
+      rss_window->second.histogram.count > 0) {
+    log.Field("rss_window_max", rss_window->second.histogram.max);
+  }
+  log << "heartbeat";
+}
+
+void LiveLoop(LiveState* state) {
+  trace::SetCurrentThreadName("live-metrics");
+  using Clock = std::chrono::steady_clock;
+  const bool sample = state->config.rss_sample_seconds > 0;
+  const bool flush = state->config.flush_interval_seconds > 0;
+  const auto rss_period =
+      std::chrono::duration<double>(sample ? state->config.rss_sample_seconds
+                                           : 3600.0);
+  const auto flush_period = std::chrono::duration<double>(
+      flush ? state->config.flush_interval_seconds : 3600.0);
+  auto next_rss = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     rss_period);
+  auto next_flush =
+      Clock::now() +
+      std::chrono::duration_cast<Clock::duration>(flush_period);
+  std::unique_lock<std::mutex> lock(state->mu);
+  while (!state->stop) {
+    const auto next = std::min(next_rss, next_flush);
+    state->cv.wait_until(lock, next, [&] { return state->stop; });
+    if (state->stop) break;
+    const auto now = Clock::now();
+    lock.unlock();
+    if (sample && now >= next_rss) {
+      SampleRss(state);
+      next_rss =
+          now + std::chrono::duration_cast<Clock::duration>(rss_period);
+    }
+    if (flush && now >= next_flush) {
+      EmitHeartbeat(state);
+      Flush();
+      next_flush =
+          now + std::chrono::duration_cast<Clock::duration>(flush_period);
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (LegalNameByte(c, /*first=*/out.empty())) {
+      out.push_back(c);
+    } else if (out.empty() &&
+               std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back('_');
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out.empty() ? "_" : out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+
+  std::map<std::string, SampleGroup> counters;
+  CollectGroups(
+      snapshot.counters,
+      [](uint64_t v) { return std::to_string(v); }, &counters);
+  RenderSimpleGroups(counters, "counter", &out);
+
+  std::map<std::string, SampleGroup> gauges;
+  CollectGroups(snapshot.gauges, FormatValue, &gauges);
+  RenderSimpleGroups(gauges, "gauge", &out);
+
+  for (const auto& [name, h] : snapshot.histograms) {
+    const MetricName parsed = ParseMetricName(name);
+    const std::string base = SanitizeMetricName(parsed.base);
+    const std::string labels = RenderLabels(parsed.labels);
+    out += "# TYPE " + base + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? "le=\"" + FormatValue(h.bounds[i]) + "\""
+                              : std::string("le=\"+Inf\"");
+      out += base + "_bucket" + MergeLabels(labels, le) + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += base + "_sum" + labels + " " + FormatValue(h.sum) + "\n";
+    out += base + "_count" + labels + " " + std::to_string(h.count) + "\n";
+  }
+
+  std::map<std::string, SampleGroup> window_gauges;
+  for (const auto& [name, w] : snapshot.windows) {
+    const MetricName parsed = ParseMetricName(name);
+    const std::string labels = RenderLabels(parsed.labels);
+    auto emit = [&](const char* suffix, const std::string& value) {
+      window_gauges[SanitizeMetricName(parsed.base) + suffix]
+          .samples.emplace_back(labels, value);
+    };
+    emit("_window_count", std::to_string(w.histogram.count));
+    emit("_window_rate", FormatValue(w.rate_per_sec));
+    emit("_window_value_rate", FormatValue(w.value_rate_per_sec));
+    emit("_window_p50", FormatValue(w.histogram.P50()));
+    emit("_window_p95", FormatValue(w.histogram.P95()));
+    emit("_window_p99", FormatValue(w.histogram.P99()));
+    emit("_window_min", FormatValue(w.histogram.min));
+    emit("_window_max", FormatValue(w.histogram.max));
+    emit("_window_seconds", FormatValue(w.window_seconds));
+  }
+  RenderSimpleGroups(window_gauges, "gauge", &out);
+  return out;
+}
+
+std::string HttpMetricsResponse(const MetricsSnapshot& snapshot) {
+  const std::string body = RenderPrometheus(snapshot);
+  std::string out = "HTTP/1.1 200 OK\r\n";
+  out += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void StartLiveMetrics(const LiveMetricsConfig& config) {
+  if (g_live != nullptr) return;
+  if (config.flush_interval_seconds <= 0 && config.rss_sample_seconds <= 0) {
+    return;
+  }
+  g_live = new LiveState();
+  g_live->config = config;
+  if (config.rss_sample_seconds > 0) SampleRss(g_live);
+  if (config.flush_interval_seconds > 0) EmitHeartbeat(g_live);
+  g_live->thread = std::thread(LiveLoop, g_live);
+}
+
+void StopLiveMetrics() {
+  if (g_live == nullptr) return;
+  LiveState* state = g_live;
+  g_live = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->stop = true;
+  }
+  state->cv.notify_all();
+  state->thread.join();
+  if (state->config.rss_sample_seconds > 0) SampleRss(state);
+  if (state->config.flush_interval_seconds > 0) {
+    EmitHeartbeat(state);
+    Flush();
+  }
+  delete state;
+}
+
+}  // namespace openea::telemetry

@@ -1,0 +1,65 @@
+#ifndef OPENEA_COMMON_METRICS_EXPORT_H_
+#define OPENEA_COMMON_METRICS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/telemetry.h"
+
+namespace openea::telemetry {
+
+/// Prometheus text exposition (DESIGN.md, "Live observability") over any
+/// MetricsSnapshot, plus the live-metrics machinery behind
+/// --metrics-interval: a background thread that samples process RSS,
+/// periodically flushes the attached sink, and emits structured heartbeat
+/// log lines.
+
+/// Maps a registry metric name onto the Prometheus charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: '/' and every other illegal byte become '_',
+/// and a leading digit gets a '_' prefix ("serve/latency_ms" ->
+/// "serve_latency_ms").
+std::string SanitizeMetricName(std::string_view name);
+
+/// Renders `snapshot` in the Prometheus text exposition format (v0.0.4):
+///  * counters  -> `# TYPE <base> counter` + one sample per label set;
+///  * gauges    -> `# TYPE <base> gauge` likewise;
+///  * cumulative histograms -> `<base>_bucket{le="..."}` cumulative counts
+///    with a `+Inf` bucket, plus `<base>_sum` / `<base>_count`;
+///  * windows   -> gauges `<base>_window_{count,rate,value_rate,p50,p95,
+///    p99,min,max,seconds}` carrying the sliding-window view.
+/// LabeledName-encoded keys contribute their labels to the sample; label
+/// values are escaped per the exposition rules (shared EscapeLabelValue).
+/// Series and spans are not exposed — they are bulk run artifacts, not
+/// scrapeable instants.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// A complete HTTP/1.1 response carrying RenderPrometheus output with
+/// Content-Type `text/plain; version=0.0.4` and Connection: close — what
+/// align-serve answers to `GET /metrics` on its --listen socket.
+std::string HttpMetricsResponse(const MetricsSnapshot& snapshot);
+
+/// Configuration of the live-metrics background thread.
+struct LiveMetricsConfig {
+  /// Period of sink Flush() + heartbeat log emission, in seconds.
+  /// <= 0 disables periodic flushing (the RSS sampler may still run).
+  double flush_interval_seconds = 0.0;
+  /// Period of the RSS sampler feeding the windowed `mem/rss_mb` series
+  /// and the `mem/sampled_peak_rss_mb` true-max gauge. <= 0 disables it.
+  double rss_sample_seconds = 1.0;
+};
+
+/// Starts the background thread (no-op if already running or if both
+/// periods are disabled). With flushing enabled, one heartbeat is emitted
+/// immediately so even sub-interval runs produce at least one line.
+/// Call from the main thread before the workload; not thread-safe against
+/// itself.
+void StartLiveMetrics(const LiveMetricsConfig& config);
+
+/// Stops and joins the thread, then takes one final RSS sample and — when
+/// flushing was enabled — emits a final heartbeat and Flush(). Safe to call
+/// without a prior Start.
+void StopLiveMetrics();
+
+}  // namespace openea::telemetry
+
+#endif  // OPENEA_COMMON_METRICS_EXPORT_H_

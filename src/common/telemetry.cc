@@ -1,6 +1,8 @@
 #include "src/common/telemetry.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <limits>
@@ -8,6 +10,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 #include "src/common/logging.h"
@@ -28,6 +31,25 @@ struct Histogram {
   double max = -std::numeric_limits<double>::infinity();
 };
 
+/// One time slot of a sliding window: a mini histogram stamped with the
+/// absolute slot index it currently holds. A bucket whose slot is older
+/// than the ring span is dead; recording into a recycled bucket resets it
+/// in place, so rotation never allocates.
+struct WindowBucket {
+  int64_t slot = std::numeric_limits<int64_t>::min();
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+struct Window {
+  double bucket_seconds = 1.0;
+  std::vector<double> bounds;
+  std::vector<WindowBucket> ring;
+};
+
 /// One mutex guards the whole registry. Instrumentation sites fire per job /
 /// per epoch / per eval call — never per element — so contention is not a
 /// hot-path concern, and a single lock keeps snapshots consistent.
@@ -37,10 +59,13 @@ struct Registry {
   std::map<std::string, double> gauges;
   std::map<std::string, Histogram> histograms;
   std::map<std::string, std::vector<double>> series;
+  std::map<std::string, Window> windows;
   std::map<std::string, SpanStat> spans;
   json::Value context{json::Value::Object{}};
   std::unique_ptr<TelemetrySink> sink;
   bool collect_for_testing = false;
+  bool collect_forced = false;
+  double (*window_clock)() = nullptr;  // nullptr = steady_clock seconds.
 };
 
 Registry& GetRegistry() {
@@ -64,9 +89,44 @@ Histogram& HistogramLocked(Registry& reg, std::string_view name) {
   return it->second;
 }
 
+size_t BucketIndex(const std::vector<double>& bounds, double value) {
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) return i;
+  }
+  return bounds.size();
+}
+
+void ObserveLocked(Registry& reg, std::string_view name, double value) {
+  Histogram& h = HistogramLocked(reg, name);
+  ++h.counts[BucketIndex(h.bounds, value)];
+  ++h.count;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+}
+
+double WindowNowSeconds(const Registry& reg) {
+  if (reg.window_clock != nullptr) return reg.window_clock();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Window& WindowLocked(Registry& reg, std::string_view name) {
+  auto it = reg.windows.find(std::string(name));
+  if (it == reg.windows.end()) {
+    Window w;
+    w.bounds = DefaultBounds();
+    w.ring.resize(WindowOptions().num_buckets);
+    it = reg.windows.emplace(std::string(name), std::move(w)).first;
+  }
+  return it->second;
+}
+
 void RefreshEnabled(Registry& reg) {
-  EnabledFlag().store(reg.sink != nullptr || reg.collect_for_testing,
-                      std::memory_order_relaxed);
+  EnabledFlag().store(
+      reg.sink != nullptr || reg.collect_for_testing || reg.collect_forced,
+      std::memory_order_relaxed);
 }
 
 /// Per-thread span nesting. Pool workers get their own empty stack, so their
@@ -123,11 +183,101 @@ double PeakRssMb() {
 #endif
 }
 
-void IncrCounter(std::string_view name, uint64_t delta) {
-  if (!Enabled()) return;
+double CurrentRssMb() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long total_pages = 0, resident_pages = 0;
+    const int matched =
+        std::fscanf(f, "%ld %ld", &total_pages, &resident_pages);
+    std::fclose(f);
+    if (matched == 2) {
+      const long page = sysconf(_SC_PAGESIZE);
+      return static_cast<double>(resident_pages) *
+             static_cast<double>(page > 0 ? page : 4096) / (1024.0 * 1024.0);
+    }
+  }
+#endif
+  return PeakRssMb();
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  if (labels.size() == 0) return out;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(key);
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+MetricName ParseMetricName(std::string_view name) {
+  MetricName parsed;
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    parsed.base = std::string(name);
+    return parsed;
+  }
+  parsed.base = std::string(name.substr(0, brace));
+  size_t i = brace + 1;
+  const size_t end = name.size() - 1;  // Index of the closing '}'.
+  while (i < end) {
+    const size_t eq = name.find('=', i);
+    if (eq == std::string_view::npos || eq + 1 >= end || name[eq + 1] != '"') {
+      // Malformed label list: fall back to treating the key as opaque.
+      return MetricName{std::string(name), {}};
+    }
+    std::string key(name.substr(i, eq - i));
+    std::string value;
+    size_t j = eq + 2;
+    for (; j < end; ++j) {
+      if (name[j] == '\\' && j + 1 < end) {
+        ++j;
+        value.push_back(name[j] == 'n' ? '\n' : name[j]);
+      } else if (name[j] == '"') {
+        break;
+      } else {
+        value.push_back(name[j]);
+      }
+    }
+    if (j >= end || name[j] != '"') {
+      return MetricName{std::string(name), {}};
+    }
+    parsed.labels.emplace_back(std::move(key), std::move(value));
+    i = j + 1;
+    if (i < end && name[i] == ',') ++i;
+  }
+  return parsed;
+}
+
+uint64_t IncrCounter(std::string_view name, uint64_t delta) {
+  if (!Enabled()) return 0;
   Registry& reg = GetRegistry();
   std::lock_guard<std::mutex> lock(reg.mu);
-  reg.counters[std::string(name)] += delta;
+  return reg.counters[std::string(name)] += delta;
 }
 
 void SetGauge(std::string_view name, double value) {
@@ -152,19 +302,56 @@ void Observe(std::string_view name, double value) {
   if (!Enabled()) return;
   Registry& reg = GetRegistry();
   std::lock_guard<std::mutex> lock(reg.mu);
-  Histogram& h = HistogramLocked(reg, name);
-  size_t bucket = h.bounds.size();
-  for (size_t i = 0; i < h.bounds.size(); ++i) {
-    if (value <= h.bounds[i]) {
-      bucket = i;
-      break;
-    }
+  ObserveLocked(reg, name, value);
+}
+
+void DefineWindow(std::string_view name, WindowOptions options) {
+  if (!Enabled()) return;
+  Window w;
+  w.bucket_seconds = options.bucket_seconds > 0 ? options.bucket_seconds : 1.0;
+  if (options.bounds.empty()) {
+    w.bounds = DefaultBounds();
+  } else {
+    std::sort(options.bounds.begin(), options.bounds.end());
+    w.bounds = std::move(options.bounds);
   }
-  ++h.counts[bucket];
-  ++h.count;
-  h.sum += value;
-  h.min = std::min(h.min, value);
-  h.max = std::max(h.max, value);
+  w.ring.resize(std::max<size_t>(options.num_buckets, 1));
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.windows[std::string(name)] = std::move(w);
+}
+
+void ObserveWindowed(std::string_view name, double value) {
+  if (!Enabled()) return;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ObserveLocked(reg, name, value);
+  Window& w = WindowLocked(reg, name);
+  const int64_t slot = static_cast<int64_t>(
+      std::floor(WindowNowSeconds(reg) / w.bucket_seconds));
+  WindowBucket& bucket =
+      w.ring[static_cast<size_t>(slot % static_cast<int64_t>(w.ring.size()) +
+                                 static_cast<int64_t>(w.ring.size())) %
+             w.ring.size()];
+  if (bucket.slot != slot) {
+    bucket.slot = slot;
+    bucket.counts.assign(w.bounds.size() + 1, 0);
+    bucket.count = 0;
+    bucket.sum = 0.0;
+    bucket.min = std::numeric_limits<double>::infinity();
+    bucket.max = -std::numeric_limits<double>::infinity();
+  }
+  ++bucket.counts[BucketIndex(w.bounds, value)];
+  ++bucket.count;
+  bucket.sum += value;
+  bucket.min = std::min(bucket.min, value);
+  bucket.max = std::max(bucket.max, value);
+}
+
+void SetWindowClockForTesting(double (*clock_seconds)()) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.window_clock = clock_seconds;
 }
 
 void AppendSeries(std::string_view name, double value) {
@@ -195,6 +382,45 @@ MetricsSnapshot SnapshotMetrics() {
     hs.min = h.count > 0 ? h.min : 0.0;
     hs.max = h.count > 0 ? h.max : 0.0;
     snap.histograms.emplace(name, std::move(hs));
+  }
+  for (const auto& [name, w] : reg.windows) {
+    const int64_t now_slot = static_cast<int64_t>(
+        std::floor(WindowNowSeconds(reg) / w.bucket_seconds));
+    const int64_t oldest_live =
+        now_slot - static_cast<int64_t>(w.ring.size()) + 1;
+    WindowSnapshot ws;
+    HistogramSnapshot& hs = ws.histogram;
+    hs.bounds = w.bounds;
+    hs.counts.assign(w.bounds.size() + 1, 0);
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    int64_t earliest = now_slot + 1;
+    for (const WindowBucket& bucket : w.ring) {
+      if (bucket.slot < oldest_live || bucket.slot > now_slot) continue;
+      if (bucket.counts.size() != hs.counts.size()) continue;
+      for (size_t i = 0; i < hs.counts.size(); ++i) {
+        hs.counts[i] += bucket.counts[i];
+      }
+      hs.count += bucket.count;
+      hs.sum += bucket.sum;
+      min = std::min(min, bucket.min);
+      max = std::max(max, bucket.max);
+      earliest = std::min(earliest, bucket.slot);
+    }
+    hs.min = hs.count > 0 ? min : 0.0;
+    hs.max = hs.count > 0 ? max : 0.0;
+    // Rates divide by the span actually covered (first live bucket through
+    // now), so a 3-second-old process reports its true per-second rate
+    // instead of one diluted by the empty remainder of the ring.
+    ws.window_seconds =
+        hs.count > 0
+            ? static_cast<double>(now_slot - earliest + 1) * w.bucket_seconds
+            : 0.0;
+    if (ws.window_seconds > 0.0) {
+      ws.rate_per_sec = static_cast<double>(hs.count) / ws.window_seconds;
+      ws.value_rate_per_sec = hs.sum / ws.window_seconds;
+    }
+    snap.windows.emplace(name, std::move(ws));
   }
   return snap;
 }
@@ -283,6 +509,19 @@ void ConsoleSink::Export(const json::Value& context,
     if (!values.empty()) os << ", last=" << values.back();
     os << "\n";
   }
+  if (!metrics.windows.empty()) {
+    TablePrinter table({"window", "count", "rate/s", "p50", "p95", "p99",
+                        "span_s"});
+    for (const auto& [name, w] : metrics.windows) {
+      table.AddRow({name, std::to_string(w.histogram.count),
+                    FormatCompact(w.rate_per_sec),
+                    FormatCompact(w.histogram.P50()),
+                    FormatCompact(w.histogram.P95()),
+                    FormatCompact(w.histogram.P99()),
+                    FormatCompact(w.window_seconds)});
+    }
+    table.Print(os);
+  }
   for (const auto& span : spans) {
     os << "span " << span.path << ": count=" << span.count
        << " total_ms=" << span.total_ms << " mean_ms="
@@ -337,6 +576,23 @@ json::Value BuildExportDocument(const json::Value& context,
                    json::Value::Array(values.begin(), values.end()));
   }
   doc.emplace("series", std::move(series));
+
+  json::Value::Object windows;
+  for (const auto& [name, w] : metrics.windows) {
+    json::Value::Object entry;
+    entry.emplace("count", w.histogram.count);
+    entry.emplace("sum", w.histogram.sum);
+    entry.emplace("min", w.histogram.min);
+    entry.emplace("max", w.histogram.max);
+    entry.emplace("p50", w.histogram.P50());
+    entry.emplace("p95", w.histogram.P95());
+    entry.emplace("p99", w.histogram.P99());
+    entry.emplace("rate_per_sec", w.rate_per_sec);
+    entry.emplace("value_rate_per_sec", w.value_rate_per_sec);
+    entry.emplace("window_seconds", w.window_seconds);
+    windows.emplace(name, std::move(entry));
+  }
+  doc.emplace("windows", std::move(windows));
 
   json::Value::Array span_array;
   for (const auto& span : spans) {
@@ -416,6 +672,13 @@ void Flush() {
   if (sink != nullptr) sink->Export(context, metrics, spans);
 }
 
+void SetCollection(bool enabled) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.collect_forced = enabled;
+  RefreshEnabled(reg);
+}
+
 void SetCollectForTesting(bool enabled) {
   Registry& reg = GetRegistry();
   std::lock_guard<std::mutex> lock(reg.mu);
@@ -430,6 +693,7 @@ void ResetForTesting() {
   reg.gauges.clear();
   reg.histograms.clear();
   reg.series.clear();
+  reg.windows.clear();
   reg.spans.clear();
   reg.context = json::Value(json::Value::Object{});
 }

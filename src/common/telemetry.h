@@ -4,10 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/json.h"
@@ -17,7 +19,10 @@ namespace openea::telemetry {
 /// Process-wide observability layer (DESIGN.md, "Observability"):
 ///
 ///  * A metrics registry of named counters, gauges, fixed-bucket histograms,
-///    and bounded append-only series (per-epoch losses etc.).
+///    and bounded append-only series (per-epoch losses etc.). Names may
+///    carry `{key="value"}` labels (LabeledName) and any metric may also
+///    aggregate over a sliding time window (ObserveWindowed) for live
+///    windowed quantiles and per-second rates.
 ///  * RAII trace spans with nesting: each thread keeps its own span stack,
 ///    and a span's wall time is aggregated under its slash-joined path
 ///    (e.g. "cross_validation/fold/train/train_epoch").
@@ -63,15 +68,58 @@ struct HistogramSnapshot {
   double P99() const { return Quantile(0.99); }
 };
 
+/// One sliding-window aggregate (see ObserveWindowed): the merge of every
+/// live time bucket at snapshot time. `histogram` carries the merged value
+/// distribution (same quantile math as the cumulative histograms);
+/// `window_seconds` is the span actually covered by live buckets, so rates
+/// ramp up correctly during the first seconds of a run instead of being
+/// diluted by the empty remainder of the ring.
+struct WindowSnapshot {
+  HistogramSnapshot histogram;
+  double window_seconds = 0.0;
+  double rate_per_sec = 0.0;        // Observations per second.
+  double value_rate_per_sec = 0.0;  // Sum of observed values per second.
+};
+
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
   std::map<std::string, std::vector<double>> series;
+  std::map<std::string, WindowSnapshot> windows;
 };
 
-/// Adds `delta` to the named counter (created at zero on first use).
-void IncrCounter(std::string_view name, uint64_t delta = 1);
+// ---------------------------------------------------------------------------
+// Labeled metric names.
+// ---------------------------------------------------------------------------
+
+/// The registry stays string-keyed; labeled series are encoded into the key
+/// in the canonical Prometheus form `base{key="value",...}` with the label
+/// values escaped by EscapeLabelValue. Series that differ only in label
+/// values are distinct registry entries, and the Prometheus exporter
+/// (src/common/metrics_export.h) parses the encoding back so every labeled
+/// series of one base shares a single # TYPE declaration.
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// Prometheus label-value escaping: backslash -> \\, double quote -> \",
+/// newline -> \n. Exposed so the exporter and tests share one definition.
+std::string EscapeLabelValue(std::string_view value);
+
+/// A metric key split back into base name and (unescaped) label pairs. A
+/// key without the `{...}` suffix — or with one that does not parse — comes
+/// back as a bare base with no labels.
+struct MetricName {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+MetricName ParseMetricName(std::string_view name);
+
+/// Adds `delta` to the named counter (created at zero on first use) and
+/// returns the counter's new value (0 when collection is off).
+uint64_t IncrCounter(std::string_view name, uint64_t delta = 1);
 
 /// Sets the named gauge to `value` (last write wins).
 void SetGauge(std::string_view name, double value);
@@ -87,6 +135,36 @@ void Observe(std::string_view name, double value);
 /// Appends `value` to the named series. Series are capped at 65536 points;
 /// appends beyond the cap are counted in "telemetry/series_dropped".
 void AppendSeries(std::string_view name, double value);
+
+// ---------------------------------------------------------------------------
+// Sliding-window aggregation.
+// ---------------------------------------------------------------------------
+
+/// Shape of one sliding window: a ring of `num_buckets` time buckets, each
+/// `bucket_seconds` wide, each holding a mini value-histogram over `bounds`
+/// (empty = the default decade buckets). The window therefore covers the
+/// trailing `bucket_seconds * num_buckets` seconds; buckets older than that
+/// are recycled in place, so recording stays O(1) and allocation-free after
+/// the first observation.
+struct WindowOptions {
+  double bucket_seconds = 1.0;
+  size_t num_buckets = 60;
+  std::vector<double> bounds;
+};
+
+/// Pre-declares a window's shape. Optional — an undeclared window gets the
+/// defaults above. Redefining an existing window resets its contents.
+void DefineWindow(std::string_view name, WindowOptions options);
+
+/// Records `value` into the named window AND the cumulative histogram of
+/// the same name, so windowed series always carry their all-time aggregate
+/// alongside the trailing view.
+void ObserveWindowed(std::string_view name, double value);
+
+/// Overrides the clock (seconds, monotonic) used to place window
+/// observations into time buckets. nullptr restores the steady_clock
+/// default. Lets tests drive bucket rotation and expiry deterministically.
+void SetWindowClockForTesting(double (*clock_seconds)());
 
 MetricsSnapshot SnapshotMetrics();
 
@@ -138,6 +216,10 @@ std::string CurrentSpanLeaf();
 /// unsupported). Cheap enough to sample at phase boundaries.
 double PeakRssMb();
 
+/// Current resident set size in MiB (/proc/self/statm on Linux; falls back
+/// to PeakRssMb elsewhere). Cheap enough for a 1 Hz background sampler.
+double CurrentRssMb();
+
 // ---------------------------------------------------------------------------
 // Sinks.
 // ---------------------------------------------------------------------------
@@ -181,7 +263,7 @@ class JsonSink : public TelemetrySink {
 
 /// Assembles the export document shared by every sink:
 /// {"schema_version": 1, <context keys>, "counters": {..}, "gauges": {..},
-///  "histograms": {..}, "series": {..}, "spans": [..]}.
+///  "histograms": {..}, "series": {..}, "windows": {..}, "spans": [..]}.
 json::Value BuildExportDocument(const json::Value& context,
                                 const MetricsSnapshot& metrics,
                                 const std::vector<SpanStat>& spans);
@@ -207,11 +289,16 @@ void AppendContextEntry(const std::string& key, json::Value entry);
 /// Exports the current snapshot to the attached sink (no-op without one).
 void Flush();
 
+/// Forces collection on (or back to sink-driven) independent of a sink.
+/// align-serve keeps collection always on so the stats/metrics ops and the
+/// GET /metrics endpoint report real numbers even without --json.
+void SetCollection(bool enabled);
+
 /// Enables or disables collection without a sink (tests, ad-hoc probes).
 void SetCollectForTesting(bool enabled);
 
-/// Clears every counter, gauge, histogram, series, span aggregate, and the
-/// run context. Does not touch the sink or the enabled state.
+/// Clears every counter, gauge, histogram, series, window, span aggregate,
+/// and the run context. Does not touch the sink or the enabled state.
 void ResetForTesting();
 
 }  // namespace openea::telemetry

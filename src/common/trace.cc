@@ -43,6 +43,10 @@ std::atomic<int64_t>& EpochNs() {
 
 thread_local ThreadBuffer* t_buffer = nullptr;
 
+/// Per-thread causality context copied into every emitted event. A fixed
+/// buffer (not std::string) so reading it in Emit never allocates.
+thread_local char t_context[TraceEvent::kMaxContextLength + 1] = {0};
+
 double NowUs() {
   const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now().time_since_epoch())
@@ -88,6 +92,11 @@ void Emit(EventKind kind, std::string_view name, double value) {
   const size_t n = std::min(name.size(), TraceEvent::kMaxNameLength);
   std::memcpy(slot.name, name.data(), n);
   slot.name[n] = '\0';
+  if (kind == EventKind::kEnd) {
+    slot.ctx[0] = '\0';  // E events inherit their B's args in Chrome.
+  } else {
+    std::memcpy(slot.ctx, t_context, sizeof(t_context));
+  }
   buffer->head.store(head + 1, std::memory_order_release);
 }
 
@@ -188,6 +197,10 @@ json::Value BuildChromeTraceDocument(const std::vector<TraceEvent>& events,
     entry.emplace("pid", 1);
     entry.emplace("tid", static_cast<int64_t>(e.tid));
     entry.emplace("ts", e.ts_us);
+    json::Value::Object args;
+    if (!e.ctx_view().empty()) {
+      args.emplace("ctx", std::string(e.ctx_view()));
+    }
     switch (e.kind) {
       case EventKind::kBegin:
         entry.emplace("name", std::string(e.name_view()));
@@ -201,15 +214,13 @@ json::Value BuildChromeTraceDocument(const std::vector<TraceEvent>& events,
         entry.emplace("ph", "i");
         entry.emplace("s", "t");
         break;
-      case EventKind::kCounter: {
+      case EventKind::kCounter:
         entry.emplace("name", std::string(e.name_view()));
         entry.emplace("ph", "C");
-        json::Value::Object args;
         args.emplace("value", e.value);
-        entry.emplace("args", std::move(args));
         break;
-      }
     }
+    if (!args.empty()) entry.emplace("args", std::move(args));
     trace_events.emplace_back(std::move(entry));
   }
   json::Value::Object doc;
@@ -261,5 +272,13 @@ void SetCurrentThreadName(std::string_view name) {
   std::lock_guard<std::mutex> lock(reg.mu);
   buffer->thread_name.assign(name);
 }
+
+void SetThreadContext(std::string_view ctx) {
+  const size_t n = std::min(ctx.size(), TraceEvent::kMaxContextLength);
+  std::memcpy(t_context, ctx.data(), n);
+  t_context[n] = '\0';
+}
+
+std::string_view ThreadContext() { return std::string_view(t_context); }
 
 }  // namespace openea::trace

@@ -1,6 +1,7 @@
 #ifndef OPENEA_COMMON_TRACE_H_
 #define OPENEA_COMMON_TRACE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
@@ -49,26 +50,30 @@ struct TraceConfig {
   /// Chrome trace JSON output path. Empty keeps events in memory only
   /// (tests snapshot them via DrainEvents).
   std::string path;
-  /// Ring capacity per thread, in events (~72 bytes each). When a thread
+  /// Ring capacity per thread, in events (~96 bytes each). When a thread
   /// emits more, the oldest events are overwritten and counted as dropped.
   size_t events_per_thread = 1 << 16;
 };
 
 enum class EventKind : uint8_t { kBegin, kEnd, kInstant, kCounter };
 
-/// One recorded event. `name` is truncated to kMaxNameLength bytes so a
-/// slot write never allocates; kEnd events carry an empty name (Chrome
-/// matches B/E by per-thread nesting).
+/// One recorded event. `name` is truncated to kMaxNameLength bytes and
+/// `ctx` (the emitting thread's causality context, see SetThreadContext) to
+/// kMaxContextLength bytes so a slot write never allocates; kEnd events
+/// carry an empty name (Chrome matches B/E by per-thread nesting).
 struct TraceEvent {
   static constexpr size_t kMaxNameLength = 47;
+  static constexpr size_t kMaxContextLength = 23;
 
   double ts_us = 0.0;  // Microseconds since the Start() epoch.
   double value = 0.0;  // Counter events only.
   uint32_t tid = 0;    // Stable per-thread id (registration order).
   EventKind kind = EventKind::kInstant;
   char name[kMaxNameLength + 1] = {0};
+  char ctx[kMaxContextLength + 1] = {0};
 
   std::string_view name_view() const { return std::string_view(name); }
+  std::string_view ctx_view() const { return std::string_view(ctx); }
 };
 
 /// Starts a tracing session: (re)arms every registered ring at
@@ -133,6 +138,42 @@ class ScopedEvent {
 /// Registers the thread immediately — independent of Enabled() — so names
 /// set at thread start survive into sessions started later.
 void SetCurrentThreadName(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Causality context.
+// ---------------------------------------------------------------------------
+
+/// Sets the calling thread's causality context — e.g. "req:r-17" per served
+/// request or "fold:2" per CV fold. Every Begin/Instant/Counter event the
+/// thread emits while a context is set carries it, and the Chrome export
+/// renders it as args.ctx so a timeline can be filtered per request/fold.
+/// Truncated to TraceEvent::kMaxContextLength bytes; empty clears. The
+/// context is thread-local: pool workers forked inside a context do not
+/// inherit it.
+void SetThreadContext(std::string_view ctx);
+
+/// The calling thread's current causality context ("" when none).
+std::string_view ThreadContext();
+
+/// RAII context scope: sets on entry, restores the previous context (which
+/// may be another scope's) on exit.
+class ScopedThreadContext {
+ public:
+  explicit ScopedThreadContext(std::string_view ctx) {
+    const std::string_view prev = ThreadContext();
+    const size_t n = std::min(prev.size(), TraceEvent::kMaxContextLength);
+    std::memcpy(prev_, prev.data(), n);
+    prev_[n] = '\0';
+    SetThreadContext(ctx);
+  }
+  ~ScopedThreadContext() { SetThreadContext(std::string_view(prev_)); }
+
+  ScopedThreadContext(const ScopedThreadContext&) = delete;
+  ScopedThreadContext& operator=(const ScopedThreadContext&) = delete;
+
+ private:
+  char prev_[TraceEvent::kMaxContextLength + 1] = {0};
+};
 
 }  // namespace openea::trace
 

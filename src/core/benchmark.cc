@@ -431,6 +431,10 @@ CrossValidationResult RunCrossValidation(
     }
 
     telemetry::ScopedSpan fold_span("fold");
+    // Fold id threads into every trace event of the fold (args.ctx) and
+    // into the heartbeat gauge the live-metrics thread reports.
+    trace::ScopedThreadContext fold_ctx("fold:" + std::to_string(f));
+    telemetry::SetGauge("heartbeat/fold", static_cast<double>(f));
     trace::Instant("fold_begin");
     trace::Counter("cv/fold_index", f);
     const AlignmentTask task = MakeTask(dataset.pair, folds[f]);

@@ -28,15 +28,20 @@ void RecordEpoch(const char* kind, float loss, size_t positives,
   if (!telem && !tracing) return;
   const std::string prefix = std::string("train/") + kind;
   if (telem) {
-    telemetry::IncrCounter(prefix + "_epochs");
+    const uint64_t epochs = telemetry::IncrCounter(prefix + "_epochs");
     telemetry::IncrCounter("train/positives", positives);
     telemetry::AppendSeries(prefix + "_loss", loss);
     telemetry::Observe(prefix + "_epoch_ms", seconds * 1e3);
     if (seconds > 0.0) {
       telemetry::Observe(prefix + "_positives_per_sec",
                          static_cast<double>(positives) / seconds);
+      telemetry::SetGauge("heartbeat/rows_per_sec",
+                          static_cast<double>(positives) / seconds);
     }
     telemetry::SetGauge(prefix + "_last_loss", loss);
+    // Progress gauges read by the live-metrics heartbeat (metrics_export):
+    // cumulative epochs across every trained kind and fold.
+    telemetry::SetGauge("heartbeat/epoch", static_cast<double>(epochs));
   }
   if (tracing) {
     trace::Instant(prefix + "_epoch_done");

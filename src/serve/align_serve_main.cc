@@ -1,18 +1,25 @@
 // align-serve: online alignment lookup server over a trained checkpoint.
 // See src/serve/server.h for the wire protocol and README.md for a session
-// example. Default transport is stdin/stdout; --listen=PORT serves one TCP
-// connection on 127.0.0.1 instead (the driver pattern of the serve tests).
+// example. Default transport is stdin/stdout; --listen=PORT accepts TCP
+// connections on 127.0.0.1 sequentially until a shutdown op. Connections
+// whose first bytes look like an HTTP request line are answered as
+// `GET /metrics` scrapes (Prometheus text exposition) instead of NDJSON.
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "src/common/logging.h"
+#include "src/common/metrics_export.h"
 #include "src/common/parallel.h"
 #include "src/common/strings.h"
 #include "src/common/telemetry.h"
@@ -43,8 +50,14 @@ void PrintUsage(std::FILE* out) {
       "  --batch=N            micro-batch flush threshold (default 64)\n"
       "  --threads=N          worker threads (default 1; 0 = all "
       "hardware)\n"
-      "  --listen=PORT        serve one TCP connection on 127.0.0.1:PORT\n"
-      "                       instead of stdin/stdout\n"
+      "  --listen=PORT        accept TCP connections on 127.0.0.1:PORT\n"
+      "                       (sequentially, until a shutdown op) instead of\n"
+      "                       stdin/stdout; HTTP connections get GET /metrics\n"
+      "  --slow-ms=N          log requests slower than N ms (default 100;\n"
+      "                       0 disables)\n"
+      "  --metrics-interval=SEC  periodic telemetry flush + heartbeat log\n"
+      "                       every SEC seconds (default off)\n"
+      "  --log-format=text|json  log line format (default text)\n"
       "  --json=path          write BENCH_align_serve.json telemetry on "
       "exit\n"
       "  --trace=path         write a Chrome trace-event timeline on exit\n"
@@ -57,6 +70,7 @@ int Run(int argc, char** argv) {
   int threads = Threads();
   int listen_port = -1;
   std::string json_path, trace_path;
+  double metrics_interval = 0.0;
   uint64_t seed = 7;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +115,14 @@ int Run(int argc, char** argv) {
       threads = std::atoi(arg.c_str() + 10);
     } else if (StartsWith(arg, "--listen=")) {
       listen_port = std::atoi(arg.c_str() + 9);
+    } else if (StartsWith(arg, "--slow-ms=")) {
+      config.slow_request_ms = std::atof(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--metrics-interval=")) {
+      metrics_interval = std::atof(arg.c_str() + 19);
+    } else if (arg == "--log-format=text") {
+      SetLogFormat(LogFormat::kText);
+    } else if (arg == "--log-format=json") {
+      SetLogFormat(LogFormat::kJson);
     } else if (StartsWith(arg, "--json=")) {
       json_path = arg.substr(7);
     } else if (StartsWith(arg, "--trace=")) {
@@ -119,6 +141,9 @@ int Run(int argc, char** argv) {
   config.source.seed = seed;
   SetThreads(threads);
   threads = Threads();
+  // A client dropping its connection mid-response must surface as a write
+  // error in the session, not kill the whole accept loop.
+  std::signal(SIGPIPE, SIG_IGN);
 
   if (!trace_path.empty()) {
     trace::TraceConfig trace_config;
@@ -144,6 +169,12 @@ int Run(int argc, char** argv) {
     context.emplace("config", std::move(run_config));
     telemetry::SetContext(json::Value(std::move(context)));
   }
+  // A server's metrics must exist whether or not a JSON sink is attached:
+  // the stats/metrics ops and GET /metrics read the live registry.
+  telemetry::SetCollection(true);
+  telemetry::LiveMetricsConfig live;
+  live.flush_interval_seconds = metrics_interval;
+  telemetry::StartLiveMetrics(live);
 
   StatusOr<std::unique_ptr<AlignServer>> server = AlignServer::Create(config);
   if (!server.ok()) {
@@ -152,11 +183,24 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  int in_fd = STDIN_FILENO;
-  int out_fd = STDOUT_FILENO;
-  int listen_fd = -1, conn_fd = -1;
-  if (listen_port >= 0) {
-    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const std::string hello = (*server)->Hello().Dump(/*indent=*/0) + "\n";
+  uint64_t answered = 0;
+  if (listen_port < 0) {
+    // stdin/stdout transport: one session, EOF or shutdown ends it.
+    if (::write(STDOUT_FILENO, hello.data(), hello.size()) < 0) {
+      std::fprintf(stderr, "align-serve: hello write failed\n");
+      return 1;
+    }
+    StatusOr<AlignServer::SessionStats> session =
+        (*server)->Serve(STDIN_FILENO, STDOUT_FILENO);
+    if (!session.ok()) {
+      std::fprintf(stderr, "align-serve: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    answered = session->answered;
+  } else {
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd < 0) {
       std::fprintf(stderr, "align-serve: socket: %s\n", std::strerror(errno));
       return 1;
@@ -169,38 +213,77 @@ int Run(int argc, char** argv) {
     addr.sin_port = htons(static_cast<uint16_t>(listen_port));
     if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
             0 ||
-        ::listen(listen_fd, 1) < 0) {
+        ::listen(listen_fd, 4) < 0) {
       std::fprintf(stderr, "align-serve: bind/listen: %s\n",
                    std::strerror(errno));
       return 1;
     }
     std::fprintf(stderr, "align-serve: listening on 127.0.0.1:%d\n",
                  listen_port);
-    conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) {
-      std::fprintf(stderr, "align-serve: accept: %s\n", std::strerror(errno));
-      return 1;
+    // Sequential accept loop: NDJSON sessions end on EOF (loop re-accepts)
+    // or a shutdown op (loop exits); HTTP-looking connections — detected by
+    // peeking the first bytes without consuming them — are answered as
+    // GET /metrics scrapes.
+    bool shutdown = false;
+    while (!shutdown) {
+      const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+      if (conn_fd < 0) {
+        if (errno == EINTR) continue;
+        std::fprintf(stderr, "align-serve: accept: %s\n",
+                     std::strerror(errno));
+        return 1;
+      }
+      // Protocol sniff without consuming bytes: HTTP clients write their
+      // request line immediately after connecting, while NDJSON clients
+      // wait for the hello — so a short readability deadline separates the
+      // two. A connection that sends nothing within it is treated as NDJSON
+      // (the hello goes out and the session proceeds normally).
+      pollfd sniff{conn_fd, POLLIN, 0};
+      int ready;
+      do {
+        ready = ::poll(&sniff, 1, /*timeout_ms=*/250);
+      } while (ready < 0 && errno == EINTR);
+      bool is_http = false;
+      if (ready > 0 && (sniff.revents & POLLIN) != 0) {
+        char peek[4] = {0};
+        ssize_t peeked;
+        do {
+          peeked = ::recv(conn_fd, peek, sizeof(peek), MSG_PEEK);
+        } while (peeked < 0 && errno == EINTR);
+        is_http = peeked == static_cast<ssize_t>(sizeof(peek)) &&
+                  std::memcmp(peek, "GET ", 4) == 0;
+      }
+      if (is_http) {
+        const Status handled = HandleHttpClient(conn_fd);
+        if (!handled.ok()) {
+          std::fprintf(stderr, "align-serve: http: %s\n",
+                       handled.ToString().c_str());
+        }
+        ::close(conn_fd);
+        continue;
+      }
+      if (::write(conn_fd, hello.data(), hello.size()) < 0) {
+        std::fprintf(stderr, "align-serve: hello write failed\n");
+        ::close(conn_fd);
+        continue;
+      }
+      StatusOr<AlignServer::SessionStats> session =
+          (*server)->Serve(conn_fd, conn_fd);
+      ::close(conn_fd);
+      if (!session.ok()) {
+        std::fprintf(stderr, "align-serve: %s\n",
+                     session.status().ToString().c_str());
+        continue;
+      }
+      answered += session->answered;
+      shutdown = session->shutdown;
     }
-    in_fd = out_fd = conn_fd;
-  }
-
-  // Hello line, then the session.
-  const std::string hello = (*server)->Hello().Dump(/*indent=*/0) + "\n";
-  if (::write(out_fd, hello.data(), hello.size()) < 0) {
-    std::fprintf(stderr, "align-serve: hello write failed\n");
-    return 1;
-  }
-  StatusOr<uint64_t> answered = (*server)->Serve(in_fd, out_fd);
-  if (conn_fd >= 0) ::close(conn_fd);
-  if (listen_fd >= 0) ::close(listen_fd);
-  if (!answered.ok()) {
-    std::fprintf(stderr, "align-serve: %s\n",
-                 answered.status().ToString().c_str());
-    return 1;
+    ::close(listen_fd);
   }
   std::fprintf(stderr, "align-serve: session done, %llu queries answered\n",
-               static_cast<unsigned long long>(*answered));
+               static_cast<unsigned long long>(answered));
 
+  telemetry::StopLiveMetrics();
   if (!json_path.empty()) {
     telemetry::Flush();
     std::fprintf(stderr, "telemetry: wrote %s\n", json_path.c_str());

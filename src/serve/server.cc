@@ -11,8 +11,11 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/logging.h"
+#include "src/common/metrics_export.h"
 #include "src/common/stopwatch.h"
 #include "src/common/telemetry.h"
+#include "src/common/trace.h"
 #include "src/core/benchmark.h"
 
 namespace openea::serve {
@@ -101,6 +104,7 @@ Status WriteAll(int fd, std::string_view data) {
 /// One queued topk request awaiting the batched scan.
 struct PendingTopK {
   json::Value id;       // Echoed verbatim (null when absent).
+  std::string request_id;  // Server-generated "r-<seq>", echoed as "req".
   size_t k = 0;
   size_t row_begin = 0;  // First row in the batch matrix.
   size_t rows = 0;
@@ -219,14 +223,27 @@ json::Value AlignServer::Hello() const {
   return json::Value(std::move(obj));
 }
 
-StatusOr<uint64_t> AlignServer::Serve(int in_fd, int out_fd) {
+StatusOr<AlignServer::SessionStats> AlignServer::Serve(int in_fd,
+                                                       int out_fd) {
   telemetry::ScopedSpan session_span("serve_session");
-  telemetry::DefineHistogram(
-      "serve/latency_ms",
-      {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
-       1000});
-  telemetry::DefineHistogram("serve/batch_size",
-                             {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  const std::vector<double> latency_bounds = {
+      0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500,
+      1000};
+  // Define histograms/windows only once per process: sessions served off a
+  // TCP accept loop share one latency history, and a re-Define would reset
+  // the trailing window between connections.
+  if (request_seq_ == 0) {
+    telemetry::DefineHistogram("serve/latency_ms", latency_bounds);
+    telemetry::DefineHistogram("serve/batch_size",
+                               {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+    // Sliding windows behind the stats "window" object and the Prometheus
+    // *_window_* gauges. serve/rows observes rows per flush, so its
+    // windowed value-rate (sum/sec) is live rows-per-second throughput.
+    telemetry::WindowOptions latency_window;
+    latency_window.bounds = latency_bounds;
+    telemetry::DefineWindow("serve/latency_ms", std::move(latency_window));
+    telemetry::DefineWindow("serve/rows", telemetry::WindowOptions());
+  }
   LineReader reader(in_fd);
   Stopwatch session_watch;
   uint64_t answered = 0;
@@ -266,7 +283,12 @@ StatusOr<uint64_t> AlignServer::Serve(int in_fd, int out_fd) {
     const align::TopKResult topk = source_->TopK(queries, max_k);
     telemetry::IncrCounter("serve/batches");
     telemetry::Observe("serve/batch_size", static_cast<double>(total_rows));
+    telemetry::ObserveWindowed("serve/rows", static_cast<double>(total_rows));
     for (const auto& req : pending) {
+      // The per-request slice of the flush: span + trace events emitted
+      // here carry the request id, so --trace output filters per request.
+      trace::ScopedThreadContext trace_ctx("req:" + req.request_id);
+      telemetry::ScopedSpan request_span("serve_request");
       json::Value::Array ids, scores;
       ids.reserve(req.rows);
       scores.reserve(req.rows);
@@ -286,11 +308,24 @@ StatusOr<uint64_t> AlignServer::Serve(int in_fd, int out_fd) {
       json::Value::Object obj;
       obj["id"] = req.id;
       obj["ok"] = json::Value(true);
+      obj["req"] = json::Value(req.request_id);
       obj["ids"] = json::Value(std::move(ids));
       obj["scores"] = json::Value(std::move(scores));
       const Status written = respond(json::Value(std::move(obj)));
       if (!written.ok()) return written;
-      telemetry::Observe("serve/latency_ms", req.watch.ElapsedMillis());
+      const double latency_ms = req.watch.ElapsedMillis();
+      telemetry::ObserveWindowed("serve/latency_ms", latency_ms);
+      if (config_.slow_request_ms > 0 &&
+          latency_ms >= config_.slow_request_ms) {
+        telemetry::IncrCounter("serve/slow_requests");
+        OPENEA_SLOG(kWarning)
+                .Field("req", req.request_id)
+                .Field("ms", latency_ms)
+                .Field("rows", static_cast<uint64_t>(req.rows))
+                .Field("k", static_cast<uint64_t>(req.k))
+                .Field("batch", static_cast<uint64_t>(total_rows))
+            << "slow request";
+      }
       answered += req.rows;
     }
     telemetry::IncrCounter("serve/queries", total_rows);
@@ -328,6 +363,7 @@ StatusOr<uint64_t> AlignServer::Serve(int in_fd, int out_fd) {
     }
     PendingTopK req;
     if (const json::Value* id = request.Find("id")) req.id = *id;
+    req.request_id = "r-" + std::to_string(++request_seq_);
     req.k = k;
     req.row_begin = batch_rows.size() / (dim > 0 ? dim : 1);
     req.rows = rows->array().size();
@@ -381,6 +417,13 @@ StatusOr<uint64_t> AlignServer::Serve(int in_fd, int out_fd) {
         op != nullptr && op->is_string() ? op->string_value() : "";
     const json::Value* id = request.Find("id");
     const json::Value id_value = id != nullptr ? *id : json::Value();
+    // Per-op labeled counter; unknown ops share one label so a misbehaving
+    // client cannot grow the registry without bound.
+    const bool known_op = op_name == "topk" || op_name == "ping" ||
+                          op_name == "stats" || op_name == "metrics" ||
+                          op_name == "shutdown";
+    telemetry::IncrCounter(telemetry::LabeledName(
+        "serve/ops", {{"op", known_op ? op_name : "unknown"}}));
 
     if (op_name == "topk") {
       // Queue first: a partially-queued bad request must not leak rows
@@ -428,6 +471,33 @@ StatusOr<uint64_t> AlignServer::Serve(int in_fd, int out_fd) {
       obj["p50_ms"] = json::Value(gauge("serve/p50_ms"));
       obj["p95_ms"] = json::Value(gauge("serve/p95_ms"));
       obj["p99_ms"] = json::Value(gauge("serve/p99_ms"));
+      // Trailing-window view (see the "stats fields" block in server.h):
+      // latency quantiles/request rate from the serve/latency_ms window,
+      // rows/sec throughput from the serve/rows window's value-rate.
+      json::Value::Object window;
+      const auto lat = snapshot.windows.find("serve/latency_ms");
+      if (lat != snapshot.windows.end()) {
+        window["seconds"] = json::Value(lat->second.window_seconds);
+        window["requests_per_sec"] = json::Value(lat->second.rate_per_sec);
+        window["count"] = json::Value(lat->second.histogram.count);
+        window["p50_ms"] = json::Value(lat->second.histogram.P50());
+        window["p95_ms"] = json::Value(lat->second.histogram.P95());
+        window["p99_ms"] = json::Value(lat->second.histogram.P99());
+      }
+      const auto rows = snapshot.windows.find("serve/rows");
+      window["qps"] = json::Value(
+          rows != snapshot.windows.end() ? rows->second.value_rate_per_sec
+                                         : 0.0);
+      obj["window"] = json::Value(std::move(window));
+      const Status written = respond(json::Value(std::move(obj)));
+      if (!written.ok()) return written;
+    } else if (op_name == "metrics") {
+      json::Value::Object obj;
+      obj["id"] = id_value;
+      obj["ok"] = json::Value(true);
+      obj["format"] = json::Value("prometheus");
+      obj["text"] =
+          json::Value(telemetry::RenderPrometheus(telemetry::SnapshotMetrics()));
       const Status written = respond(json::Value(std::move(obj)));
       if (!written.ok()) return written;
     } else if (op_name == "shutdown") {
@@ -450,7 +520,51 @@ StatusOr<uint64_t> AlignServer::Serve(int in_fd, int out_fd) {
   const Status flushed = flush();
   if (!flushed.ok()) return flushed;
   refresh_gauges();
-  return answered;
+  if (request_seq_ > 0) {
+    telemetry::AddContext("last_request_id",
+                          json::Value("r-" + std::to_string(request_seq_)));
+  }
+  return SessionStats{answered, shutdown};
+}
+
+Status HandleHttpClient(int fd) {
+  // Read request headers up to the blank line (or a small cap — we only
+  // ever need the request line, and a capped read keeps one client from
+  // holding the sequential accept loop with an endless header stream).
+  std::string head;
+  constexpr size_t kMaxHeaderBytes = 8192;
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.size() < kMaxHeaderBytes) {
+    char chunk[1024];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      head.append(chunk, static_cast<size_t>(n));
+    } else if (n == 0) {
+      break;
+    } else if (errno != EINTR) {
+      return Status::Internal(std::string("read: ") + std::strerror(errno));
+    }
+  }
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+  // "GET /metrics" or "GET /metrics?..." / " HTTP/1.1".
+  const bool is_metrics =
+      request_line.rfind("GET /metrics", 0) == 0 &&
+      (request_line.size() == sizeof("GET /metrics") - 1 ||
+       request_line[sizeof("GET /metrics") - 1] == ' ' ||
+       request_line[sizeof("GET /metrics") - 1] == '?');
+  if (is_metrics) {
+    return WriteAll(
+        fd, telemetry::HttpMetricsResponse(telemetry::SnapshotMetrics()));
+  }
+  const std::string body = "not found\n";
+  std::string response = "HTTP/1.1 404 Not Found\r\n";
+  response += "Content-Type: text/plain; charset=utf-8\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  return WriteAll(fd, response);
 }
 
 }  // namespace openea::serve

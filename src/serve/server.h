@@ -25,13 +25,40 @@ namespace openea::serve {
 ///                   "targets":N,"epoch":E,"fingerprint":"<16 hex>"}
 ///   topk request   {"op":"topk","id":<any>,"rows":[[f..],..],"k":K,
 ///                   "fingerprint":"<optional, must match the hello>"}
-///   topk response  {"id":<echoed>,"ok":true,"ids":[[..],..],
-///                   "scores":[[..],..]}   (-1 id pads short rows)
+///   topk response  {"id":<echoed>,"ok":true,"req":"r-<seq>",
+///                   "ids":[[..],..],"scores":[[..],..]}
+///                   (-1 id pads short rows)
 ///   ping           {"op":"ping"}        -> {"ok":true,"event":"pong"}
-///   stats          {"op":"stats"}       -> {"ok":true,"queries":..,
-///                   "qps":..,"p50_ms":..,"p95_ms":..,"p99_ms":..}
+///   stats          {"op":"stats"}       -> see "stats fields" below
+///   metrics        {"op":"metrics"}     -> {"ok":true,
+///                   "format":"prometheus","text":"<exposition>"}
 ///   shutdown       {"op":"shutdown"}    -> {"ok":true,"event":"bye"}
 ///   any error      {"id":<echoed|null>,"ok":false,"error":"<Status>"}
+///
+/// Request ids: every accepted topk request gets a server-generated id
+/// "r-<seq>" at ingest (monotonic across every session of the process).
+/// The id is echoed in the response's "req" field, labels the request's
+/// `serve_request` trace span (args.ctx = "req:r-<seq>" in the Chrome
+/// export), and names the request in slow-request log lines — one handle
+/// to correlate a response with its timeline slice and log records.
+///
+/// stats fields — cumulative-since-startup vs trailing-window semantics:
+///   "queries"  total topk query rows answered (cumulative);
+///   "qps"      rows/sec averaged over the whole session (cumulative);
+///   "p50_ms"/"p95_ms"/"p99_ms"  request latency quantiles over every
+///              request since startup (cumulative histogram);
+///   "window"   {"seconds":S,"qps":..,"requests_per_sec":..,"p50_ms":..,
+///              "p95_ms":..,"p99_ms":..,"count":..} — the same measures
+///              over the trailing ~60 s sliding window only, so two
+///              consecutive stats calls reflect recent traffic: "qps" is
+///              windowed rows/sec, "requests_per_sec" windowed requests/s,
+///              the quantiles cover the window's requests, "count" is the
+///              number of requests in the window, and "seconds" the span
+///              the window actually covers (< 60 early in a session).
+/// The `metrics` op and the GET /metrics HTTP responder render these same
+/// series in Prometheus text exposition (src/common/metrics_export.h):
+/// window values appear as serve_latency_ms_window_* and
+/// serve_rows_window_* gauges.
 ///
 /// Consecutive topk requests are micro-batched: the server drains every
 /// line the descriptor can deliver without blocking (up to `max_batch`
@@ -43,11 +70,15 @@ namespace openea::serve {
 /// request order.
 ///
 /// Telemetry: counters `serve/requests`, `serve/queries`, `serve/batches`,
-/// `serve/errors`; histograms `serve/latency_ms` (request parse ->
-/// response write) and `serve/batch_size` (queries per flushed batch);
-/// gauges `serve/qps`, `serve/p50_ms`, `serve/p95_ms`, `serve/p99_ms`
-/// refreshed on every stats op and at session end. The whole session runs
-/// under a `serve_session` span; each flush under `serve_flush`.
+/// `serve/errors`, plus per-op labeled counters `serve/ops{op="topk"}` etc;
+/// histograms `serve/latency_ms` (request parse -> response write, also
+/// windowed) and `serve/batch_size` (queries per flushed batch); windowed
+/// series `serve/rows` (rows per flush, so its window value-rate is live
+/// rows/sec); gauges `serve/qps`, `serve/p50_ms`, `serve/p95_ms`,
+/// `serve/p99_ms` refreshed on every stats op and at session end. The whole
+/// session runs under a `serve_session` span, each flush under
+/// `serve_flush`, and each request's response assembly under
+/// `serve_request` (trace ctx "req:r-<seq>").
 struct ServeConfig {
   /// Checkpoint to serve from: a raw TrainState (SaveTrainState format) or,
   /// as a fallback, a CV checkpoint written by a bench --checkpoint-dir
@@ -65,6 +96,10 @@ struct ServeConfig {
   /// Per-request row cap — oversized requests get InvalidArgument, keeping
   /// one client from unboundedly growing the batch matrix.
   size_t max_rows_per_request = 4096;
+  /// Requests slower than this (parse -> response write) emit a structured
+  /// warning log line carrying the request id, latency, rows, and k.
+  /// <= 0 disables the slow-request log.
+  double slow_request_ms = 100.0;
 
   Status Validate() const;
 };
@@ -97,10 +132,19 @@ class AlignServer {
   /// The "ready" hello object (first line of every session).
   json::Value Hello() const;
 
+  /// What ended a session and how much it served. `shutdown` distinguishes
+  /// an explicit shutdown op from plain EOF, so a TCP accept loop knows
+  /// whether to keep accepting further connections.
+  struct SessionStats {
+    uint64_t answered = 0;
+    bool shutdown = false;
+  };
+
   /// Serves NDJSON requests from `in_fd` until EOF or a shutdown op,
   /// writing responses to `out_fd`. Returns the number of topk query rows
-  /// answered. Not an error to serve an empty session.
-  StatusOr<uint64_t> Serve(int in_fd, int out_fd);
+  /// answered and whether a shutdown op ended the session. Not an error to
+  /// serve an empty session; request ids keep counting across sessions.
+  StatusOr<SessionStats> Serve(int in_fd, int out_fd);
 
   const ServingModel& model() const { return model_; }
   const align::CandidateSource& source() const { return *source_; }
@@ -112,7 +156,16 @@ class AlignServer {
   ServeConfig config_;
   ServingModel model_;
   std::unique_ptr<align::CandidateSource> source_;
+  uint64_t request_seq_ = 0;
 };
+
+/// Answers one already-accepted HTTP connection on the --listen socket:
+/// `GET /metrics` gets the Prometheus exposition of the current telemetry
+/// snapshot, anything else a 404. Reads until the header terminator (or a
+/// small cap), writes the full response, and returns; the caller closes the
+/// socket. Used by align-serve when the first bytes of a connection look
+/// like an HTTP request line instead of NDJSON.
+Status HandleHttpClient(int fd);
 
 }  // namespace openea::serve
 

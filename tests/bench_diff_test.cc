@@ -174,6 +174,40 @@ TEST(BenchDiffTest, DegradedFoldAnnotationsAreNotes) {
   EXPECT_NE(report.notes[0].find("degraded fold"), std::string::npos);
 }
 
+TEST(BenchDiffTest, HeartbeatGaugesAreInformationalNeverGating) {
+  // Live-progress gauges capture whatever instant the run happened to
+  // flush at — wildly different values (or their absence) must not gate.
+  json::Value baseline = ParseDoc(kBaseline);
+  baseline.object()["gauges"].object()["heartbeat/epoch"] = json::Value(10);
+  json::Value candidate = ParseDoc(kBaseline);
+  auto& gauges = candidate.object()["gauges"].object();
+  gauges["heartbeat/fold"] = json::Value(4);
+  gauges["heartbeat/rows_per_sec"] = json::Value(1e6);
+  const auto report = bench::CompareBenchDocuments(baseline, candidate,
+                                                   bench::DiffOptions{});
+  EXPECT_TRUE(report.ok())
+      << (report.regressions.empty() ? "" : report.regressions.front());
+  EXPECT_TRUE(report.notes.empty());
+}
+
+TEST(BenchDiffTest, WindowsSectionNeverGates) {
+  // The sliding-window section is run-relative wall-clock state; the
+  // comparison policy ignores it entirely, in both directions.
+  json::Value baseline = ParseDoc(kBaseline);
+  baseline.object()["windows"] = ParseDoc(R"json({
+    "serve/latency_ms": {"count": 100, "p95": 2.5, "rate_per_sec": 40.0}
+  })json");
+  json::Value candidate = ParseDoc(kBaseline);
+  candidate.object()["windows"] = ParseDoc(R"json({
+    "mem/rss_mb": {"count": 3, "p95": 200.0, "rate_per_sec": 1.0}
+  })json");
+  const auto report = bench::CompareBenchDocuments(baseline, candidate,
+                                                   bench::DiffOptions{});
+  EXPECT_TRUE(report.ok())
+      << (report.regressions.empty() ? "" : report.regressions.front());
+  EXPECT_TRUE(report.notes.empty());
+}
+
 TEST(BenchDiffTest, HistogramCountDriftFails) {
   const json::Value baseline = ParseDoc(kBaseline);
   json::Value candidate = ParseDoc(kBaseline);
