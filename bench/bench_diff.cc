@@ -32,6 +32,10 @@ void PrintUsage(std::FILE* out) {
       "                         baseline total_ms is below T (default 50)\n"
       "  --skip=p1,p2           key prefixes to ignore (default\n"
       "                         telemetry/,mem/,fault/,heartbeat/)\n"
+      "  --skip-counters=p1,p2  prefixes whose counters (and histogram\n"
+      "                         counts) are informational-only: drift is\n"
+      "                         noted, never a regression; gauges under the\n"
+      "                         same prefix still gate (default robust/)\n"
       "  --ignore-config        do not require identical config objects\n"
       "  --help                 this text\n");
 }
@@ -57,6 +61,8 @@ int main(int argc, char** argv) {
       options.min_span_ms = std::atof(arg.c_str() + 14);
     } else if (openea::StartsWith(arg, "--skip=")) {
       options.skip_prefixes = openea::Split(arg.substr(7), ',');
+    } else if (openea::StartsWith(arg, "--skip-counters=")) {
+      options.skip_counter_prefixes = openea::Split(arg.substr(16), ',');
     } else if (arg == "--ignore-config") {
       options.check_config = false;
     } else if (openea::StartsWith(arg, "--")) {

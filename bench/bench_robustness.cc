@@ -1,0 +1,204 @@
+// Robustness under imperfect supervision: a seed-noise x dangling-rate
+// sweep over representative approaches. Each cell generates a dataset pair
+// directly (no IDS sampling — IDS keeps only reference entities and would
+// drop the dangling ground truth), trains on the corrupted seed view, and
+// scores both the classic ranking metrics on the clean matchable test pairs
+// and the abstention-aware P/R/F1 over matchable + dangling queries
+// (DESIGN.md, "Robustness workload"). The degradation gauges
+// (robust/hits1/*, robust/abstention_f1/*, robust/dangling_recall/*,
+// robust/sweep_f1/*) are deterministic at any thread count and gate exactly
+// in bench_diff_gate_robustness; the robust/* counters record the noise
+// realization and are informational-only there.
+//
+// The worked set is fixed (not --scale-derived) so the committed baseline
+// gauges stay exact across machines.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/logging.h"
+#include "src/common/table_printer.h"
+#include "src/common/telemetry.h"
+#include "src/core/benchmark.h"
+#include "src/datagen/kg_pair.h"
+#include "src/eval/metrics.h"
+
+namespace {
+
+using namespace openea;
+
+/// Sweep cell label, e.g. noise 0.2 + dangling 0.2 -> "n20_d20".
+std::string CellLabel(double noise, double dangling) {
+  return "n" + std::to_string(static_cast<int>(noise * 100.0 + 0.5)) + "_d" +
+         std::to_string(static_cast<int>(dangling * 100.0 + 0.5));
+}
+
+/// Builds one sweep-cell dataset: a fixed-size synthetic pair with the
+/// requested corruption knobs, *without* IDS sampling.
+core::BenchmarkDataset BuildCell(double noise, double dangling,
+                                 uint64_t seed) {
+  datagen::SyntheticKgConfig source;
+  source.num_entities = 300;
+  source.avg_degree = 5.0;
+  source.num_relations = 20;
+  source.num_attributes = 12;
+  source.vocabulary_size = 200;
+  source.seed = seed;
+  datagen::HeterogeneityProfile profile;  // Monolingual defaults.
+  profile.name = "ROBUST";
+  // All dangling entities come from the sweep knob, so the n0_d0 cell is a
+  // genuinely clean baseline (no abstention metrics at all).
+  profile.unaligned_fraction = 0.0;
+  profile.seed_noise_rate = noise;
+  profile.dangling_fraction = dangling;
+  core::BenchmarkDataset dataset;
+  dataset.pair = datagen::GenerateDatasetPair(source, profile, seed);
+  dataset.pair.name = profile.name;
+  dataset.name = "ROBUST-" + CellLabel(noise, dangling);
+  return dataset;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace openea;
+  const auto args = bench::ParseArgs("robustness", argc, argv,
+                                     /*default_folds=*/2,
+                                     /*default_epochs=*/30);
+  bench::BeginRun(args);
+  if (!telemetry::Enabled()) telemetry::SetCollectForTesting(true);
+  const core::TrainConfig config = bench::MakeTrainConfig(args);
+
+  // Representative subset: one relation-only, one GNN, one multi-view
+  // approach — restricted to whatever --approaches allows (the diff gate
+  // pins MTransE only).
+  std::vector<std::string> approaches;
+  for (const char* name : {"MTransE", "GCNAlign", "MultiKE"}) {
+    if (std::find(args.approaches.begin(), args.approaches.end(), name) !=
+        args.approaches.end()) {
+      approaches.push_back(name);
+    }
+  }
+  if (approaches.empty()) {
+    approaches.assign(
+        args.approaches.begin(),
+        args.approaches.begin() +
+            std::min<size_t>(args.approaches.size(), 3));
+  }
+
+  const std::vector<double> noise_rates = {0.0, 0.2, 0.4};
+  const std::vector<double> dangling_rates = {0.0, 0.2};
+
+  std::printf(
+      "== Robustness: seed noise x dangling sweep (%d folds, %d epochs, "
+      "abstention threshold %.2f) ==\n",
+      args.folds, args.epochs,
+      static_cast<double>(config.abstention_threshold));
+  TablePrinter table({"Approach", "cell", "Hits@1", "Abst. P", "Abst. R",
+                      "Abst. F1", "Dangling rec."});
+
+  core::CrossValidationResult sweep_source;  // Deepest corrupted cell.
+  datagen::DatasetPair sweep_pair;
+  double clean_hits1_sum = 0.0, noisy_hits1_sum = 0.0;
+  int clean_cells = 0, noisy_cells = 0;
+  for (const double dangling : dangling_rates) {
+    for (const double noise : noise_rates) {
+      const std::string cell = CellLabel(noise, dangling);
+      const core::BenchmarkDataset dataset =
+          BuildCell(noise, dangling, args.seed);
+      const bool expects_abstention = noise > 0.0 || dangling > 0.0;
+      for (const std::string& name : approaches) {
+        const auto result =
+            core::RunCrossValidation(name, dataset, config, args.folds);
+        OPENEA_CHECK_EQ(result.has_abstention ? 1 : 0,
+                        expects_abstention ? 1 : 0)
+            << name << " " << cell
+            << ": abstention metrics presence disagrees with the cell's "
+               "corruption knobs";
+        OPENEA_CHECK_GE(result.hits1.mean, 0.0);
+        OPENEA_CHECK_LE(result.hits1.mean, 1.0);
+        telemetry::SetGauge("robust/hits1/" + cell + "/" + name,
+                            result.hits1.mean);
+        if (result.has_abstention) {
+          telemetry::SetGauge("robust/abstention_f1/" + cell + "/" + name,
+                              result.abstention_f1.mean);
+          telemetry::SetGauge(
+              "robust/dangling_recall/" + cell + "/" + name,
+              result.abstention_dangling_recall.mean);
+        }
+        table.AddRow(
+            {name, cell, bench::Cell(result.hits1),
+             result.has_abstention ? bench::Cell(result.abstention_precision)
+                                   : "-",
+             result.has_abstention ? bench::Cell(result.abstention_recall)
+                                   : "-",
+             result.has_abstention ? bench::Cell(result.abstention_f1) : "-",
+             result.has_abstention
+                 ? bench::Cell(result.abstention_dangling_recall)
+                 : "-"});
+        if (noise == 0.0) {
+          clean_hits1_sum += result.hits1.mean;
+          ++clean_cells;
+        } else if (noise >= 0.4) {
+          noisy_hits1_sum += result.hits1.mean;
+          ++noisy_cells;
+        }
+        // Keep the deepest corrupted cell of the first approach for the
+        // threshold sweep below.
+        if (name == approaches.front() && noise >= 0.4 && dangling > 0.0) {
+          sweep_source = result;
+          sweep_pair = dataset.pair;
+        }
+        std::fflush(stdout);
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  // Operating-point sweep: how the abstention trade-off moves with the
+  // no-match threshold on the hardest cell (first approach, fold 0 model).
+  if (sweep_source.first_fold_test.size() > 0) {
+    eval::AbstentionOptions options;
+    options.threshold = config.abstention_threshold;
+    const std::vector<double> thresholds = {0.0, 0.25, 0.5, 0.75, 0.9};
+    const auto curve = eval::SweepAbstentionThresholds(
+        sweep_source.first_fold_model, sweep_source.first_fold_test,
+        sweep_pair.dangling1, sweep_pair.dangling2, options, thresholds);
+    std::printf("\n-- %s threshold sweep, cell %s, fold 0 --\n",
+                approaches.front().c_str(), CellLabel(0.4, 0.2).c_str());
+    TablePrinter sweep_table(
+        {"threshold", "precision", "recall", "F1", "abstain", "dangl. rec."});
+    for (const auto& point : curve) {
+      sweep_table.AddRow({FormatDouble(point.threshold, 2),
+                          FormatDouble(point.metrics.precision, 3),
+                          FormatDouble(point.metrics.recall, 3),
+                          FormatDouble(point.metrics.f1, 3),
+                          FormatDouble(point.metrics.abstain_rate, 3),
+                          FormatDouble(point.metrics.dangling_recall, 3)});
+      telemetry::SetGauge(
+          "robust/sweep_f1/t" +
+              std::to_string(static_cast<int>(point.threshold * 100.0 + 0.5)),
+          point.metrics.f1);
+    }
+    sweep_table.Print(std::cout);
+  }
+
+  const double clean_mean =
+      clean_cells > 0 ? clean_hits1_sum / clean_cells : 0.0;
+  const double noisy_mean =
+      noisy_cells > 0 ? noisy_hits1_sum / noisy_cells : 0.0;
+  telemetry::SetGauge("robust/hits1_clean_mean", clean_mean);
+  telemetry::SetGauge("robust/hits1_noisy_mean", noisy_mean);
+  std::printf(
+      "Shape check: Hits@1 degrades as the seed-noise rate grows (clean-cell\n"
+      "mean %.3f vs 40%%-noise mean %.3f) and abstention-aware F1 falls with\n"
+      "it, while a higher no-match threshold trades recall for precision and\n"
+      "dangling recall; corrupted train-seed counts appear under the\n"
+      "informational robust/ counters.\n",
+      clean_mean, noisy_mean);
+  return bench::Finish(args);
+}

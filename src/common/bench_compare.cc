@@ -17,6 +17,15 @@ bool Skipped(const DiffOptions& options, const std::string& key) {
   return false;
 }
 
+/// True when `key` names a counter-class value that is informational-only
+/// (e.g. robust/ noise-realization counters): drift is noted, not gated.
+bool CounterSkipped(const DiffOptions& options, const std::string& key) {
+  for (const std::string& prefix : options.skip_counter_prefixes) {
+    if (StartsWith(key, prefix)) return true;
+  }
+  return false;
+}
+
 std::string Format(double value) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
@@ -31,10 +40,12 @@ double Drift(double baseline, double candidate) {
 }
 
 /// Compares two {name: number} sections key-by-key under `tolerance`.
+/// `counter_class` marks counter-semantics sections, where
+/// skip_counter_prefixes downgrades drift to an informational note.
 void CompareNumberSection(const json::Value& baseline,
                           const json::Value& candidate, const char* section,
                           double tolerance, const DiffOptions& options,
-                          DiffReport& report) {
+                          bool counter_class, DiffReport& report) {
   const json::Value* base = baseline.Find(section);
   const json::Value* cand = candidate.Find(section);
   if (base == nullptr || !base->is_object()) return;
@@ -45,18 +56,28 @@ void CompareNumberSection(const json::Value& baseline,
   }
   for (const auto& [key, value] : base->object()) {
     if (!value.is_number() || Skipped(options, key)) continue;
+    const bool informational = counter_class && CounterSkipped(options, key);
     const json::Value* other = cand->Find(key);
     if (other == nullptr || !other->is_number()) {
-      report.regressions.push_back(std::string(section) + "." + key +
-                                   ": missing in candidate");
+      (informational ? report.notes : report.regressions)
+          .push_back(std::string(section) + "." + key +
+                     ": missing in candidate" +
+                     (informational ? " (informational counter)" : ""));
       continue;
     }
     const double drift = Drift(value.number(), other->number());
     if (drift > tolerance) {
-      report.regressions.push_back(
-          std::string(section) + "." + key + ": " + Format(value.number()) +
-          " -> " + Format(other->number()) + " (drift " + Format(drift) +
-          " > tolerance " + Format(tolerance) + ")");
+      if (informational) {
+        report.notes.push_back(
+            std::string(section) + "." + key + ": " + Format(value.number()) +
+            " -> " + Format(other->number()) +
+            " (informational counter; not gated)");
+      } else {
+        report.regressions.push_back(
+            std::string(section) + "." + key + ": " + Format(value.number()) +
+            " -> " + Format(other->number()) + " (drift " + Format(drift) +
+            " > tolerance " + Format(tolerance) + ")");
+      }
     }
   }
   for (const auto& [key, value] : cand->object()) {
@@ -124,9 +145,10 @@ DiffReport CompareBenchDocuments(const json::Value& baseline,
   }
 
   CompareNumberSection(baseline, candidate, "counters",
-                       options.counter_tolerance, options, report);
+                       options.counter_tolerance, options,
+                       /*counter_class=*/true, report);
   CompareNumberSection(baseline, candidate, "gauges", options.gauge_tolerance,
-                       options, report);
+                       options, /*counter_class=*/false, report);
 
   // Histograms: only the observation count is deterministic (the values
   // are wall times); distribution drift is covered by the span gate.
@@ -148,10 +170,18 @@ DiffReport CompareBenchDocuments(const json::Value& baseline,
       }
       const double drift = Drift(base_count->number(), cand_count->number());
       if (drift > options.counter_tolerance) {
-        report.regressions.push_back(
-            "histograms." + name + ".count: " + Format(base_count->number()) +
-            " -> " + Format(cand_count->number()) + " (drift " +
-            Format(drift) + ")");
+        if (CounterSkipped(options, name)) {
+          report.notes.push_back("histograms." + name + ".count: " +
+                                 Format(base_count->number()) + " -> " +
+                                 Format(cand_count->number()) +
+                                 " (informational counter; not gated)");
+        } else {
+          report.regressions.push_back(
+              "histograms." + name + ".count: " +
+              Format(base_count->number()) + " -> " +
+              Format(cand_count->number()) + " (drift " + Format(drift) +
+              ")");
+        }
       }
     }
   }

@@ -24,7 +24,13 @@ namespace openea::bench {
 ///    are informational and must never gate a perf comparison. The
 ///    document's "windows" section (sliding-window live metrics) is never
 ///    compared at all: wall-clock-window contents are inherently
-///    run-relative.
+///    run-relative;
+///  * "robust/" keys split by class: the degradation *gauges* (Hits@1 /
+///    abstention-F1 per sweep cell) are the robustness workload's headline
+///    results and gate exactly, while the *counters* under the same prefix
+///    record the noise realization (how many seeds were corrupted) — those
+///    are informational-only and drift is reported as a note, mirroring the
+///    "fault/" treatment.
 struct DiffOptions {
   double span_tolerance = 0.40;    // Allowed relative total_ms increase.
   double counter_tolerance = 0.0;  // Allowed relative counter drift.
@@ -33,6 +39,10 @@ struct DiffOptions {
   bool check_config = true;        // Require identical "config" objects.
   std::vector<std::string> skip_prefixes = {"telemetry/", "mem/", "fault/",
                                             "heartbeat/"};
+  /// Prefixes whose *counters* (and histogram counts) are informational-only
+  /// — drift becomes a note, never a regression. Gauges under the same
+  /// prefix still gate.
+  std::vector<std::string> skip_counter_prefixes = {"robust/"};
 };
 
 struct DiffReport {

@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotFound,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object, RocksDB-style: no exceptions cross public API
@@ -43,6 +44,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -58,6 +62,7 @@ class [[nodiscard]] Status {
       case StatusCode::kNotFound: name = "NotFound"; break;
       case StatusCode::kFailedPrecondition: name = "FailedPrecondition"; break;
       case StatusCode::kInternal: name = "Internal"; break;
+      case StatusCode::kDeadlineExceeded: name = "DeadlineExceeded"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -30,6 +30,11 @@ struct TrainConfig {
   /// Ablation switches for Figure 6 and Table 8.
   bool use_attributes = true;
   bool use_relations = true;
+  /// "No-match" similarity threshold of the abstention-aware evaluation
+  /// (robustness workload): a test query whose best cosine similarity falls
+  /// below this abstains instead of predicting. Only consulted when the
+  /// dataset carries dangling entities or corrupted seeds.
+  float abstention_threshold = 0.5f;
 
   /// Checks the invariants every approach depends on. Called at the
   /// CreateApproach / RunCrossValidation boundary so a bad configuration

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <unordered_map>
 
 #include "src/common/checkpoint.h"
 #include "src/common/fault.h"
@@ -104,12 +105,16 @@ AlignmentTask MakeTask(const datagen::DatasetPair& pair,
 
 namespace {
 
-/// Version of the fold-granular CV checkpoint payload below.
-constexpr uint32_t kCvCheckpointVersion = 1;
+/// Version of the fold-granular CV checkpoint payload below. v2 added the
+/// abstention-aware metrics of the robustness workload.
+constexpr uint32_t kCvCheckpointVersion = 2;
 
 /// One completed fold as persisted in (and restored from) a CV checkpoint.
 struct FoldRecord {
   eval::RankingMetrics metrics;
+  /// Abstention metrics at TrainConfig::abstention_threshold; all-zero when
+  /// the dataset has no robustness surface (no dangling, no corruptions).
+  eval::AbstentionMetrics abstention;
   double train_seconds = 0.0;
   double eval_seconds = 0.0;
   FoldHealth health;
@@ -149,6 +154,7 @@ uint64_t ConfigFingerprint(const std::string& approach_name,
   mix_u64(static_cast<uint64_t>(config.threads));
   mix_u64(config.use_attributes ? 1 : 0);
   mix_u64(config.use_relations ? 1 : 0);
+  mix_f32(config.abstention_threshold);
   mix_u64(static_cast<uint64_t>(num_folds));
   return h;
 }
@@ -190,6 +196,11 @@ Status SaveCvCheckpoint(const std::string& path,
     writer.PutDouble(record.metrics.hits5);
     writer.PutDouble(record.metrics.mr);
     writer.PutDouble(record.metrics.mrr);
+    writer.PutDouble(record.abstention.precision);
+    writer.PutDouble(record.abstention.recall);
+    writer.PutDouble(record.abstention.f1);
+    writer.PutDouble(record.abstention.abstain_rate);
+    writer.PutDouble(record.abstention.dangling_recall);
     writer.PutDouble(record.train_seconds);
     writer.PutDouble(record.eval_seconds);
     writer.PutI64(record.health.fold);
@@ -241,6 +252,11 @@ StatusOr<CvCheckpointState> LoadCvCheckpoint(const std::string& path) {
     if (!(status = reader.ReadDouble(&record.metrics.hits5)).ok()) return status;
     if (!(status = reader.ReadDouble(&record.metrics.mr)).ok()) return status;
     if (!(status = reader.ReadDouble(&record.metrics.mrr)).ok()) return status;
+    if (!(status = reader.ReadDouble(&record.abstention.precision)).ok()) return status;
+    if (!(status = reader.ReadDouble(&record.abstention.recall)).ok()) return status;
+    if (!(status = reader.ReadDouble(&record.abstention.f1)).ok()) return status;
+    if (!(status = reader.ReadDouble(&record.abstention.abstain_rate)).ok()) return status;
+    if (!(status = reader.ReadDouble(&record.abstention.dangling_recall)).ok()) return status;
     if (!(status = reader.ReadDouble(&record.train_seconds)).ok()) return status;
     if (!(status = reader.ReadDouble(&record.eval_seconds)).ok()) return status;
     if (!(status = reader.ReadI64(&fold)).ok()) return status;
@@ -400,8 +416,26 @@ CrossValidationResult RunCrossValidation(
     }
   }
 
+  // ---- Robustness surface --------------------------------------------------
+  // Training sees the corrupted seed view (left -> wrong right) while
+  // evaluation keeps the clean truth; abstention-aware evaluation runs when
+  // the pair carries dangling entities or corrupted seeds.
+  const datagen::DatasetPair& pair = dataset.pair;
+  const bool robustness = !pair.corruptions.empty() ||
+                          !pair.dangling1.empty() || !pair.dangling2.empty();
+  std::unordered_map<kg::EntityId, kg::EntityId> noisy_right;
+  if (!pair.corruptions.empty() &&
+      pair.noisy_reference.size() == pair.reference.size()) {
+    for (size_t i = 0; i < pair.reference.size(); ++i) {
+      if (pair.noisy_reference[i].right != pair.reference[i].right) {
+        noisy_right[pair.reference[i].left] = pair.noisy_reference[i].right;
+      }
+    }
+  }
+
   // ---- Fold loop (restore, or compute with health-guarded retries) --------
   std::vector<double> hits1, hits5, mr, mrr;
+  std::vector<double> abst_p, abst_r, abst_f1, abst_dangling;
   double total_seconds = 0.0;
   for (int f = 0; f < num_folds; ++f) {
     if (static_cast<size_t>(f) < state.folds.size()) {
@@ -420,6 +454,12 @@ CrossValidationResult RunCrossValidation(
         hits5.push_back(record.metrics.hits5);
         mr.push_back(record.metrics.mr);
         mrr.push_back(record.metrics.mrr);
+        if (robustness) {
+          abst_p.push_back(record.abstention.precision);
+          abst_r.push_back(record.abstention.recall);
+          abst_f1.push_back(record.abstention.f1);
+          abst_dangling.push_back(record.abstention.dangling_recall);
+        }
       }
       result.fold_health.push_back(record.health);
       if (f == 0 && state.has_first_fold) {
@@ -437,7 +477,24 @@ CrossValidationResult RunCrossValidation(
     telemetry::SetGauge("heartbeat/fold", static_cast<double>(f));
     trace::Instant("fold_begin");
     trace::Counter("cv/fold_index", f);
-    const AlignmentTask task = MakeTask(dataset.pair, folds[f]);
+    AlignmentTask task = MakeTask(dataset.pair, folds[f]);
+    if (!noisy_right.empty()) {
+      // Substitute the corrupted rights into the supervision splits only;
+      // task.test keeps the clean truth.
+      uint64_t corrupted = 0;
+      for (kg::Alignment* split : {&task.train, &task.valid}) {
+        for (kg::AlignmentPair& p : *split) {
+          const auto it = noisy_right.find(p.left);
+          if (it != noisy_right.end()) {
+            p.right = it->second;
+            ++corrupted;
+          }
+        }
+      }
+      if (corrupted > 0) {
+        telemetry::IncrCounter("robust/corrupted_train_seeds", corrupted);
+      }
+    }
 
     // Health-guarded training: retry from the fold's initial state with a
     // backed-off learning rate while the verdict stays unhealthy.
@@ -516,6 +573,18 @@ CrossValidationResult RunCrossValidation(
       phase_watch.Reset();
       record.metrics = eval::EvaluateRanking(model, task.test,
                                              align::DistanceMetric::kCosine);
+      if (robustness) {
+        eval::AbstentionOptions abstention_options;
+        abstention_options.threshold =
+            static_cast<double>(config.abstention_threshold);
+        record.abstention =
+            eval::EvaluateAbstention(model, task.test, pair.dangling1,
+                                     pair.dangling2, abstention_options);
+        abst_p.push_back(record.abstention.precision);
+        abst_r.push_back(record.abstention.recall);
+        abst_f1.push_back(record.abstention.f1);
+        abst_dangling.push_back(record.abstention.dangling_recall);
+      }
       record.eval_seconds = phase_watch.ElapsedSeconds();
       eval_phase.total_seconds += record.eval_seconds;
       ++eval_phase.count;
@@ -558,6 +627,15 @@ CrossValidationResult RunCrossValidation(
   result.hits5 = eval::Aggregate(hits5);
   result.mr = eval::Aggregate(mr);
   result.mrr = eval::Aggregate(mrr);
+  if (robustness) {
+    result.has_abstention = true;
+    result.abstention_precision = eval::Aggregate(abst_p);
+    result.abstention_recall = eval::Aggregate(abst_r);
+    result.abstention_f1 = eval::Aggregate(abst_f1);
+    result.abstention_dangling_recall = eval::Aggregate(abst_dangling);
+    telemetry::SetGauge("robust/last_abstention_f1_mean",
+                        result.abstention_f1.mean);
+  }
   result.mean_seconds = total_seconds / std::max(num_folds, 1);
   result.phase_seconds = {split_phase, train_phase, eval_phase};
   telemetry::SetGauge("cv/last_hits1_mean", result.hits1.mean);

@@ -100,6 +100,14 @@ struct CrossValidationResult {
   /// reported means (they are listed in `fold_health` and in the telemetry
   /// "faults" annotation instead).
   eval::MeanStd hits1, hits5, mr, mrr;
+  /// Abstention-aware metrics (robustness workload). Populated — and
+  /// `has_abstention` set — only when the dataset carries dangling entities
+  /// or corrupted seeds; ranking metrics above always score the clean
+  /// matchable test pairs only. The threshold is
+  /// TrainConfig::abstention_threshold.
+  bool has_abstention = false;
+  eval::MeanStd abstention_precision, abstention_recall, abstention_f1;
+  eval::MeanStd abstention_dangling_recall;
   double mean_seconds = 0.0;
   /// Per-phase wall time across the folds (always populated, independent of
   /// whether a telemetry sink is attached).
@@ -121,6 +129,15 @@ struct CrossValidationResult {
 
 /// Trains and evaluates the named approach over `num_folds` folds of
 /// `dataset` (paper protocol: train 20% / valid 10% / test 70%).
+///
+/// Robustness: folds always split the *clean* reference. When the dataset
+/// pair carries corrupted seeds (`noisy_reference`), the train and valid
+/// splits are rewritten to the corrupted rights before training (counted
+/// under `robust/corrupted_train_seeds`) while evaluation keeps the clean
+/// truth; when it carries dangling entities or corruptions, each healthy
+/// fold additionally runs the abstention-aware evaluation at
+/// `TrainConfig::abstention_threshold` (aggregated into the
+/// `abstention_*` fields, gauge `robust/last_abstention_f1_mean`).
 CrossValidationResult RunCrossValidation(const std::string& approach_name,
                                          const BenchmarkDataset& dataset,
                                          const TrainConfig& config,

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
@@ -172,8 +173,14 @@ DatasetPair GenerateDatasetPair(const SyntheticKgConfig& source_config,
   std::vector<EntityId> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = static_cast<EntityId>(i);
   rng.Shuffle(order);
-  const size_t private_each =
-      static_cast<size_t>(profile.unaligned_fraction * static_cast<double>(n));
+  // Entities private to one KG have no counterpart: both the baseline
+  // heterogeneity privates and the extra dangling entities end up in the
+  // same pool, surfaced below as the dangling ground truth.
+  const size_t private_each = std::min(
+      n / 2,
+      static_cast<size_t>(
+          (profile.unaligned_fraction + profile.dangling_fraction) *
+          static_cast<double>(n)));
   std::unordered_set<EntityId> kg1_only(order.begin(),
                                         order.begin() + private_each);
   std::unordered_set<EntityId> kg2_only(
@@ -358,7 +365,120 @@ DatasetPair GenerateDatasetPair(const SyntheticKgConfig& source_config,
               return a.left < b.left ||
                      (a.left == b.left && a.right < b.right);
             });
+
+  // ---- Dangling ground truth -------------------------------------------------
+  // Private entities have no counterpart in the other KG; surface them so
+  // abstention-aware evaluation can score them instead of silently dropping.
+  for (EntityId e : kg1_only) {
+    const EntityId l = canonical_to_kg1[e];
+    if (l != kInvalidId) pair.dangling1.push_back(l);
+  }
+  for (EntityId e : kg2_only) {
+    const EntityId r = canonical_to_kg2[e];
+    if (r != kInvalidId) pair.dangling2.push_back(r);
+  }
+  std::sort(pair.dangling1.begin(), pair.dangling1.end());
+  std::sort(pair.dangling2.begin(), pair.dangling2.end());
+
+  // ---- Noisy training seeds --------------------------------------------------
+  pair.noisy_reference =
+      CorruptSeedAlignment(pair.reference, pair.kg2, profile.seed_noise_rate,
+                           seed ^ 0x5EEDC0DEull, &pair.corruptions);
   return pair;
+}
+
+kg::Alignment CorruptSeedAlignment(const kg::Alignment& reference,
+                                   const kg::KnowledgeGraph& kg2,
+                                   double rate, uint64_t seed,
+                                   std::vector<SeedCorruption>* corruptions) {
+  kg::Alignment noisy = reference;
+  Rng rng(seed);
+  const size_t n2 = kg2.NumEntities();
+
+  // Uniform wrong KG2 entity; returns kInvalidId when none exists.
+  auto random_wrong = [&](EntityId truth) -> EntityId {
+    if (n2 < 2) return kInvalidId;
+    EntityId wrong = truth;
+    for (int tries = 0; tries < 64 && wrong == truth; ++tries) {
+      wrong = static_cast<EntityId>(rng.NextBounded(n2));
+    }
+    return wrong == truth ? kInvalidId : wrong;
+  };
+
+  std::vector<SeedCorruption> recs;
+  // Swap picks pair up: the first of each pair waits here for its partner.
+  std::ptrdiff_t pending_swap = -1;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    // Both sides are evaluated unconditionally so the fault point's hit
+    // counter and the rng stream never depend on each other or on whether
+    // a fault is armed.
+    const bool forced = FAULT_POINT("datagen/seed_corrupt");
+    const bool drawn = rng.NextBernoulli(rate);
+    if (!forced && !drawn) continue;
+
+    const EntityId truth = reference[i].right;
+    SeedCorruption rec;
+    rec.index = i;
+    rec.clean = reference[i];
+    const uint64_t kind_draw = rng.NextBounded(3);
+    bool corrupted = false;
+    if (kind_draw == 0) {  // Swapped.
+      if (pending_swap < 0) {
+        pending_swap = static_cast<std::ptrdiff_t>(i);
+        rec.kind = SeedCorruption::Kind::kSwapped;
+        recs.push_back(rec);  // Kind fixed up below if no partner arrives.
+        continue;
+      }
+      const size_t j = static_cast<size_t>(pending_swap);
+      pending_swap = -1;
+      if (reference[j].right != truth) {
+        std::swap(noisy[i].right, noisy[j].right);
+        rec.kind = SeedCorruption::Kind::kSwapped;
+        corrupted = true;
+      } else {
+        // Duplicate rights (possible in hand-built alignments): swapping
+        // would be a no-op, so re-queue the partner for the leftover fixup.
+        pending_swap = static_cast<std::ptrdiff_t>(j);
+      }
+    } else if (kind_draw == 1) {  // Hard negative: a KG2 neighbour of truth.
+      const auto& edges = kg2.Neighbors(truth);
+      std::vector<EntityId> candidates;
+      candidates.reserve(edges.size());
+      for (const kg::NeighborEdge& edge : edges) {
+        if (edge.neighbor != truth) candidates.push_back(edge.neighbor);
+      }
+      if (!candidates.empty()) {
+        noisy[i].right = candidates[rng.NextBounded(candidates.size())];
+        rec.kind = SeedCorruption::Kind::kHardNegative;
+        corrupted = true;
+      }
+    }
+    if (!corrupted) {  // Random wrong, also the fallback of the kinds above.
+      const EntityId wrong = random_wrong(truth);
+      if (wrong == kInvalidId) continue;  // Degenerate KG2: nothing to do.
+      noisy[i].right = wrong;
+      rec.kind = SeedCorruption::Kind::kRandomWrong;
+    }
+    recs.push_back(rec);
+  }
+  // A leftover swap pick never got a partner: downgrade to random-wrong.
+  if (pending_swap >= 0) {
+    const size_t i = static_cast<size_t>(pending_swap);
+    const EntityId wrong = random_wrong(reference[i].right);
+    auto it = std::find_if(
+        recs.begin(), recs.end(),
+        [i](const SeedCorruption& r) { return r.index == i; });
+    if (wrong != kInvalidId) {
+      noisy[i].right = wrong;
+      it->kind = SeedCorruption::Kind::kRandomWrong;
+    } else {
+      recs.erase(it);
+    }
+  }
+  if (corruptions != nullptr) {
+    corruptions->insert(corruptions->end(), recs.begin(), recs.end());
+  }
+  return noisy;
 }
 
 }  // namespace openea::datagen

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/datagen/synthetic_kg.h"
 #include "src/kg/knowledge_graph.h"
@@ -56,11 +57,36 @@ struct HeterogeneityProfile {
   double description_keep = 0.7;
   /// Fraction of entities private to each KG (not in reference alignment).
   double unaligned_fraction = 0.10;
+  /// Additional fraction of entities per KG deliberately left without a
+  /// counterpart (dangling entities, Sun et al. "Knowing the No-match").
+  /// Mechanically identical to `unaligned_fraction` — the entities stay in
+  /// the candidate pool — but the knob exists so robustness sweeps can vary
+  /// the dangling rate independently of the baseline heterogeneity presets.
+  double dangling_fraction = 0.0;
+  /// Fraction of reference-alignment pairs whose KG2 side is deterministically
+  /// corrupted (swapped / hard-negative / random-wrong) to model noisy seed
+  /// supervision. The clean truth is kept in `DatasetPair::reference`; the
+  /// corrupted view is `DatasetPair::noisy_reference`.
+  double seed_noise_rate = 0.0;
 
   static HeterogeneityProfile EnFr();
   static HeterogeneityProfile EnDe();
   static HeterogeneityProfile DbpWd();
   static HeterogeneityProfile DbpYg();
+};
+
+/// One corrupted seed pair: which reference index was corrupted, what the
+/// clean truth was, and how the wrong right side was chosen. Tests use the
+/// records to verify the corruption against ground truth.
+struct SeedCorruption {
+  enum class Kind {
+    kSwapped,        // Rights of two corrupted pairs exchanged.
+    kHardNegative,   // Right replaced by a KG2 graph neighbour of the truth.
+    kRandomWrong,    // Right replaced by a uniform wrong KG2 entity.
+  };
+  size_t index = 0;        // Position in the (sorted) reference alignment.
+  kg::AlignmentPair clean; // The true pair before corruption.
+  Kind kind = Kind::kRandomWrong;
 };
 
 /// A pair of KGs with reference alignment — the unit all sampling,
@@ -69,8 +95,20 @@ struct DatasetPair {
   std::string name;
   kg::KnowledgeGraph kg1;
   kg::KnowledgeGraph kg2;
-  /// Complete reference alignment (kg1 entity id, kg2 entity id).
+  /// Complete clean reference alignment (kg1 entity id, kg2 entity id).
+  /// Evaluation always scores against this truth.
   kg::Alignment reference;
+  /// Reference alignment as surfaced to *training*: same length and order
+  /// as `reference` (same left ids), but `seed_noise_rate` of the right ids
+  /// are wrong. Identical to `reference` when no noise was requested.
+  kg::Alignment noisy_reference;
+  /// One record per corrupted pair in `noisy_reference` (ascending index).
+  std::vector<SeedCorruption> corruptions;
+  /// Ground-truth dangling entities: present in one KG with no counterpart
+  /// in the other (the `unaligned_fraction` + `dangling_fraction` privates).
+  /// Sorted ascending; ids are local to the respective KG.
+  std::vector<kg::EntityId> dangling1;
+  std::vector<kg::EntityId> dangling2;
   /// Bilingual dictionary used to build KG2 (empty for monolingual pairs).
   /// Serves as the Google-Translate substitute for conventional baselines.
   text::TranslationDictionary dictionary;
@@ -82,6 +120,19 @@ struct DatasetPair {
 DatasetPair GenerateDatasetPair(const SyntheticKgConfig& source_config,
                                 const HeterogeneityProfile& profile,
                                 uint64_t seed);
+
+/// Deterministically corrupts `rate` of `reference`: returns an alignment of
+/// the same length and order (left ids untouched) where each corrupted pair's
+/// right id is wrong — swapped with another corrupted pair, replaced by a KG2
+/// graph neighbour of the truth (hard negative), or replaced by a uniform
+/// wrong entity. Appends one record per corruption to `corruptions`. All
+/// randomness derives from `seed`; the `datagen/seed_corrupt` fault point is
+/// hit once per pair and can force corruption via `--fault=` even at rate 0.
+/// `kg2` must be indexed (BuildIndex) for hard-negative neighbour lookup.
+kg::Alignment CorruptSeedAlignment(const kg::Alignment& reference,
+                                   const kg::KnowledgeGraph& kg2,
+                                   double rate, uint64_t seed,
+                                   std::vector<SeedCorruption>* corruptions);
 
 }  // namespace openea::datagen
 

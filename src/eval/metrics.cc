@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "src/align/topk.h"
@@ -259,6 +260,145 @@ PrfMetrics ComparePairs(const kg::Alignment& predicted,
                      (out.precision + out.recall)
                : 0.0;
   return out;
+}
+
+namespace {
+
+/// Per-query top-1 candidate (index -1 when no finite candidate exists).
+struct Top1 {
+  std::vector<int> index;
+  std::vector<float> value;
+};
+
+Top1 ComputeTop1(const math::Matrix& queries, const math::Matrix& targets,
+                 const AbstentionOptions& options) {
+  Top1 top1;
+  top1.index.assign(queries.rows(), -1);
+  top1.value.assign(queries.rows(),
+                    -std::numeric_limits<float>::infinity());
+  if (queries.rows() == 0 || targets.rows() == 0) return top1;
+  align::TopKOptions topk_options;
+  topk_options.k = 1;
+  topk_options.metric = options.metric;
+  topk_options.csls = options.csls;
+  const align::TopKResult topk =
+      align::StreamingTopK(queries, targets, topk_options);
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    top1.index[i] = topk.BestIndex(i);
+    top1.value[i] = topk.Row(i)[0].value;
+  }
+  return top1;
+}
+
+AbstentionMetrics ScoreAbstention(const Top1& top1,
+                                  const std::vector<int>& truth,
+                                  double threshold) {
+  AbstentionMetrics out;
+  out.queries = truth.size();
+  if (truth.empty()) return out;
+  // Integer counts in a serial index-order scan: trivially bit-identical at
+  // any thread count, and cheap next to the similarity pass above.
+  uint64_t abstained_dangling = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const bool is_dangling = truth[i] < 0;
+    if (is_dangling) ++out.dangling;
+    else ++out.matchable;
+    const bool predicts = top1.index[i] >= 0 &&
+                          static_cast<double>(top1.value[i]) >= threshold;
+    if (!predicts) {
+      if (is_dangling) ++abstained_dangling;
+      continue;
+    }
+    ++out.predictions;
+    if (!is_dangling && top1.index[i] == truth[i]) ++out.correct;
+  }
+  const auto ratio = [](uint64_t num, uint64_t den) {
+    return den > 0 ? static_cast<double>(num) / static_cast<double>(den)
+                   : 0.0;
+  };
+  out.precision = ratio(out.correct, out.predictions);
+  out.recall = ratio(out.correct, out.matchable);
+  out.f1 = (out.precision + out.recall) > 0
+               ? 2 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  out.abstain_rate = ratio(out.queries - out.predictions, out.queries);
+  out.dangling_recall = ratio(abstained_dangling, out.dangling);
+  return out;
+}
+
+/// Assembles the model-level query/target matrices and truth vector: test
+/// lefts then dangling lefts as queries; test rights then dangling rights
+/// as the candidate pool (the latter are pure distractors).
+void BuildAbstentionTask(const core::AlignmentModel& model,
+                         const kg::Alignment& test_pairs,
+                         const std::vector<kg::EntityId>& dangling1,
+                         const std::vector<kg::EntityId>& dangling2,
+                         math::Matrix* queries, math::Matrix* targets,
+                         std::vector<int>* truth) {
+  std::vector<kg::EntityId> lefts, rights;
+  lefts.reserve(test_pairs.size() + dangling1.size());
+  rights.reserve(test_pairs.size() + dangling2.size());
+  truth->clear();
+  truth->reserve(test_pairs.size() + dangling1.size());
+  for (size_t i = 0; i < test_pairs.size(); ++i) {
+    lefts.push_back(test_pairs[i].left);
+    rights.push_back(test_pairs[i].right);
+    truth->push_back(static_cast<int>(i));
+  }
+  for (kg::EntityId e : dangling1) {
+    lefts.push_back(e);
+    truth->push_back(-1);
+  }
+  for (kg::EntityId e : dangling2) rights.push_back(e);
+  *queries = GatherRows(model.emb1, lefts);
+  *targets = GatherRows(model.emb2, rights);
+}
+
+}  // namespace
+
+AbstentionMetrics EvaluateAbstention(const math::Matrix& queries,
+                                     const math::Matrix& targets,
+                                     const std::vector<int>& truth,
+                                     const AbstentionOptions& options) {
+  OPENEA_CHECK_EQ(truth.size(), queries.rows());
+  telemetry::ScopedSpan span("eval_abstention");
+  telemetry::IncrCounter("eval/abstention_calls");
+  telemetry::IncrCounter("eval/abstention_queries", truth.size());
+  return ScoreAbstention(ComputeTop1(queries, targets, options), truth,
+                         options.threshold);
+}
+
+AbstentionMetrics EvaluateAbstention(const core::AlignmentModel& model,
+                                     const kg::Alignment& test_pairs,
+                                     const std::vector<kg::EntityId>& dangling1,
+                                     const std::vector<kg::EntityId>& dangling2,
+                                     const AbstentionOptions& options) {
+  math::Matrix queries, targets;
+  std::vector<int> truth;
+  BuildAbstentionTask(model, test_pairs, dangling1, dangling2, &queries,
+                      &targets, &truth);
+  return EvaluateAbstention(queries, targets, truth, options);
+}
+
+std::vector<AbstentionOperatingPoint> SweepAbstentionThresholds(
+    const core::AlignmentModel& model, const kg::Alignment& test_pairs,
+    const std::vector<kg::EntityId>& dangling1,
+    const std::vector<kg::EntityId>& dangling2,
+    const AbstentionOptions& options, const std::vector<double>& thresholds) {
+  telemetry::ScopedSpan span("eval_abstention_sweep");
+  math::Matrix queries, targets;
+  std::vector<int> truth;
+  BuildAbstentionTask(model, test_pairs, dangling1, dangling2, &queries,
+                      &targets, &truth);
+  // One similarity pass; each operating point is just a re-count.
+  const Top1 top1 = ComputeTop1(queries, targets, options);
+  std::vector<AbstentionOperatingPoint> curve;
+  curve.reserve(thresholds.size());
+  for (double t : thresholds) {
+    curve.push_back({t, ScoreAbstention(top1, truth, t)});
+  }
+  return curve;
 }
 
 MeanStd Aggregate(const std::vector<double>& values) {

@@ -1,6 +1,7 @@
 #ifndef OPENEA_EVAL_METRICS_H_
 #define OPENEA_EVAL_METRICS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/align/inference.h"
@@ -84,6 +85,73 @@ struct PrfMetrics {
 
 PrfMetrics ComparePairs(const kg::Alignment& predicted,
                         const kg::Alignment& reference);
+
+/// Abstention-aware evaluation for the robustness workload (ROADMAP
+/// "robustness"): top-1 inference with a similarity "no-match" threshold.
+/// A query whose best candidate similarity is below the threshold abstains
+/// (predicts "no counterpart"); otherwise it predicts the best candidate.
+/// Scored over matchable *and* dangling queries:
+///  * precision = correct predictions / predictions made;
+///  * recall    = correct predictions / matchable queries — a prediction on
+///    a dangling query is a false positive, an abstention on a matchable
+///    query is a miss;
+///  * f1        = harmonic mean (0 when either is 0);
+///  * dangling_recall = correctly-abstained dangling queries / dangling
+///    queries (correct-rejection rate).
+/// All counts are exact integers accumulated in index order, so the derived
+/// ratios are bit-identical at any thread count.
+struct AbstentionMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double abstain_rate = 0.0;
+  double dangling_recall = 0.0;
+  uint64_t queries = 0;
+  uint64_t matchable = 0;
+  uint64_t dangling = 0;
+  uint64_t predictions = 0;
+  uint64_t correct = 0;
+};
+
+struct AbstentionOptions {
+  align::DistanceMetric metric = align::DistanceMetric::kCosine;
+  bool csls = false;
+  /// Minimum top-1 similarity required to predict instead of abstain.
+  double threshold = 0.5;
+};
+
+/// One point of the predict-or-abstain operating curve.
+struct AbstentionOperatingPoint {
+  double threshold = 0.0;
+  AbstentionMetrics metrics;
+};
+
+/// Matrix-level core: `truth[i]` is the target row holding query i's true
+/// counterpart, or -1 when query i is dangling (no counterpart exists in
+/// `targets`). `targets` may contain extra distractor rows no truth points
+/// at (dangling right-side entities stay in the candidate pool).
+AbstentionMetrics EvaluateAbstention(const math::Matrix& queries,
+                                     const math::Matrix& targets,
+                                     const std::vector<int>& truth,
+                                     const AbstentionOptions& options);
+
+/// Model-level convenience mirroring the ranking protocol: queries are the
+/// left test entities plus the left dangling entities; the candidate pool is
+/// the right test entities plus the right dangling entities (distractors).
+AbstentionMetrics EvaluateAbstention(const core::AlignmentModel& model,
+                                     const kg::Alignment& test_pairs,
+                                     const std::vector<kg::EntityId>& dangling1,
+                                     const std::vector<kg::EntityId>& dangling2,
+                                     const AbstentionOptions& options);
+
+/// Threshold sweep over the same predict-or-abstain task: computes top-1
+/// similarities once, then scores every threshold, reporting the operating
+/// curve (one point per threshold, in input order).
+std::vector<AbstentionOperatingPoint> SweepAbstentionThresholds(
+    const core::AlignmentModel& model, const kg::Alignment& test_pairs,
+    const std::vector<kg::EntityId>& dangling1,
+    const std::vector<kg::EntityId>& dangling2,
+    const AbstentionOptions& options, const std::vector<double>& thresholds);
 
 /// Mean and sample standard deviation over fold results.
 struct MeanStd {

@@ -127,6 +127,39 @@ DatasetPair RestrictPair(const DatasetPair& pair,
   out.kg1 = pair.kg1.InducedSubgraph(kept1, &map1);
   out.kg2 = pair.kg2.InducedSubgraph(kept2, &map2);
   out.reference = kg::RemapAlignment(pair.reference, map1, map2);
+  // Rebuild the noisy training view in lock step with the surviving clean
+  // pairs (same drops, so it stays index-parallel to `out.reference`). A
+  // noisy right whose entity was sampled away falls back to the clean right.
+  if (!pair.noisy_reference.empty()) {
+    std::unordered_map<size_t, const datagen::SeedCorruption*> corruption_at;
+    for (const datagen::SeedCorruption& c : pair.corruptions) {
+      corruption_at[c.index] = &c;
+    }
+    size_t new_index = 0;
+    for (size_t i = 0; i < pair.reference.size(); ++i) {
+      const EntityId l = map1[pair.reference[i].left];
+      const EntityId r = map2[pair.reference[i].right];
+      if (l == kg::kInvalidId || r == kg::kInvalidId) continue;
+      EntityId noisy_r = map2[pair.noisy_reference[i].right];
+      if (noisy_r == kg::kInvalidId) noisy_r = r;
+      out.noisy_reference.push_back({l, noisy_r});
+      const auto it = corruption_at.find(i);
+      if (it != corruption_at.end() && noisy_r != r) {
+        out.corruptions.push_back(
+            {new_index, {l, r}, it->second->kind});
+      }
+      ++new_index;
+    }
+  }
+  // Dangling ground truth survives only where the entity itself was kept.
+  for (EntityId e : pair.dangling1) {
+    if (map1[e] != kg::kInvalidId) out.dangling1.push_back(map1[e]);
+  }
+  for (EntityId e : pair.dangling2) {
+    if (map2[e] != kg::kInvalidId) out.dangling2.push_back(map2[e]);
+  }
+  std::sort(out.dangling1.begin(), out.dangling1.end());
+  std::sort(out.dangling2.begin(), out.dangling2.end());
   return out;
 }
 

@@ -55,6 +55,9 @@ void PrintUsage(std::FILE* out) {
       "                       stdin/stdout; HTTP connections get GET /metrics\n"
       "  --slow-ms=N          log requests slower than N ms (default 100;\n"
       "                       0 disables)\n"
+      "  --deadline-ms=N      answer requests older than N ms with an\n"
+      "                       explicit deadline_exceeded error instead of a\n"
+      "                       late payload (default 0 = no deadline)\n"
       "  --metrics-interval=SEC  periodic telemetry flush + heartbeat log\n"
       "                       every SEC seconds (default off)\n"
       "  --log-format=text|json  log line format (default text)\n"
@@ -117,6 +120,8 @@ int Run(int argc, char** argv) {
       listen_port = std::atoi(arg.c_str() + 9);
     } else if (StartsWith(arg, "--slow-ms=")) {
       config.slow_request_ms = std::atof(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--deadline-ms=")) {
+      config.deadline_ms = std::atof(arg.c_str() + 14);
     } else if (StartsWith(arg, "--metrics-interval=")) {
       metrics_interval = std::atof(arg.c_str() + 19);
     } else if (arg == "--log-format=text") {

@@ -100,6 +100,12 @@ struct ServeConfig {
   /// warning log line carrying the request id, latency, rows, and k.
   /// <= 0 disables the slow-request log.
   double slow_request_ms = 100.0;
+  /// Per-request deadline (parse -> response write). A request already past
+  /// its deadline when its micro-batch flushes is answered with an explicit
+  /// DeadlineExceeded error (counted under `serve/deadline_exceeded`)
+  /// instead of a late topk payload; the rest of the batch is unaffected.
+  /// <= 0 disables the deadline.
+  double deadline_ms = 0.0;
 
   Status Validate() const;
 };

@@ -174,6 +174,84 @@ TEST(BenchDiffTest, DegradedFoldAnnotationsAreNotes) {
   EXPECT_NE(report.notes[0].find("degraded fold"), std::string::npos);
 }
 
+TEST(BenchDiffTest, RobustGaugesGateExactly) {
+  // The robustness degradation gauges are the workload's headline result:
+  // any drift is a real behaviour change and must gate.
+  json::Value baseline = ParseDoc(kBaseline);
+  baseline.object()["gauges"].object()["robust/hits1/n20_d20/MTransE"] =
+      json::Value(0.5);
+  json::Value candidate = ParseDoc(kBaseline);
+  candidate.object()["gauges"].object()["robust/hits1/n20_d20/MTransE"] =
+      json::Value(0.4);
+  const auto report = bench::CompareBenchDocuments(baseline, candidate,
+                                                   bench::DiffOptions{});
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_NE(report.regressions[0].find("robust/hits1"), std::string::npos);
+
+  // A missing gauge gates too.
+  const auto missing = bench::CompareBenchDocuments(
+      baseline, ParseDoc(kBaseline), bench::DiffOptions{});
+  ASSERT_EQ(missing.regressions.size(), 1u);
+  EXPECT_NE(missing.regressions[0].find("missing in candidate"),
+            std::string::npos);
+}
+
+TEST(BenchDiffTest, RobustCountersAreInformationalNotesOnly) {
+  // Counters under robust/ record the noise realization (how many seeds
+  // were corrupted); drift or absence is surfaced as a note, mirroring the
+  // fault/* treatment — but unlike fault/* the keys are still *reported*.
+  json::Value baseline = ParseDoc(kBaseline);
+  baseline.object()["counters"].object()["robust/corrupted_train_seeds"] =
+      json::Value(106);
+  json::Value candidate = ParseDoc(kBaseline);
+  candidate.object()["counters"].object()["robust/corrupted_train_seeds"] =
+      json::Value(212);
+  const auto report = bench::CompareBenchDocuments(baseline, candidate,
+                                                   bench::DiffOptions{});
+  EXPECT_TRUE(report.ok())
+      << (report.regressions.empty() ? "" : report.regressions.front());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("informational counter"), std::string::npos);
+
+  // Absent in the candidate: also a note, not a regression.
+  const auto absent = bench::CompareBenchDocuments(
+      baseline, ParseDoc(kBaseline), bench::DiffOptions{});
+  EXPECT_TRUE(absent.ok())
+      << (absent.regressions.empty() ? "" : absent.regressions.front());
+  ASSERT_EQ(absent.notes.size(), 1u);
+  EXPECT_NE(absent.notes[0].find("missing in candidate"), std::string::npos);
+}
+
+TEST(BenchDiffTest, RobustHistogramCountDriftIsANote) {
+  json::Value baseline = ParseDoc(kBaseline);
+  baseline.object()["histograms"].object()["robust/noise_draws"] =
+      ParseDoc(R"({"count": 10, "mean": 1.0})");
+  json::Value candidate = ParseDoc(kBaseline);
+  candidate.object()["histograms"].object()["robust/noise_draws"] =
+      ParseDoc(R"({"count": 20, "mean": 1.0})");
+  const auto report = bench::CompareBenchDocuments(baseline, candidate,
+                                                   bench::DiffOptions{});
+  EXPECT_TRUE(report.ok())
+      << (report.regressions.empty() ? "" : report.regressions.front());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("robust/noise_draws"), std::string::npos);
+}
+
+TEST(BenchDiffTest, SkipCountersFlagReplacesDefaultPrefixSet) {
+  // --skip-counters replaces the default {robust/}: with a different set,
+  // robust/ counter drift gates exactly again.
+  json::Value baseline = ParseDoc(kBaseline);
+  baseline.object()["counters"].object()["robust/corrupted_train_seeds"] =
+      json::Value(106);
+  json::Value candidate = ParseDoc(kBaseline);
+  candidate.object()["counters"].object()["robust/corrupted_train_seeds"] =
+      json::Value(212);
+  bench::DiffOptions options;
+  options.skip_counter_prefixes = {"other/"};
+  EXPECT_FALSE(
+      bench::CompareBenchDocuments(baseline, candidate, options).ok());
+}
+
 TEST(BenchDiffTest, HeartbeatGaugesAreInformationalNeverGating) {
   // Live-progress gauges capture whatever instant the run happened to
   // flush at — wildly different values (or their absence) must not gate.

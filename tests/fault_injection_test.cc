@@ -271,6 +271,46 @@ TEST_F(FaultInjectionTest, ConfigChangeInvalidatesCheckpoint) {
   EXPECT_FALSE(second.fold_health[1].resumed);
 }
 
+TEST_F(FaultInjectionTest, SeedCorruptFaultForcesCorruptionAtZeroRate) {
+  // The datagen/seed_corrupt point is hit once per reference pair; arming
+  // it through the --fault flag grammar forces corruption of the n-th pair
+  // even at seed_noise_rate 0 — without perturbing the rng stream, so the
+  // rest of the dataset is bit-identical to a clean run.
+  datagen::SyntheticKgConfig source;
+  source.num_entities = 200;
+  source.seed = 3;
+  datagen::HeterogeneityProfile profile;  // seed_noise_rate = 0.
+
+  const datagen::DatasetPair clean =
+      datagen::GenerateDatasetPair(source, profile, 3);
+  ASSERT_TRUE(clean.corruptions.empty());
+
+  ASSERT_TRUE(fault::ArmFromFlag("datagen/seed_corrupt:5:fail").ok());
+  const datagen::DatasetPair forced =
+      datagen::GenerateDatasetPair(source, profile, 3);
+  EXPECT_EQ(fault::FiredCount("datagen/seed_corrupt"), 1u);
+  EXPECT_EQ(fault::HitCount("datagen/seed_corrupt"),
+            forced.reference.size());
+  fault::DisarmAll();
+
+  // Exactly the 5th pair is corrupted; everything else matches the clean
+  // run (including the dangling bookkeeping and the rest of the alignment).
+  ASSERT_EQ(forced.corruptions.size(), 1u);
+  EXPECT_EQ(forced.corruptions[0].index, 4u);
+  ASSERT_EQ(forced.reference.size(), clean.reference.size());
+  for (size_t i = 0; i < forced.reference.size(); ++i) {
+    EXPECT_EQ(forced.reference[i].left, clean.reference[i].left);
+    EXPECT_EQ(forced.reference[i].right, clean.reference[i].right);
+    if (i == 4) {
+      EXPECT_NE(forced.noisy_reference[i].right, forced.reference[i].right);
+    } else {
+      EXPECT_EQ(forced.noisy_reference[i].right, clean.reference[i].right);
+    }
+  }
+  EXPECT_EQ(forced.dangling1, clean.dangling1);
+  EXPECT_EQ(forced.dangling2, clean.dangling2);
+}
+
 TEST_F(FaultInjectionTest, ResumeRestoresCompletedFoldsWithoutRecompute) {
   const auto dataset = TinyDataset();
   const auto config = TinyConfig(1);

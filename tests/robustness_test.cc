@@ -1,0 +1,444 @@
+// Robustness-workload suite (ctest label: robustness): seed-noise
+// corruption of the reference alignment, dangling ground truth, and the
+// abstention-aware evaluation (DESIGN.md, "Robustness workload").
+//
+// The determinism tests pin the PR's contract — the corruption realization
+// and the abstention P/R/F1 at a fixed threshold are bit-identical at 1 and
+// 8 threads. The hand-computed fixtures pin the scoring semantics
+// (prediction on a dangling query is a false positive, abstention on a
+// matchable query is a miss), including the all-dangling and
+// zero-threshold edge cases. The end-to-end test forks the real
+// bench_robustness binary and validates its --json telemetry with the
+// bench schema validator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/parallel.h"
+#include "src/core/benchmark.h"
+#include "src/core/task.h"
+#include "src/datagen/kg_pair.h"
+#include "src/eval/metrics.h"
+#include "src/common/rng.h"
+#include "src/kg/types.h"
+#include "src/math/matrix.h"
+
+#ifndef OPENEA_BENCH_ROBUSTNESS
+#error "OPENEA_BENCH_ROBUSTNESS must point at the bench_robustness binary"
+#endif
+#ifndef OPENEA_VALIDATE_BENCH_JSON
+#error "OPENEA_VALIDATE_BENCH_JSON must point at validate_bench_json"
+#endif
+
+namespace openea {
+namespace {
+
+datagen::DatasetPair NoisyPair(double noise, double dangling, uint64_t seed) {
+  datagen::SyntheticKgConfig source;
+  source.num_entities = 250;
+  source.avg_degree = 5.0;
+  source.num_relations = 15;
+  source.num_attributes = 10;
+  source.vocabulary_size = 150;
+  source.seed = seed;
+  datagen::HeterogeneityProfile profile;
+  profile.seed_noise_rate = noise;
+  profile.dangling_fraction = dangling;
+  return datagen::GenerateDatasetPair(source, profile, seed);
+}
+
+bool SameAlignment(const kg::Alignment& a, const kg::Alignment& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].left != b[i].left || a[i].right != b[i].right) return false;
+  }
+  return true;
+}
+
+TEST(SeedCorruptionTest, RecordsVerifyAgainstGroundTruth) {
+  datagen::DatasetPair pair = NoisyPair(0.3, 0.0, 17);
+  ASSERT_EQ(pair.noisy_reference.size(), pair.reference.size());
+  ASSERT_FALSE(pair.corruptions.empty());
+  ASSERT_LT(pair.corruptions.size(), pair.reference.size());
+
+  // Each record names a corrupted index: clean matches the reference, the
+  // noisy right differs, and the left side is never touched.
+  std::vector<bool> corrupted(pair.reference.size(), false);
+  size_t prev_plus_1 = 0;  // Records arrive in ascending index order.
+  for (const datagen::SeedCorruption& c : pair.corruptions) {
+    ASSERT_LT(c.index, pair.reference.size());
+    ASSERT_GE(c.index + 1, prev_plus_1 + 1);
+    prev_plus_1 = c.index + 1;
+    corrupted[c.index] = true;
+    EXPECT_EQ(c.clean.left, pair.reference[c.index].left);
+    EXPECT_EQ(c.clean.right, pair.reference[c.index].right);
+    EXPECT_EQ(pair.noisy_reference[c.index].left, c.clean.left);
+    EXPECT_NE(pair.noisy_reference[c.index].right, c.clean.right);
+  }
+  // Every index without a record is untouched.
+  for (size_t i = 0; i < pair.reference.size(); ++i) {
+    if (corrupted[i]) continue;
+    EXPECT_EQ(pair.noisy_reference[i].left, pair.reference[i].left);
+    EXPECT_EQ(pair.noisy_reference[i].right, pair.reference[i].right);
+  }
+
+  // Kind-specific invariants.
+  pair.kg2.BuildIndex();
+  size_t swapped = 0, hard = 0, random_wrong = 0;
+  for (const datagen::SeedCorruption& c : pair.corruptions) {
+    const kg::EntityId noisy = pair.noisy_reference[c.index].right;
+    switch (c.kind) {
+      case datagen::SeedCorruption::Kind::kSwapped: {
+        // Some other corrupted pair holds this pair's clean right, and this
+        // pair holds its partner's.
+        const auto partner = std::find_if(
+            pair.corruptions.begin(), pair.corruptions.end(),
+            [&](const datagen::SeedCorruption& other) {
+              return other.index != c.index &&
+                     pair.noisy_reference[other.index].right == c.clean.right;
+            });
+        ASSERT_NE(partner, pair.corruptions.end());
+        EXPECT_EQ(noisy, partner->clean.right);
+        ++swapped;
+        break;
+      }
+      case datagen::SeedCorruption::Kind::kHardNegative: {
+        const auto& neighbors = pair.kg2.Neighbors(c.clean.right);
+        const bool is_neighbor = std::any_of(
+            neighbors.begin(), neighbors.end(),
+            [&](const kg::NeighborEdge& e) { return e.neighbor == noisy; });
+        EXPECT_TRUE(is_neighbor)
+            << "hard negative " << noisy << " is not a KG2 neighbour of "
+            << c.clean.right;
+        ++hard;
+        break;
+      }
+      case datagen::SeedCorruption::Kind::kRandomWrong:
+        EXPECT_LT(noisy, pair.kg2.NumEntities());
+        ++random_wrong;
+        break;
+    }
+  }
+  // At 30% over ~hundreds of pairs, all three modes must be realized.
+  EXPECT_GT(swapped, 0u);
+  EXPECT_GT(hard, 0u);
+  EXPECT_GT(random_wrong, 0u);
+}
+
+TEST(SeedCorruptionTest, ZeroRateIsIdentity) {
+  const datagen::DatasetPair pair = NoisyPair(0.0, 0.0, 21);
+  EXPECT_TRUE(pair.corruptions.empty());
+  EXPECT_TRUE(SameAlignment(pair.noisy_reference, pair.reference));
+}
+
+TEST(SeedCorruptionTest, RealizationBitIdenticalAcrossThreadCounts) {
+  SetThreads(1);
+  const datagen::DatasetPair one = NoisyPair(0.25, 0.15, 33);
+  SetThreads(8);
+  const datagen::DatasetPair eight = NoisyPair(0.25, 0.15, 33);
+  SetThreads(1);
+
+  EXPECT_TRUE(SameAlignment(one.reference, eight.reference));
+  EXPECT_TRUE(SameAlignment(one.noisy_reference, eight.noisy_reference));
+  ASSERT_EQ(one.corruptions.size(), eight.corruptions.size());
+  for (size_t i = 0; i < one.corruptions.size(); ++i) {
+    EXPECT_EQ(one.corruptions[i].index, eight.corruptions[i].index);
+    EXPECT_EQ(one.corruptions[i].kind, eight.corruptions[i].kind);
+  }
+  EXPECT_EQ(one.dangling1, eight.dangling1);
+  EXPECT_EQ(one.dangling2, eight.dangling2);
+}
+
+TEST(DanglingTest, GroundTruthSurfacedSortedAndDisjointFromReference) {
+  const datagen::DatasetPair pair = NoisyPair(0.0, 0.1, 9);
+  // unaligned_fraction (0.10 default) + dangling_fraction (0.10) privates.
+  ASSERT_FALSE(pair.dangling1.empty());
+  ASSERT_FALSE(pair.dangling2.empty());
+  EXPECT_TRUE(std::is_sorted(pair.dangling1.begin(), pair.dangling1.end()));
+  EXPECT_TRUE(std::is_sorted(pair.dangling2.begin(), pair.dangling2.end()));
+
+  // Dangling entities live in the candidate pool but never in the truth.
+  for (const kg::EntityId e : pair.dangling1) {
+    ASSERT_LT(e, pair.kg1.NumEntities());
+    for (const kg::AlignmentPair& p : pair.reference) {
+      ASSERT_NE(p.left, e) << "dangling KG1 entity appears in the reference";
+    }
+  }
+  for (const kg::EntityId e : pair.dangling2) {
+    ASSERT_LT(e, pair.kg2.NumEntities());
+    for (const kg::AlignmentPair& p : pair.reference) {
+      ASSERT_NE(p.right, e) << "dangling KG2 entity appears in the reference";
+    }
+  }
+
+  // The dangling knob adds on top of unaligned_fraction: every private
+  // entity is surfaced, so each side carries roughly 20% of its KG.
+  const double frac1 =
+      static_cast<double>(pair.dangling1.size()) / pair.kg1.NumEntities();
+  EXPECT_GT(frac1, 0.10);
+  EXPECT_LT(frac1, 0.35);
+}
+
+TEST(DanglingTest, IdsSamplingDropsDanglingButKeepsCleanPipeline) {
+  // IDS retains only reference entities by construction, so sampled
+  // datasets must come out with empty robustness fields — the standard
+  // pipeline is unchanged.
+  const auto dataset = core::BuildBenchmarkDataset(
+      datagen::HeterogeneityProfile::EnFr(),
+      core::ScalePreset{"tiny", 500, 250, 25.0}, false, 5);
+  EXPECT_TRUE(dataset.pair.dangling1.empty());
+  EXPECT_TRUE(dataset.pair.dangling2.empty());
+  EXPECT_TRUE(dataset.pair.corruptions.empty());
+  EXPECT_TRUE(
+      SameAlignment(dataset.pair.noisy_reference, dataset.pair.reference));
+}
+
+// ---- Abstention scoring fixtures -----------------------------------------
+
+/// Two unit targets t0=(1,0), t1=(0,1); four queries:
+///  q0=(1,0)    truth 0  -> top-1 t0 @ 1.0  (correct prediction)
+///  q1=(.6,.8)  truth 1  -> top-1 t1 @ 0.8  (correct prediction)
+///  q2=(1,0)    dangling -> top-1 t0 @ 1.0  (false positive)
+///  q3=(-1,0)   dangling -> top-1 t1 @ 0.0  (abstains at threshold 0.5)
+struct Fixture {
+  math::Matrix queries{4, 2};
+  math::Matrix targets{2, 2};
+  std::vector<int> truth{0, 1, -1, -1};
+  Fixture() {
+    const float q[4][2] = {{1, 0}, {0.6f, 0.8f}, {1, 0}, {-1, 0}};
+    const float t[2][2] = {{1, 0}, {0, 1}};
+    for (int i = 0; i < 4; ++i)
+      std::copy(q[i], q[i] + 2, queries.Row(i).begin());
+    for (int i = 0; i < 2; ++i)
+      std::copy(t[i], t[i] + 2, targets.Row(i).begin());
+  }
+};
+
+TEST(AbstentionTest, HandComputedFixtureAtDefaultThreshold) {
+  const Fixture f;
+  eval::AbstentionOptions options;  // cosine, threshold 0.5
+  const auto m =
+      eval::EvaluateAbstention(f.queries, f.targets, f.truth, options);
+  EXPECT_EQ(m.queries, 4u);
+  EXPECT_EQ(m.matchable, 2u);
+  EXPECT_EQ(m.dangling, 2u);
+  EXPECT_EQ(m.predictions, 3u);  // q0, q1, q2 clear 0.5; q3 abstains.
+  EXPECT_EQ(m.correct, 2u);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 2.0 * (2.0 / 3.0) / (2.0 / 3.0 + 1.0));
+  EXPECT_DOUBLE_EQ(m.abstain_rate, 0.25);
+  EXPECT_DOUBLE_EQ(m.dangling_recall, 0.5);  // q3 rejected, q2 not.
+}
+
+TEST(AbstentionTest, ZeroThresholdPredictsEverythingWithTies) {
+  const Fixture f;
+  eval::AbstentionOptions options;
+  options.threshold = 0.0;
+  // q3's top-1 similarity is exactly 0.0; the predict rule is >=, so even
+  // the boundary query predicts — nothing abstains.
+  const auto m =
+      eval::EvaluateAbstention(f.queries, f.targets, f.truth, options);
+  EXPECT_EQ(m.predictions, 4u);
+  EXPECT_EQ(m.correct, 2u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.abstain_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.dangling_recall, 0.0);
+}
+
+TEST(AbstentionTest, AllDanglingQueries) {
+  const Fixture f;
+  const std::vector<int> all_dangling = {-1, -1, -1, -1};
+  eval::AbstentionOptions options;
+  options.threshold = 2.0;  // Above any cosine: everything abstains.
+  const auto m =
+      eval::EvaluateAbstention(f.queries, f.targets, all_dangling, options);
+  EXPECT_EQ(m.matchable, 0u);
+  EXPECT_EQ(m.dangling, 4u);
+  EXPECT_EQ(m.predictions, 0u);
+  // Empty denominators are 0, never NaN.
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_DOUBLE_EQ(m.abstain_rate, 1.0);
+  EXPECT_DOUBLE_EQ(m.dangling_recall, 1.0);
+
+  // At threshold -2 every dangling query predicts: precision collapses to 0
+  // with predictions > 0, and f1 stays finite.
+  options.threshold = -2.0;
+  const auto predicted =
+      eval::EvaluateAbstention(f.queries, f.targets, all_dangling, options);
+  EXPECT_EQ(predicted.predictions, 4u);
+  EXPECT_DOUBLE_EQ(predicted.precision, 0.0);
+  EXPECT_DOUBLE_EQ(predicted.f1, 0.0);
+  EXPECT_DOUBLE_EQ(predicted.dangling_recall, 0.0);
+}
+
+TEST(AbstentionTest, EmptyTaskIsAllZeros) {
+  const math::Matrix queries(0, 2), targets(2, 2);
+  const auto m = eval::EvaluateAbstention(queries, targets, {},
+                                          eval::AbstentionOptions{});
+  EXPECT_EQ(m.queries, 0u);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  EXPECT_DOUBLE_EQ(m.abstain_rate, 0.0);
+}
+
+TEST(AbstentionTest, SweepMatchesPointEvaluationsAndIsMonotoneInAbstention) {
+  // Model-level overload on a synthetic model: emb1 row i == emb2 row i for
+  // matchable pairs, dangling rows point elsewhere.
+  core::AlignmentModel model;
+  model.emb1 = math::Matrix(6, 4);
+  model.emb2 = math::Matrix(6, 4);
+  Rng rng(77);
+  model.emb1.FillUniform(rng, 1.0f);
+  for (size_t i = 0; i < 6; ++i) {
+    std::copy(model.emb1.Row(i).begin(), model.emb1.Row(i).end(),
+              model.emb2.Row(i).begin());
+  }
+  kg::Alignment test_pairs;
+  for (kg::EntityId i = 0; i < 4; ++i) test_pairs.push_back({i, i});
+  const std::vector<kg::EntityId> dangling1 = {4, 5};
+  const std::vector<kg::EntityId> dangling2 = {4};
+
+  eval::AbstentionOptions options;
+  const std::vector<double> thresholds = {0.0, 0.5, 0.9, 1.5};
+  const auto curve = eval::SweepAbstentionThresholds(
+      model, test_pairs, dangling1, dangling2, options, thresholds);
+  ASSERT_EQ(curve.size(), thresholds.size());
+  double prev_abstain = -1.0;
+  for (size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].threshold, thresholds[i]);
+    // Each sweep point equals an independent evaluation at that threshold.
+    options.threshold = thresholds[i];
+    const auto point = eval::EvaluateAbstention(model, test_pairs, dangling1,
+                                                dangling2, options);
+    EXPECT_EQ(curve[i].metrics.predictions, point.predictions);
+    EXPECT_EQ(curve[i].metrics.correct, point.correct);
+    EXPECT_DOUBLE_EQ(curve[i].metrics.f1, point.f1);
+    // Raising the threshold can only abstain more.
+    EXPECT_GE(curve[i].metrics.abstain_rate, prev_abstain);
+    prev_abstain = curve[i].metrics.abstain_rate;
+    EXPECT_EQ(curve[i].metrics.queries, 6u);
+    EXPECT_EQ(curve[i].metrics.dangling, 2u);
+  }
+  // Identical embeddings score perfectly below threshold 1: all four
+  // matchable queries hit their own row at similarity ~1.
+  EXPECT_EQ(curve[1].metrics.correct, 4u);
+  // Above any cosine, everything abstains.
+  EXPECT_DOUBLE_EQ(curve[3].metrics.abstain_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve[3].metrics.dangling_recall, 1.0);
+}
+
+TEST(AbstentionTest, FixedThresholdBitIdenticalAcrossThreadCounts) {
+  // The acceptance criterion: abstention P/R/F1 at a fixed threshold is
+  // bit-identical at 1 and 8 threads, on a task large enough that the
+  // similarity pass actually parallelizes.
+  core::AlignmentModel model;
+  Rng rng(123);
+  model.emb1 = math::Matrix(600, 24);
+  model.emb2 = math::Matrix(600, 24);
+  model.emb1.FillUniform(rng, 1.0f);
+  model.emb2.FillUniform(rng, 1.0f);
+  kg::Alignment test_pairs;
+  for (kg::EntityId i = 0; i < 450; ++i) test_pairs.push_back({i, i});
+  std::vector<kg::EntityId> dangling1, dangling2;
+  for (kg::EntityId i = 450; i < 600; ++i) {
+    dangling1.push_back(i);
+    dangling2.push_back(i);
+  }
+  eval::AbstentionOptions options;
+  options.threshold = 0.35;
+
+  SetThreads(1);
+  const auto one = eval::EvaluateAbstention(model, test_pairs, dangling1,
+                                            dangling2, options);
+  SetThreads(8);
+  const auto eight = eval::EvaluateAbstention(model, test_pairs, dangling1,
+                                              dangling2, options);
+  SetThreads(1);
+  EXPECT_EQ(one.predictions, eight.predictions);
+  EXPECT_EQ(one.correct, eight.correct);
+  EXPECT_EQ(one.precision, eight.precision);  // Bitwise, not NEAR.
+  EXPECT_EQ(one.recall, eight.recall);
+  EXPECT_EQ(one.f1, eight.f1);
+  EXPECT_EQ(one.abstain_rate, eight.abstain_rate);
+  EXPECT_EQ(one.dangling_recall, eight.dangling_recall);
+}
+
+TEST(RobustnessCvTest, CorruptedSeedsReachTrainingButNotEvaluation) {
+  core::BenchmarkDataset dataset;
+  dataset.pair = NoisyPair(0.3, 0.1, 41);
+  dataset.pair.name = "ROBUST";
+  dataset.name = "ROBUST-test";
+  core::TrainConfig config;
+  config.dim = 16;
+  config.max_epochs = 2;
+  config.seed = 7;
+  config.threads = 1;
+  const auto result =
+      core::RunCrossValidation("MTransE", dataset, config, /*num_folds=*/1);
+  EXPECT_TRUE(result.has_abstention);
+  // The clean-truth ranking metrics stay in range, and the abstention
+  // aggregates are populated (possibly 0 for an untrained model, but never
+  // NaN).
+  EXPECT_GE(result.hits1.mean, 0.0);
+  EXPECT_LE(result.hits1.mean, 1.0);
+  EXPECT_EQ(result.abstention_f1.mean, result.abstention_f1.mean);
+  EXPECT_GE(result.abstention_dangling_recall.mean, 0.0);
+  EXPECT_LE(result.abstention_dangling_recall.mean, 1.0);
+
+  // A clean dataset must not grow abstention aggregates.
+  core::BenchmarkDataset clean;
+  clean.pair = NoisyPair(0.0, 0.0, 41);
+  // Strip the unaligned-fraction dangling truth to model a fully matchable
+  // pair (the standard IDS-sampled path).
+  clean.pair.dangling1.clear();
+  clean.pair.dangling2.clear();
+  clean.pair.name = "CLEAN";
+  clean.name = "CLEAN-test";
+  const auto clean_result =
+      core::RunCrossValidation("MTransE", clean, config, /*num_folds=*/1);
+  EXPECT_FALSE(clean_result.has_abstention);
+}
+
+TEST(RobustnessBenchTest, ForkedBenchEmitsValidatedTelemetry) {
+  std::string tmpl = ::testing::TempDir() + "robustness_bench_XXXXXX";
+  char* dir = ::mkdtemp(tmpl.data());
+  ASSERT_NE(dir, nullptr);
+  const std::string json_path = std::string(dir) + "/BENCH_robustness.json";
+  const std::string run = std::string("\"") + OPENEA_BENCH_ROBUSTNESS +
+                          "\" --scale=small --folds=1 --epochs=2 --seed=7 "
+                          "--threads=2 --approaches=MTransE --json=" +
+                          json_path + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(run.c_str()), 0);
+  const std::string validate =
+      std::string("\"") + OPENEA_VALIDATE_BENCH_JSON + "\" " + json_path;
+  EXPECT_EQ(std::system(validate.c_str()), 0);
+
+  json::Value doc;
+  ASSERT_TRUE(json::ReadFile(json_path, &doc).ok());
+  EXPECT_EQ(doc.Find("bench")->string_value(), "robustness");
+  const json::Value* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  for (const char* key :
+       {"robust/hits1/n0_d0/MTransE", "robust/hits1/n40_d20/MTransE",
+        "robust/abstention_f1/n20_d0/MTransE",
+        "robust/dangling_recall/n40_d20/MTransE", "robust/sweep_f1/t50",
+        "robust/hits1_clean_mean"}) {
+    EXPECT_NE(gauges->Find(key), nullptr) << key;
+  }
+  // The noise realization is reported (informationally) under robust/.
+  const json::Value* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("robust/corrupted_train_seeds"), nullptr);
+  EXPECT_GT(counters->Find("robust/corrupted_train_seeds")->number(), 0.0);
+}
+
+}  // namespace
+}  // namespace openea

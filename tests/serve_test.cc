@@ -444,6 +444,54 @@ TEST(ServeTest, ServesBenchCvCheckpointFoldModel) {
   EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
+TEST(ServeTest, DeadlineExceededIsExplicitStatusAndCounted) {
+  const std::string dir = TempDir();
+  const std::string ckpt = WriteCheckpoint(dir, 50, 8, 23);
+  const std::string json_path = dir + "/BENCH_align_serve_deadline.json";
+  // 100 nanoseconds: every request deterministically exceeds the deadline
+  // by the time the batcher flushes it, so graceful degradation is exercised
+  // on every response.
+  ServeProcess server({"--checkpoint=" + ckpt, "--source=exact", "--k=3",
+                       "--deadline-ms=0.0001", "--json=" + json_path});
+  server.ReadJson();  // hello
+
+  constexpr int kRequests = 3;
+  for (int i = 0; i < kRequests; ++i) {
+    server.Send("{\"op\":\"topk\",\"id\":" + std::to_string(i) +
+                ",\"rows\":[[0.5,0.1,0,0,0,0,0,0.2]]}");
+    const json::Value response = server.ReadJson();
+    ASSERT_NE(response.Find("ok"), nullptr);
+    EXPECT_FALSE(response.Find("ok")->bool_value());
+    EXPECT_EQ(static_cast<int>(response.Find("id")->number()), i);
+    const std::string& error = response.Find("error")->string_value();
+    EXPECT_NE(error.find("DeadlineExceeded"), std::string::npos) << error;
+    EXPECT_NE(error.find("deadline"), std::string::npos) << error;
+    EXPECT_EQ(response.Find("ids"), nullptr)
+        << "deadline-exceeded response must not carry partial results";
+  }
+
+  // Graceful degradation, not a crash: control ops still answer and the
+  // session shuts down cleanly.
+  server.Send("{\"op\":\"ping\",\"id\":7}");
+  const json::Value pong = server.ReadJson();
+  EXPECT_TRUE(pong.Find("ok")->bool_value());
+  server.CloseInput();
+  const int status = server.Wait();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  json::Value doc;
+  ASSERT_TRUE(json::ReadFile(json_path, &doc).ok());
+  const json::Value* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("serve/deadline_exceeded"), nullptr);
+  EXPECT_EQ(counters->Find("serve/deadline_exceeded")->number(),
+            static_cast<double>(kRequests));
+  ASSERT_NE(counters->Find("serve/errors"), nullptr);
+  EXPECT_GE(counters->Find("serve/errors")->number(),
+            static_cast<double>(kRequests));
+}
+
 TEST(ServeTest, BadCheckpointOrConfigFailsStartup) {
   {
     ServeProcess server({"--checkpoint=/nonexistent/model.ckpt"});
