@@ -22,6 +22,13 @@
 //                         tolerance")
 //   --resume              with --checkpoint-dir: skip folds already
 //                         completed by a previous (possibly killed) run
+//   --shard-dir=path      out-of-core eval: stream each fold's candidate
+//                         rows through a shard-banked table under this
+//                         directory (DESIGN.md, "Out-of-core scale");
+//                         bit-identical results, bank-bounded memory
+//   --sizes=csv           entity counts for sweep-style benches (e.g.
+//                         bench_scale_sweep --sizes=1000,15000,100000);
+//                         benches without a sweep axis ignore it
 //   --fault=point:n[:kill|fail][:repeat]
 //                         arm the named fault point to fire on its n-th
 //                         hit (deterministic fault injection; repeatable)
@@ -67,6 +74,9 @@ struct BenchArgs {
   std::string trace_path;  // Empty = no Chrome trace timeline.
   std::string checkpoint_dir;  // Empty = no fold checkpoints.
   bool resume = false;
+  std::string shard_dir;  // Empty = in-RAM eval; set = out-of-core eval.
+  /// Sweep axis for scale benches (--sizes=csv); empty = bench default.
+  std::vector<size_t> sizes;
   /// Heartbeat/flush period of the live-metrics thread; <= 0 = off.
   double metrics_interval = 0.0;
   /// Approaches to iterate for "all approaches" benches.
@@ -88,6 +98,8 @@ inline void PrintUsage(const std::string& bench_name, int default_folds,
       "  --trace=path         write a Chrome trace-event timeline on exit\n"
       "  --checkpoint-dir=path  crash-safe per-fold checkpoints\n"
       "  --resume             skip folds completed by a previous run\n"
+      "  --shard-dir=path     out-of-core eval via shard-banked tables\n"
+      "  --sizes=csv          entity counts for sweep benches\n"
       "  --fault=point:n[:kill|fail][:repeat]  arm a fault point\n"
       "  --metrics-interval=SEC  heartbeat log + telemetry flush every SEC\n"
       "  --log-format=text|json  log line format (default text)\n"
@@ -144,6 +156,27 @@ inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
       }
     } else if (arg == "--resume") {
       args.resume = true;
+    } else if (StartsWith(arg, "--shard-dir=")) {
+      args.shard_dir = arg.substr(12);
+      if (args.shard_dir.empty()) {
+        std::fprintf(stderr, "--shard-dir requires a path\n");
+        std::exit(2);
+      }
+    } else if (StartsWith(arg, "--sizes=")) {
+      args.sizes.clear();
+      for (const std::string& tok : Split(arg.substr(8), ',')) {
+        const unsigned long long v = std::strtoull(tok.c_str(), nullptr, 10);
+        if (v == 0) {
+          std::fprintf(stderr, "--sizes requires positive integers, got %s\n",
+                       tok.c_str());
+          std::exit(2);
+        }
+        args.sizes.push_back(static_cast<size_t>(v));
+      }
+      if (args.sizes.empty()) {
+        std::fprintf(stderr, "--sizes requires at least one count\n");
+        std::exit(2);
+      }
     } else if (StartsWith(arg, "--fault=")) {
       const Status armed = fault::ArmFromFlag(arg.substr(8));
       if (!armed.ok()) {
@@ -186,12 +219,13 @@ inline BenchArgs ParseArgs(const std::string& bench_name, int argc,
     std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
     std::exit(2);
   }
-  if (!args.checkpoint_dir.empty()) {
+  if (!args.checkpoint_dir.empty() || !args.shard_dir.empty()) {
     // Route every RunCrossValidation call in this bench through the
     // fault-tolerant path without touching individual benches.
     core::CheckpointConfig checkpoint_config;
     checkpoint_config.directory = args.checkpoint_dir;
     checkpoint_config.resume = args.resume;
+    checkpoint_config.shard_dir = args.shard_dir;
     core::SetDefaultCheckpointConfig(checkpoint_config);
   }
 

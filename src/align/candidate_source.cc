@@ -39,7 +39,9 @@ std::vector<float> RowNormsOf(const math::Matrix& m) {
 
 /// Exhaustive source: every target is a candidate, so TopK is exactly
 /// `StreamingTopK` — bit-identical to the dense SimilarityMatrix path at
-/// any thread count, including the CSLS mode.
+/// any thread count, including the CSLS mode. With a sharded index the scan
+/// runs through `ShardedTopK` (same cell kernel, same selection order, so
+/// still bit-identical — CSLS excepted, which needs every cell in RAM).
 class ExactTopKSource final : public CandidateSource {
  public:
   explicit ExactTopKSource(const CandidateSourceConfig& config)
@@ -50,24 +52,49 @@ class ExactTopKSource final : public CandidateSource {
 
   Status Index(const math::Matrix& targets) override {
     targets_ = targets;
+    sharded_.reset();
     indexed_ = true;
     return Status::OK();
   }
 
+  Status IndexSharded(
+      std::shared_ptr<const math::ShardedEmbeddingTable> table) override {
+    if (config_.csls) {
+      return Status::InvalidArgument(
+          "csls requires an in-RAM exact index (the CSLS psi terms need "
+          "every similarity cell); index via Index() instead");
+    }
+    sharded_ = std::move(table);
+    targets_ = math::Matrix();
+    indexed_ = true;
+    return Status::OK();
+  }
+
+  size_t num_targets() const override {
+    return sharded_ ? sharded_->num_rows() : targets_.rows();
+  }
+  size_t dim() const override {
+    return sharded_ ? sharded_->dim() : targets_.cols();
+  }
+
   TopKResult TopK(const math::Matrix& queries, size_t k) const override {
     OPENEA_CHECK(indexed_) << "ExactTopKSource::TopK before Index";
-    OPENEA_CHECK_EQ(queries.cols(), targets_.cols());
+    OPENEA_CHECK_EQ(queries.cols(), dim());
     TopKOptions options;
     options.k = k;
     options.metric = config_.metric;
     options.csls = config_.csls;
     options.csls_k = config_.csls_k;
-    TopKResult result = StreamingTopK(queries, targets_, options);
+    TopKResult result = sharded_ ? ShardedTopK(queries, *sharded_, options)
+                                 : StreamingTopK(queries, targets_, options);
     telemetry::IncrCounter("cand/exact/queries", queries.rows());
     telemetry::IncrCounter("cand/exact/scanned",
-                           queries.rows() * targets_.rows());
+                           queries.rows() * num_targets());
     return result;
   }
+
+ private:
+  std::shared_ptr<const math::ShardedEmbeddingTable> sharded_;
 };
 
 /// LSH source: candidates are the deterministic (ascending-id) bucket
@@ -156,6 +183,22 @@ class LshSource final : public CandidateSource {
 };
 
 }  // namespace
+
+Status CandidateSource::IndexSharded(
+    std::shared_ptr<const math::ShardedEmbeddingTable> table) {
+  // Default: materialize and index in RAM. Sources that can stream bank by
+  // bank (exact, IVF) override this.
+  StatusOr<math::Matrix> matrix = table->ToMatrix();
+  if (!matrix.ok()) return matrix.status();
+  return Index(*matrix);
+}
+
+Status CandidateSource::IndexShardedFile(const std::string& path) {
+  StatusOr<std::shared_ptr<math::ShardedEmbeddingTable>> table =
+      math::ShardedEmbeddingTable::Open(path);
+  if (!table.ok()) return table.status();
+  return IndexSharded(std::move(*table));
+}
 
 const char* CandidateSourceKindName(CandidateSourceKind kind) {
   switch (kind) {

@@ -91,6 +91,19 @@ class CandidateSource {
   /// all-padding rows.
   virtual Status Index(const math::Matrix& targets) = 0;
 
+  /// Builds the index over a shard-banked on-disk table
+  /// (src/math/sharded_table.h) instead of an in-RAM matrix. The base
+  /// implementation materializes the table and delegates to Index(); the
+  /// exact and IVF sources override it to stream bank by bank, so serving a
+  /// 100K+ table never holds all rows in RAM at once. Scores are
+  /// bit-identical to the in-RAM index (pinned by
+  /// tests/sharded_table_test.cc).
+  virtual Status IndexSharded(
+      std::shared_ptr<const math::ShardedEmbeddingTable> table);
+
+  /// Convenience: ShardedEmbeddingTable::Open(path) + IndexSharded.
+  Status IndexShardedFile(const std::string& path);
+
   /// Per-query-row top-k candidates (value desc, index asc, padded with
   /// {-inf, -1}). `queries` must have dim() columns; requires Index() first.
   /// CSLS-configured sources rank over adjusted similarities.
@@ -104,12 +117,16 @@ class CandidateSource {
   DistanceMetric metric() const { return config_.metric; }
 
   bool indexed() const { return indexed_; }
-  size_t num_targets() const { return targets_.rows(); }
-  size_t dim() const { return targets_.cols(); }
+  /// Virtual so sharded-indexed sources report the on-disk table's shape
+  /// (targets() is then empty: there is no in-RAM matrix to hand out).
+  virtual size_t num_targets() const { return targets_.rows(); }
+  virtual size_t dim() const { return targets_.cols(); }
 
   /// The indexed target embeddings (row order preserved). Lets dense-only
   /// consumers — stable marriage, Kuhn-Munkres — materialize the full
-  /// similarity structure from the same data the source scans.
+  /// similarity structure from the same data the source scans. Empty after
+  /// IndexSharded on sources that stream from disk (use num_targets()/dim()
+  /// for shape queries).
   const math::Matrix& targets() const { return targets_; }
 
  protected:

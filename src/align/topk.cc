@@ -332,6 +332,176 @@ TopKResult StreamingTopK(const math::Matrix& src, const math::Matrix& tgt,
   return result;
 }
 
+TopKResult ShardedTopK(const math::Matrix& src,
+                       const math::ShardedEmbeddingTable& tgt,
+                       const TopKOptions& options) {
+  OPENEA_CHECK_EQ(src.cols(), tgt.dim());
+  OPENEA_CHECK(!options.csls);  // See the header: stream callers rank raw.
+  const size_t rows = src.rows();
+  const size_t cols = tgt.num_rows();
+  const size_t dim = tgt.dim();
+  const size_t stride = tgt.row_stride();
+  const bool has_true = !options.true_cols.empty();
+  if (has_true) OPENEA_CHECK_EQ(options.true_cols.size(), rows);
+  const size_t col_block =
+      options.col_block > 0 ? options.col_block : kDefaultColBlock;
+
+  TopKResult result;
+  result.rows = rows;
+  result.k = options.k;
+  result.entries.assign(rows * options.k, TopKEntry{});
+  if (has_true) {
+    result.true_sim.assign(rows, 0.0f);
+    result.num_greater.assign(rows, 0);
+    result.num_ties.assign(rows, 0);
+  }
+  if (rows == 0) return result;
+
+  telemetry::ScopedSpan span("sharded_topk");
+  telemetry::IncrCounter("align/topk_rows", rows);
+
+  std::vector<float> src_norms, tgt_norms;
+  const bool cosine = options.metric == DistanceMetric::kCosine;
+  if (cosine) {
+    src_norms = RowNorms(src);
+    tgt_norms.resize(cols);
+  }
+
+  std::atomic<uint64_t> nan_cells{0};
+  uint64_t nan_true = 0;
+
+  // Group source rows by the bank holding their true column, so the
+  // true-cell pass maps each bank once.
+  std::vector<std::vector<uint32_t>> true_rows_by_bank;
+  if (has_true) {
+    true_rows_by_bank.resize(tgt.num_banks());
+    for (size_t i = 0; i < rows; ++i) {
+      const int true_col = options.true_cols[i];
+      OPENEA_CHECK_LT(static_cast<size_t>(true_col), cols);
+      true_rows_by_bank[tgt.BankOfRow(static_cast<size_t>(true_col))]
+          .push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  // Pass 1 over banks: per-row target norms (cosine) and true-column cells.
+  // L2Norm is a pure per-row function, so precomputing from the mapped bank
+  // is bit-identical to RowNorms over the materialized matrix.
+  if (cosine || has_true) {
+    for (size_t b = 0; b < tgt.num_banks(); ++b) {
+      if (b + 1 < tgt.num_banks()) tgt.Prefetch(b + 1);
+      auto lease = tgt.MapBank(b);
+      OPENEA_CHECK(lease.ok());
+      if (cosine) {
+        ParallelFor(0, lease->rows(), 64, [&](size_t begin, size_t end) {
+          for (size_t r = begin; r < end; ++r) {
+            tgt_norms[lease->first_row() + r] = math::L2Norm(
+                std::span<const float>(lease->values() + r * stride, dim));
+          }
+        });
+      }
+      if (has_true && !true_rows_by_bank[b].empty()) {
+        const std::vector<uint32_t>& group = true_rows_by_bank[b];
+        ParallelFor(0, group.size(), 64, [&](size_t begin, size_t end) {
+          for (size_t g = begin; g < end; ++g) {
+            const size_t i = group[g];
+            const size_t true_col =
+                static_cast<size_t>(options.true_cols[i]);
+            result.true_sim[i] =
+                Cell(options.metric, src.Row(i),
+                     std::span<const float>(lease->RowValues(true_col), dim),
+                     src_norms.empty() ? 0.0f : src_norms[i],
+                     tgt_norms.empty() ? 0.0f : tgt_norms[true_col]);
+          }
+        });
+      }
+    }
+  }
+
+  // Pass 2: bank-outer scan with persistent per-row selection state. Row
+  // chunk boundaries are fixed by kRowGrain, so a given row is only ever
+  // touched by the thread owning its chunk within a bank, and the ParallelFor
+  // barrier orders the banks.
+  std::vector<size_t> counts(rows, 0);
+  {
+    telemetry::ScopedSpan scan_span("topk_scan");
+    for (size_t b = 0; b < tgt.num_banks(); ++b) {
+      if (b + 1 < tgt.num_banks()) tgt.Prefetch(b + 1);
+      auto lease = tgt.MapBank(b);
+      OPENEA_CHECK(lease.ok());
+      const size_t first = lease->first_row();
+      const size_t bank_rows = lease->rows();
+      ParallelFor(0, rows, kRowGrain, [&](size_t row_begin, size_t row_end) {
+        std::vector<float> cell_buf(std::min(col_block, bank_rows));
+        uint64_t local_nan = 0;
+        uint64_t local_blocks = 0;
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const auto a = src.Row(i);
+          const float na = src_norms.empty() ? 0.0f : src_norms[i];
+          const int true_col = has_true ? options.true_cols[i] : -1;
+          const float true_val = has_true ? result.true_sim[i] : 0.0f;
+          size_t& count = counts[i];
+          TopKEntry* ents =
+              options.k > 0 ? result.entries.data() + i * options.k : nullptr;
+          uint32_t greater = 0, ties = 0;
+          for (size_t jo = 0; jo < bank_rows; jo += col_block) {
+            const size_t je = std::min(bank_rows, jo + col_block);
+            ++local_blocks;
+            detail::MetricRowBlock(
+                options.metric, a.data(), na, lease->values() + jo * stride,
+                stride, tgt_norms.empty() ? nullptr : tgt_norms.data() + first + jo,
+                cell_buf.data(), je - jo, dim);
+            for (size_t j = jo; j < je; ++j) {
+              const float v = cell_buf[j - jo];
+              if (std::isnan(v)) {
+                ++local_nan;
+                continue;
+              }
+              const int col = static_cast<int>(first + j);
+              if (options.k > 0) {
+                TopKInsert(ents, count, options.k, v, col);
+              }
+              if (has_true && col != true_col) {
+                if (v > true_val) {
+                  ++greater;
+                } else if (v == true_val) {
+                  ++ties;
+                }
+              }
+            }
+          }
+          if (has_true) {
+            result.num_greater[i] += greater;
+            result.num_ties[i] += ties;
+          }
+        }
+        if (local_nan > 0) {
+          nan_cells.fetch_add(local_nan, std::memory_order_relaxed);
+        }
+        telemetry::IncrCounter("align/topk_blocks", local_blocks);
+      });
+    }
+  }
+
+  if (has_true) {
+    for (size_t i = 0; i < rows; ++i) {
+      if (std::isnan(result.true_sim[i])) {
+        ++nan_true;
+        result.num_greater[i] = static_cast<uint32_t>(cols);
+        result.num_ties[i] = 0;
+      }
+    }
+  }
+
+  result.nan_cells = nan_cells.load(std::memory_order_relaxed);
+  if (result.nan_cells > 0) {
+    telemetry::IncrCounter("align/topk_nan_cells", result.nan_cells);
+  }
+  if (nan_true > 0) {
+    telemetry::IncrCounter("align/topk_nan_true", nan_true);
+  }
+  return result;
+}
+
 std::vector<int> StreamingGreedyMatch(const math::Matrix& src,
                                       const math::Matrix& tgt,
                                       DistanceMetric metric, bool csls,

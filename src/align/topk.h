@@ -8,6 +8,7 @@
 
 #include "src/align/similarity.h"
 #include "src/math/matrix.h"
+#include "src/math/sharded_table.h"
 
 namespace openea::align {
 
@@ -94,6 +95,21 @@ struct TopKResult {
 /// tgt.cols()).
 TopKResult StreamingTopK(const math::Matrix& src, const math::Matrix& tgt,
                          const TopKOptions& options);
+
+/// Out-of-core variant: targets live in a shard-banked on-disk table
+/// (src/math/sharded_table.h) and are scanned bank by bank through the same
+/// `detail::MetricRowBlock` cell kernel (the mapped bank's padded row stride
+/// is passed as the kernel's `ldb`), with the next bank prefetched
+/// asynchronously while the current one streams. Per-cell values are
+/// batch-independent and the top-k selection order is a strict total order,
+/// so results are bit-identical to `StreamingTopK` over the materialized
+/// table at any thread count and any bank size (pinned by
+/// tests/sharded_table_test.cc). Peak memory is O(rows * k) plus the mapped
+/// banks. CSLS is not supported on this path (it needs psi over the full
+/// table; the callers that stream — eval and serving — rank raw metrics).
+TopKResult ShardedTopK(const math::Matrix& src,
+                       const math::ShardedEmbeddingTable& tgt,
+                       const TopKOptions& options);
 
 /// Streaming greedy matcher: match[i] = argmax_j sim(i, j) straight from the
 /// embeddings (with optional streaming CSLS), bit-identical to

@@ -15,9 +15,9 @@ constexpr char kMagic[8] = {'O', 'E', 'A', 'C', 'K', 'P', 'T', '\n'};
 constexpr size_t kHeaderSize = sizeof(kMagic) + 4 + 8;  // magic+version+size.
 constexpr size_t kTrailerSize = 4;                      // payload CRC.
 
-/// Size guard against absurd length fields in damaged headers: no payload
-/// in this library approaches 1 GiB.
-constexpr uint64_t kMaxPayload = uint64_t{1} << 30;
+/// Effective payload cap (kMaxPayloadBytes, shrinkable by the test hooks so
+/// overflow handling is testable without multi-GiB allocations).
+uint64_t g_max_payload = kMaxPayloadBytes;
 
 void AppendLe(std::string& buffer, uint64_t v, size_t bytes) {
   for (size_t i = 0; i < bytes; ++i) {
@@ -166,8 +166,19 @@ uint32_t Crc32(std::string_view bytes) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+namespace internal {
+void SetMaxPayloadForTest(uint64_t cap) { g_max_payload = cap; }
+void ResetMaxPayloadForTest() { g_max_payload = kMaxPayloadBytes; }
+}  // namespace internal
+
 Status WriteFileAtomic(const std::string& path, std::string_view payload,
                        uint32_t version) {
+  if (payload.size() > g_max_payload) {
+    return Status::InvalidArgument(
+        "checkpoint payload overflow: " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(g_max_payload) +
+        "-byte envelope cap for " + path);
+  }
   if (FAULT_POINT("checkpoint/enospc")) {
     return Status::Internal("fault injection: simulated ENOSPC writing " +
                             path);
@@ -216,6 +227,15 @@ Status WriteFileAtomic(const std::string& path, std::string_view payload,
 
 StatusOr<std::string> ReadFilePayload(const std::string& path,
                                       uint32_t expected_version) {
+  uint32_t version = 0;
+  return ReadFilePayloadVersioned(path, expected_version, expected_version,
+                                  &version);
+}
+
+StatusOr<std::string> ReadFilePayloadVersioned(const std::string& path,
+                                               uint32_t min_version,
+                                               uint32_t max_version,
+                                               uint32_t* version_out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("no checkpoint at " + path);
   std::string contents((std::istreambuf_iterator<char>(in)),
@@ -232,16 +252,27 @@ StatusOr<std::string> ReadFilePayload(const std::string& path,
   }
   const uint32_t version =
       static_cast<uint32_t>(ParseLe(contents.data() + sizeof(kMagic), 4));
-  if (version != expected_version) {
+  if (version < min_version || version > max_version) {
     return Status::FailedPrecondition(
         "checkpoint " + path + " has format version " +
         std::to_string(version) + ", expected " +
-        std::to_string(expected_version));
+        (min_version == max_version
+             ? std::to_string(min_version)
+             : std::to_string(min_version) + ".." +
+                   std::to_string(max_version)));
   }
+  *version_out = version;
   const uint64_t payload_size =
       ParseLe(contents.data() + sizeof(kMagic) + 4, 8);
-  if (payload_size > kMaxPayload ||
-      kHeaderSize + payload_size + kTrailerSize != contents.size()) {
+  // An oversized length claim gets its own explicit error (distinct from
+  // plain truncation) and fails before anything is sized from it.
+  if (payload_size > g_max_payload) {
+    return Status::FailedPrecondition(
+        "checkpoint " + path + " header claims an oversized payload (" +
+        std::to_string(payload_size) + " bytes, cap " +
+        std::to_string(g_max_payload) + ")");
+  }
+  if (kHeaderSize + payload_size + kTrailerSize != contents.size()) {
     return Status::FailedPrecondition(
         "checkpoint " + path + " is truncated or oversized (payload claims " +
         std::to_string(payload_size) + " bytes, file has " +
@@ -332,7 +363,12 @@ Status ReadMatrix(BinaryReader& reader, math::Matrix* matrix) {
 }
 
 namespace {
-constexpr uint32_t kTrainStateVersion = 1;
+// v1: tables back to back. v2: each table prefixed with its u64 serialized
+// byte size, validated against the bytes actually consumed — the explicit
+// extent check that makes multi-GiB tables fail loudly instead of parsing
+// garbage past a wrapped length.
+constexpr uint32_t kTrainStateMinVersion = 1;
+constexpr uint32_t kTrainStateVersion = 2;
 }  // namespace
 
 Status SaveTrainState(const std::string& path, const TrainState& state) {
@@ -342,13 +378,20 @@ Status SaveTrainState(const std::string& path, const TrainState& state) {
   PutRng(writer, state.rng);
   writer.PutU64(state.tables.size());
   for (const math::EmbeddingTable& table : state.tables) {
+    // Serialized extent = rows + dim fields, then the two u64-prefixed
+    // float arrays (values, AdaGrad).
+    const uint64_t floats = uint64_t{table.num_rows()} * table.dim();
+    const uint64_t table_bytes = 8 + 8 + 2 * (8 + floats * 4);
+    writer.PutU64(table_bytes);
     PutEmbeddingTable(writer, table);
   }
   return WriteFileAtomic(path, writer.buffer(), kTrainStateVersion);
 }
 
 StatusOr<TrainState> LoadTrainState(const std::string& path) {
-  StatusOr<std::string> payload = ReadFilePayload(path, kTrainStateVersion);
+  uint32_t version = 0;
+  StatusOr<std::string> payload = ReadFilePayloadVersioned(
+      path, kTrainStateMinVersion, kTrainStateVersion, &version);
   if (!payload.ok()) return payload.status();
   BinaryReader reader(*payload);
   TrainState state;
@@ -366,8 +409,27 @@ StatusOr<TrainState> LoadTrainState(const std::string& path) {
   }
   state.tables.resize(static_cast<size_t>(num_tables));
   for (math::EmbeddingTable& table : state.tables) {
+    uint64_t declared_bytes = 0;
+    if (version >= 2) {
+      status = reader.ReadU64(&declared_bytes);
+      if (!status.ok()) return status;
+      if (declared_bytes > reader.remaining()) {
+        return Status::FailedPrecondition(
+            "checkpoint " + path + " declares a table of " +
+            std::to_string(declared_bytes) +
+            " bytes but only " + std::to_string(reader.remaining()) +
+            " remain");
+      }
+    }
+    const size_t before = reader.remaining();
     status = ReadEmbeddingTable(reader, &table);
     if (!status.ok()) return status;
+    if (version >= 2 && before - reader.remaining() != declared_bytes) {
+      return Status::FailedPrecondition(
+          "checkpoint " + path + " table extent mismatch (declared " +
+          std::to_string(declared_bytes) + " bytes, consumed " +
+          std::to_string(before - reader.remaining()) + ")");
+    }
   }
   if (!reader.AtEnd()) {
     return Status::FailedPrecondition("trailing bytes in checkpoint " + path);

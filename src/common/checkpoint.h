@@ -87,16 +87,42 @@ class BinaryReader {
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `bytes`.
 uint32_t Crc32(std::string_view bytes);
 
+/// Envelope payload cap: 64 GiB. Every size field of the envelope (and of
+/// the typed payloads below) is u64 end to end, so the cap is a sanity
+/// guard against absurd length claims in damaged headers, not a format
+/// limit. A payload that would exceed it is rejected with an explicit
+/// overflow Status on the write side — never silently wrapped or truncated.
+inline constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 36;
+
 /// Writes `payload` to `path` inside a versioned+CRC envelope via the
-/// temp+rename path described above.
+/// temp+rename path described above. InvalidArgument (naming the cap) when
+/// the payload exceeds kMaxPayloadBytes.
 Status WriteFileAtomic(const std::string& path, std::string_view payload,
                        uint32_t version);
 
 /// Reads the envelope at `path`, validating magic, version, size, and CRC;
 /// returns the payload. NotFound when the file does not exist; other errors
 /// mean the file exists but is damaged or from a different format version.
+/// A header that claims a payload above kMaxPayloadBytes fails with an
+/// explicit "oversized" error before anything is allocated for it.
 StatusOr<std::string> ReadFilePayload(const std::string& path,
                                       uint32_t expected_version);
+
+/// Like ReadFilePayload, but accepts any format version in
+/// [min_version, max_version] and reports the one found through
+/// `version_out` — the hook that lets a payload producer bump its format
+/// while still loading checkpoints written under older versions.
+StatusOr<std::string> ReadFilePayloadVersioned(const std::string& path,
+                                               uint32_t min_version,
+                                               uint32_t max_version,
+                                               uint32_t* version_out);
+
+namespace internal {
+/// Test hooks: shrink the payload cap so overflow handling is exercisable
+/// without allocating multi-GiB buffers. Not for production use.
+void SetMaxPayloadForTest(uint64_t cap);
+void ResetMaxPayloadForTest();
+}  // namespace internal
 
 // ---------------------------------------------------------------------------
 // Typed serialization of the training-state building blocks.
@@ -115,6 +141,11 @@ Status ReadMatrix(BinaryReader& reader, math::Matrix* matrix);
 /// learning rate, and every learnable table (values + AdaGrad accumulators).
 /// Restoring this and re-entering the epoch loop replays the remaining
 /// epochs bit-identically to a run that was never interrupted.
+///
+/// Format versions: v1 serialized tables back to back; v2 (current) prefixes
+/// each table with its u64 serialized byte size, so a loader can validate a
+/// multi-GiB table's extent before parsing it. SaveTrainState writes v2;
+/// LoadTrainState accepts both.
 struct TrainState {
   uint64_t epoch = 0;
   float learning_rate = 0.0f;

@@ -379,6 +379,11 @@ CrossValidationResult RunCrossValidation(
   }
   OPENEA_CHECK_LE(static_cast<size_t>(num_folds), folds.size());
 
+  if (checkpoint_config.sharded_eval()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_config.shard_dir, ec);
+  }
+
   // ---- Checkpoint restore --------------------------------------------------
   const uint64_t fingerprint =
       ConfigFingerprint(approach_name, dataset, config, num_folds);
@@ -571,8 +576,24 @@ CrossValidationResult RunCrossValidation(
     } else {
       telemetry::ScopedSpan span("eval");
       phase_watch.Reset();
-      record.metrics = eval::EvaluateRanking(model, task.test,
-                                             align::DistanceMetric::kCosine);
+      if (checkpoint_config.sharded_eval()) {
+        // Out-of-core path: stream the fold's candidate rows through a
+        // shard-banked table and rank bank by bank. Bit-identical to the
+        // in-RAM branch below (same cell kernel, same accumulation), which
+        // is why shard_dir stays out of ConfigFingerprint.
+        const std::string shard_path =
+            checkpoint_config.shard_dir + "/" +
+            SanitizeForFilename(approach_name) + "_" +
+            SanitizeForFilename(dataset.name) + "_fold" + std::to_string(f) +
+            ".shard";
+        record.metrics = eval::EvaluateRankingSharded(
+            model, task.test, align::DistanceMetric::kCosine, shard_path,
+            checkpoint_config.shard_rows_per_bank,
+            checkpoint_config.shard_max_resident_banks);
+      } else {
+        record.metrics = eval::EvaluateRanking(
+            model, task.test, align::DistanceMetric::kCosine);
+      }
       if (robustness) {
         eval::AbstentionOptions abstention_options;
         abstention_options.threshold =

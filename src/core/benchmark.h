@@ -79,7 +79,25 @@ struct CheckpointConfig {
   double retry_lr_backoff = 0.5;
   health::GuardConfig guard;
 
+  /// Out-of-core eval (DESIGN.md, "Out-of-core scale"): when non-empty,
+  /// each fold's ranking evaluation streams its candidate rows through a
+  /// shard-banked table under this directory
+  /// (`<approach>_<dataset>_fold<N>.shard`) and ranks via ShardedTopK
+  /// instead of holding the test sub-matrix in RAM. The results are
+  /// bit-identical to the in-RAM path at any thread count, so this knob is
+  /// deliberately excluded from the resume fingerprint — a run may toggle
+  /// it between kill and resume without invalidating its checkpoint. Fold
+  /// shard files are left in place: they are serve-loadable artifacts
+  /// (align-serve --checkpoint accepts them directly). Independent of
+  /// `directory`; either can be set without the other.
+  std::string shard_dir;
+  /// Rows per bank of the fold shard files.
+  size_t shard_rows_per_bank = 4096;
+  /// Residency budget (mapped banks) of the eval-time scan; 0 = unlimited.
+  size_t shard_max_resident_banks = 0;
+
   bool enabled() const { return !directory.empty(); }
+  bool sharded_eval() const { return !shard_dir.empty(); }
 };
 
 /// Health record of one cross-validation fold.

@@ -11,6 +11,7 @@
 #include "src/common/stopwatch.h"
 #include "src/common/telemetry.h"
 #include "src/common/trace.h"
+#include "src/math/sharded_table.h"
 
 namespace openea::eval {
 namespace {
@@ -26,6 +27,48 @@ std::pair<math::Matrix, math::Matrix> TestEmbeddings(
     rights.push_back(p.right);
   }
   return {GatherRows(model.emb1, lefts), GatherRows(model.emb2, rights)};
+}
+
+/// The mid-rank accumulation shared by every ranking entry point: per-pair
+/// ranks reduce via the ordered reduction with a fixed grain, so the sums
+/// (and therefore the metrics) are bit-identical at any thread count — and
+/// identical across the in-RAM and sharded similarity paths, which both feed
+/// their greater/tie counts through here.
+RankingMetrics MetricsFromCounts(const align::TopKResult& topk, size_t n) {
+  struct Accum {
+    double hits1 = 0, hits5 = 0, mr = 0, mrr = 0;
+  };
+  constexpr size_t kGrain = 64;
+  const Accum total = ParallelReduceOrdered(
+      0, n, kGrain, Accum{},
+      [&](size_t begin, size_t end) {
+        Accum acc;
+        for (size_t i = begin; i < end; ++i) {
+          // Mid-rank tie convention (see EvaluateRanking docs): candidates
+          // tied with the true counterpart contribute half a rank each.
+          const double rank = 1.0 + static_cast<double>(topk.num_greater[i]) +
+                              0.5 * static_cast<double>(topk.num_ties[i]);
+          if (rank <= 1.0) acc.hits1 += 1;
+          if (rank <= 5.0) acc.hits5 += 1;
+          acc.mr += rank;
+          acc.mrr += 1.0 / rank;
+        }
+        return acc;
+      },
+      [](Accum acc, Accum part) {
+        acc.hits1 += part.hits1;
+        acc.hits5 += part.hits5;
+        acc.mr += part.mr;
+        acc.mrr += part.mrr;
+        return acc;
+      });
+  RankingMetrics metrics;
+  const double dn = static_cast<double>(n);
+  metrics.hits1 = total.hits1 / dn;
+  metrics.hits5 = total.hits5 / dn;
+  metrics.mr = total.mr / dn;
+  metrics.mrr = total.mrr / dn;
+  return metrics;
 }
 
 }  // namespace
@@ -78,41 +121,7 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
                                                           test_pairs.size()));
   }
 
-  // Per-pair ranks accumulate via the ordered reduction with a fixed grain,
-  // so the sums (and therefore the metrics) are bit-identical at any thread
-  // count.
-  struct Accum {
-    double hits1 = 0, hits5 = 0, mr = 0, mrr = 0;
-  };
-  constexpr size_t kGrain = 64;
-  const Accum total = ParallelReduceOrdered(
-      0, test_pairs.size(), kGrain, Accum{},
-      [&](size_t begin, size_t end) {
-        Accum acc;
-        for (size_t i = begin; i < end; ++i) {
-          // Mid-rank tie convention (see EvaluateRanking docs): candidates
-          // tied with the true counterpart contribute half a rank each.
-          const double rank = 1.0 + static_cast<double>(topk.num_greater[i]) +
-                              0.5 * static_cast<double>(topk.num_ties[i]);
-          if (rank <= 1.0) acc.hits1 += 1;
-          if (rank <= 5.0) acc.hits5 += 1;
-          acc.mr += rank;
-          acc.mrr += 1.0 / rank;
-        }
-        return acc;
-      },
-      [](Accum acc, Accum part) {
-        acc.hits1 += part.hits1;
-        acc.hits5 += part.hits5;
-        acc.mr += part.mr;
-        acc.mrr += part.mrr;
-        return acc;
-      });
-  const double n = static_cast<double>(test_pairs.size());
-  metrics.hits1 = total.hits1 / n;
-  metrics.hits5 = total.hits5 / n;
-  metrics.mr = total.mr / n;
-  metrics.mrr = total.mrr / n;
+  metrics = MetricsFromCounts(topk, test_pairs.size());
   if (telemetry::Enabled()) {
     telemetry::Observe("eval/rank_kernel_ms", rank_watch.ElapsedMillis());
   }
@@ -123,6 +132,15 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
                                const kg::Alignment& test_pairs,
                                align::CandidateSource& source,
                                size_t candidate_k) {
+  return EvaluateRanking(model, test_pairs, std::vector<kg::EntityId>(),
+                         source, candidate_k);
+}
+
+RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
+                               const kg::Alignment& test_pairs,
+                               const std::vector<kg::EntityId>& dangling2,
+                               align::CandidateSource& source,
+                               size_t candidate_k) {
   RankingMetrics metrics;
   if (test_pairs.empty()) return metrics;
   OPENEA_CHECK_GT(candidate_k, 0u);
@@ -130,7 +148,20 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
   align::TopKResult topk;
   {
     telemetry::ScopedSpan span("similarity");
-    auto [src, tgt] = TestEmbeddings(model, test_pairs);
+    // Candidate pool: the right-side test embeddings, then the dangling
+    // distractor rows. Distractors compete in the ranking (columns
+    // >= test_pairs.size() can out-rank the true counterpart) but are never
+    // anyone's answer.
+    std::vector<kg::EntityId> lefts, pool_ids;
+    lefts.reserve(test_pairs.size());
+    pool_ids.reserve(test_pairs.size() + dangling2.size());
+    for (const auto& p : test_pairs) {
+      lefts.push_back(p.left);
+      pool_ids.push_back(p.right);
+    }
+    pool_ids.insert(pool_ids.end(), dangling2.begin(), dangling2.end());
+    const math::Matrix src = GatherRows(model.emb1, lefts);
+    const math::Matrix tgt = GatherRows(model.emb2, pool_ids);
     OPENEA_CHECK(source.Index(tgt).ok());
     topk = source.TopK(src, candidate_k);
   }
@@ -141,6 +172,13 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
     double hits1 = 0, hits5 = 0, mr = 0, mrr = 0;
     uint64_t misses = 0;
   };
+  // Pessimistic rank for a candidate miss: one past the *matchable* pool
+  // (the test pairs), NOT the dangling-inflated pool the source indexed.
+  // Distractor rows can push real ranks down by out-scoring the true
+  // counterpart, but a recall miss must not be punished beyond last place
+  // among candidates that could have been the answer — otherwise adding
+  // distractors would silently deflate MR/MRR through the miss penalty
+  // rather than through the ranking itself.
   const double miss_rank = static_cast<double>(test_pairs.size()) + 1.0;
   constexpr size_t kGrain = 64;
   const Accum total = ParallelReduceOrdered(
@@ -188,6 +226,70 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
   metrics.hits5 = total.hits5 / n;
   metrics.mr = total.mr / n;
   metrics.mrr = total.mrr / n;
+  return metrics;
+}
+
+RankingMetrics EvaluateRankingSharded(const core::AlignmentModel& model,
+                                      const kg::Alignment& test_pairs,
+                                      align::DistanceMetric metric,
+                                      const std::string& shard_path,
+                                      size_t rows_per_bank,
+                                      size_t max_resident_banks) {
+  RankingMetrics metrics;
+  if (test_pairs.empty()) return metrics;
+  telemetry::ScopedSpan eval_span("eval_ranking_sharded");
+  align::TopKResult topk;
+  {
+    telemetry::ScopedSpan span("similarity");
+    // Stream the candidate rows straight to the shard file: peak memory for
+    // the target side is one bank, not N * dim, and the file that remains is
+    // a serve-loadable artifact.
+    math::ShardedTableOptions shard_opts;
+    shard_opts.rows_per_bank = rows_per_bank;
+    auto writer = math::ShardedTableWriter::Create(
+        shard_path, test_pairs.size(), model.emb2.cols(), shard_opts);
+    OPENEA_CHECK(writer.ok()) << writer.status().ToString();
+    for (const auto& p : test_pairs) {
+      OPENEA_CHECK_LT(static_cast<size_t>(p.right), model.emb2.rows());
+      const Status append = (*writer)->AppendRow(model.emb2.Row(p.right));
+      OPENEA_CHECK(append.ok()) << append.ToString();
+    }
+    const Status finalized = (*writer)->Finalize();
+    OPENEA_CHECK(finalized.ok()) << finalized.ToString();
+
+    math::ShardedEmbeddingTable::OpenOptions open_opts;
+    open_opts.max_resident_banks = max_resident_banks;
+    auto table = math::ShardedEmbeddingTable::Open(shard_path, open_opts);
+    OPENEA_CHECK(table.ok()) << table.status().ToString();
+
+    std::vector<kg::EntityId> lefts;
+    lefts.reserve(test_pairs.size());
+    for (const auto& p : test_pairs) lefts.push_back(p.left);
+    const math::Matrix src = GatherRows(model.emb1, lefts);
+
+    align::TopKOptions options;
+    options.k = 0;
+    options.metric = metric;
+    options.true_cols.resize(test_pairs.size());
+    for (size_t i = 0; i < test_pairs.size(); ++i) {
+      options.true_cols[i] = static_cast<int>(i);
+    }
+    topk = align::ShardedTopK(src, **table, options);
+  }
+  telemetry::ScopedSpan rank_span("rank_kernel");
+  Stopwatch rank_watch;
+  telemetry::IncrCounter("eval/ranking_calls");
+  telemetry::IncrCounter("eval/sharded_evals");
+  telemetry::IncrCounter("eval/test_pairs", test_pairs.size());
+  telemetry::IncrCounter("eval/candidates",
+                         test_pairs.size() * test_pairs.size());
+  // Same greater/tie counts (the cell kernel is stride-agnostic and the
+  // counts are order-independent sums) through the same accumulation, so the
+  // metrics are bit-identical to the in-RAM EvaluateRanking above.
+  metrics = MetricsFromCounts(topk, test_pairs.size());
+  if (telemetry::Enabled()) {
+    telemetry::Observe("eval/rank_kernel_ms", rank_watch.ElapsedMillis());
+  }
   return metrics;
 }
 

@@ -2,6 +2,7 @@
 #define OPENEA_EVAL_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/align/inference.h"
@@ -56,6 +57,38 @@ RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
                                const kg::Alignment& test_pairs,
                                align::CandidateSource& source,
                                size_t candidate_k);
+
+/// Distractor-aware candidate-limited ranking (the PR-9 robustness
+/// protocol): the candidate pool is the right-side test embeddings plus the
+/// `dangling2` distractor rows appended after them. Distractors compete in
+/// the ranking — one that outranks the true counterpart pushes its rank
+/// down — but the pessimistic rank of a candidate miss stays
+/// test_pairs.size() + 1, the *matchable* pool size: a recall miss must not
+/// be punished beyond last place among candidates that could have been the
+/// answer, no matter how many dangling distractors inflate the indexed
+/// pool. Pinned by the dangling+candidate-limited fixture in
+/// tests/candidate_source_test.cc.
+RankingMetrics EvaluateRanking(const core::AlignmentModel& model,
+                               const kg::Alignment& test_pairs,
+                               const std::vector<kg::EntityId>& dangling2,
+                               align::CandidateSource& source,
+                               size_t candidate_k);
+
+/// Out-of-core ranking: streams the right-side test embeddings into a
+/// shard-banked on-disk table at `shard_path` (src/math/sharded_table.h),
+/// frees nothing it did not allocate, and ranks through `ShardedTopK` —
+/// bank-streamed with async prefetch, holding at most `max_resident_banks`
+/// banks mapped (0 = unlimited). Bit-identical to
+/// `EvaluateRanking(model, test_pairs, metric)` without CSLS at any thread
+/// count (same cell kernel, same mid-rank accumulation). The shard file is
+/// left in place: it is a serve-loadable artifact (align-serve
+/// --checkpoint accepts it directly).
+RankingMetrics EvaluateRankingSharded(const core::AlignmentModel& model,
+                                      const kg::Alignment& test_pairs,
+                                      align::DistanceMetric metric,
+                                      const std::string& shard_path,
+                                      size_t rows_per_bank = 4096,
+                                      size_t max_resident_banks = 0);
 
 /// Convenience: validation Hits@1 (early-stopping criterion).
 double Hits1(const core::AlignmentModel& model, const kg::Alignment& pairs,

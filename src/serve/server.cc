@@ -150,6 +150,22 @@ std::string ModelFingerprint(const checkpoint::TrainState& state) {
 }
 
 StatusOr<ServingModel> LoadServingModel(const ServeConfig& config) {
+  // Shard-banked table files (bench --shard-dir artifacts, or anything
+  // written through WriteShardedTable) are served out-of-core: sniffed by
+  // magic, mapped bank by bank, never fully materialized.
+  if (math::IsShardedTableFile(config.checkpoint_path)) {
+    StatusOr<std::shared_ptr<math::ShardedEmbeddingTable>> table =
+        math::ShardedEmbeddingTable::Open(config.checkpoint_path);
+    if (!table.ok()) return table.status();
+    ServingModel model;
+    model.sharded = *std::move(table);
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(
+                      model.sharded->ContentFingerprint()));
+    model.fingerprint = hex;
+    return model;
+  }
   checkpoint::TrainState state;
   StatusOr<checkpoint::TrainState> loaded =
       checkpoint::LoadTrainState(config.checkpoint_path);
@@ -206,7 +222,9 @@ StatusOr<std::unique_ptr<AlignServer>> AlignServer::Create(
   StatusOr<std::unique_ptr<align::CandidateSource>> source =
       align::CreateCandidateSource(config.source);
   if (!source.ok()) return source.status();
-  const Status indexed = (*source)->Index(model->targets);
+  const Status indexed = model->sharded
+                             ? (*source)->IndexSharded(model->sharded)
+                             : (*source)->Index(model->targets);
   if (!indexed.ok()) return indexed;
   return std::unique_ptr<AlignServer>(new AlignServer(
       config, *std::move(model), *std::move(source)));

@@ -10,6 +10,7 @@
 #include "src/common/json.h"
 #include "src/common/status.h"
 #include "src/math/matrix.h"
+#include "src/math/sharded_table.h"
 
 namespace openea::serve {
 
@@ -80,9 +81,12 @@ namespace openea::serve {
 /// `serve_flush`, and each request's response assembly under
 /// `serve_request` (trace ctx "req:r-<seq>").
 struct ServeConfig {
-  /// Checkpoint to serve from: a raw TrainState (SaveTrainState format) or,
-  /// as a fallback, a CV checkpoint written by a bench --checkpoint-dir
-  /// (its fold-0 embeddings become tables 0/1; see core::LoadCvFoldModel).
+  /// Checkpoint to serve from: a raw TrainState (SaveTrainState format), a
+  /// CV checkpoint written by a bench --checkpoint-dir (its fold-0
+  /// embeddings become tables 0/1; see core::LoadCvFoldModel), or a
+  /// shard-banked table file (sniffed by magic and served out-of-core; see
+  /// ServingModel::sharded). `table` is ignored for shard files — they hold
+  /// exactly one table.
   std::string checkpoint_path;
   /// Which checkpoint table holds the target (indexed) embeddings. The
   /// convention of the training loop is table 0 = source KG, 1 = target KG.
@@ -119,6 +123,12 @@ struct ServingModel {
   math::Matrix targets;
   uint64_t epoch = 0;
   std::string fingerprint;
+  /// Set when the checkpoint was a shard-banked table file
+  /// (src/math/sharded_table.h): the server then indexes out-of-core through
+  /// CandidateSource::IndexSharded and `targets` stays empty — the full
+  /// table is never materialized in RAM. The fingerprint comes from the
+  /// table's ContentFingerprint (header + bank CRCs) and epoch reports 0.
+  std::shared_ptr<const math::ShardedEmbeddingTable> sharded;
 };
 
 /// FNV-1a fingerprint of a training state (shape + values of every table).

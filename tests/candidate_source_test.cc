@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -271,6 +272,63 @@ TEST(AnnIvfSourceTest, DegenerateInputs) {
   }
 }
 
+TEST(AnnIvfSourceTest, SingleTargetPadsKPastN) {
+  CandidateSourceConfig config;
+  config.kind = CandidateSourceKind::kAnnIvf;
+  auto source = CreateCandidateSourceOrDie(config);
+  ASSERT_TRUE(source->Index(RandomMatrix(1, 8, 13)).ok());
+  const TopKResult result = source->TopK(RandomMatrix(3, 8, 14), 5);
+  ASSERT_EQ(result.rows, 3u);
+  ASSERT_EQ(result.k, 5u);  // As requested, even though N = 1.
+  for (size_t i = 0; i < result.rows; ++i) {
+    const auto row = result.Row(i);
+    EXPECT_EQ(row[0].index, 0);
+    EXPECT_TRUE(std::isfinite(row[0].value));
+    for (size_t t = 1; t < row.size(); ++t) {
+      EXPECT_EQ(row[t].index, -1);
+      EXPECT_TRUE(std::isinf(row[t].value) && row[t].value < 0);
+    }
+  }
+}
+
+TEST(AnnIvfSourceTest, NprobePastListCountClampsToExhaustive) {
+  // nprobe far beyond the list count (default lists = ceil(sqrt(5000)) = 71)
+  // must clamp to "probe everything", making the index exhaustive — i.e.
+  // bit-identical to the exact source — rather than reading past the list
+  // array or returning an ill-defined subset.
+  constexpr size_t kN = 5000;
+  const math::Matrix tgt = RandomMatrix(kN, 8, 15);
+  const math::Matrix queries = RandomMatrix(16, 8, 16);
+  CandidateSourceConfig config;
+  config.kind = CandidateSourceKind::kAnnIvf;
+  config.ivf_nprobe = 100;
+  auto ann = CreateCandidateSourceOrDie(config);
+  ASSERT_TRUE(ann->Index(tgt).ok());
+  CandidateSourceConfig exact_config;
+  auto exact = CreateCandidateSourceOrDie(exact_config);
+  ASSERT_TRUE(exact->Index(tgt).ok());
+  ExpectBitIdentical(exact->TopK(queries, 10), ann->TopK(queries, 10));
+}
+
+TEST(AnnIvfSourceTest, AllNanTargetsYieldAllPadding) {
+  // Every similarity cell is NaN, so every probe list comes back empty; the
+  // result must still be well-formed: full rows of {-inf, -1} padding, never
+  // a NaN score or an arbitrary "winner".
+  math::Matrix tgt(12, 8);
+  for (auto& v : tgt.Data()) v = std::numeric_limits<float>::quiet_NaN();
+  CandidateSourceConfig config;
+  config.kind = CandidateSourceKind::kAnnIvf;
+  config.ivf_nprobe = 100;  // Also exercises the clamp on the NaN path.
+  auto source = CreateCandidateSourceOrDie(config);
+  ASSERT_TRUE(source->Index(tgt).ok());
+  const TopKResult result = source->TopK(RandomMatrix(4, 8, 17), 3);
+  ASSERT_EQ(result.entries.size(), 12u);
+  for (const auto& entry : result.entries) {
+    EXPECT_EQ(entry.index, -1);
+    EXPECT_TRUE(std::isinf(entry.value) && entry.value < 0);
+  }
+}
+
 TEST(CandidateSourceConfigTest, ValidationErrorPaths) {
   const auto expect_invalid = [](const CandidateSourceConfig& config,
                                  const std::string& needle) {
@@ -383,6 +441,109 @@ TEST(EvaluateRankingTest, CandidateMissesScorePessimisticRank) {
       eval::EvaluateRanking(model, pairs, *source, 1);
   EXPECT_LE(limited.mr, 31.0);
   EXPECT_GT(limited.mr, 1.0);
+}
+
+/// Hand-computable distractor fixture for the dangling-aware overload:
+/// 4 test pairs whose left/right embeddings are the unit basis vectors
+/// e0..e3 (inner(true) = 1 for every pair), plus dangling distractor rows
+/// appended to emb2. Under kInner the similarity table is trivial to read
+/// off, so the expected metrics below are exact doubles.
+struct DistractorFixture {
+  core::AlignmentModel model;
+  kg::Alignment pairs;
+  std::vector<kg::EntityId> dangling;
+};
+
+DistractorFixture MakeDistractorFixture() {
+  DistractorFixture f;
+  constexpr size_t kPairs = 4, kDim = 4;
+  f.model.emb1 = math::Matrix(kPairs, kDim);
+  f.model.emb2 = math::Matrix(kPairs + 3, kDim);
+  for (size_t i = 0; i < kPairs; ++i) {
+    f.model.emb1.At(i, i) = 1.0f;
+    f.model.emb2.At(i, i) = 1.0f;
+    f.pairs.push_back(
+        {static_cast<kg::EntityId>(i), static_cast<kg::EntityId>(i)});
+  }
+  // Distractor rows (pool columns 4..6 after the 4 true rights):
+  //   row 4 = 2*e1  — inner 2 with query 1, out-scoring its true (inner 1);
+  //   row 5 = e0/4, row 6 = e2/4 — sub-true scores for queries 0 and 2.
+  f.model.emb2.At(4, 1) = 2.0f;
+  f.model.emb2.At(5, 0) = 0.25f;
+  f.model.emb2.At(6, 2) = 0.25f;
+  f.dangling = {4, 5, 6};
+  return f;
+}
+
+TEST(EvaluateRankingTest, CandidateMissUsesMatchablePoolNotInflatedPool) {
+  // At candidate_k = 1, query 1's only candidate is distractor column 4
+  // (inner 2 > 1): its true counterpart is missed. The pessimistic miss rank
+  // must be one past the *matchable* pool — test_pairs.size() + 1 = 5 —
+  // not one past the dangling-inflated indexed pool (7 + 1 = 8). Rank 5
+  // still counts for hits@5, which is exactly what separates the two
+  // conventions: mr 2.0 / hits5 1.0 here vs mr 2.75 / hits5 0.75 inflated.
+  const DistractorFixture f = MakeDistractorFixture();
+  CandidateSourceConfig config;
+  config.metric = DistanceMetric::kInner;
+  auto source = CreateCandidateSourceOrDie(config);
+  const eval::RankingMetrics m =
+      eval::EvaluateRanking(f.model, f.pairs, f.dangling, *source, 1);
+  EXPECT_DOUBLE_EQ(m.hits1, 0.75);  // Queries 0, 2, 3 rank 1; query 1 missed.
+  EXPECT_DOUBLE_EQ(m.hits5, 1.0);   // Miss rank 5 <= 5.
+  EXPECT_DOUBLE_EQ(m.mr, (1.0 + 5.0 + 1.0 + 1.0) / 4.0);
+  EXPECT_DOUBLE_EQ(m.mrr, (1.0 + 1.0 / 5.0 + 1.0 + 1.0) / 4.0);
+}
+
+TEST(EvaluateRankingTest, DistractorsCompeteInRankingWhenCandidatesCoverPool) {
+  // With candidate_k covering the whole pool nothing is missed, but the
+  // distractor that out-scores query 1's true counterpart pushes its rank
+  // to 2 — distractors compete in the ranking even though they are never
+  // anyone's answer.
+  const DistractorFixture f = MakeDistractorFixture();
+  CandidateSourceConfig config;
+  config.metric = DistanceMetric::kInner;
+  auto source = CreateCandidateSourceOrDie(config);
+  const eval::RankingMetrics m =
+      eval::EvaluateRanking(f.model, f.pairs, f.dangling, *source, 7);
+  EXPECT_DOUBLE_EQ(m.hits1, 0.75);
+  EXPECT_DOUBLE_EQ(m.hits5, 1.0);
+  EXPECT_DOUBLE_EQ(m.mr, (1.0 + 2.0 + 1.0 + 1.0) / 4.0);
+  EXPECT_DOUBLE_EQ(m.mrr, (1.0 + 1.0 / 2.0 + 1.0 + 1.0) / 4.0);
+}
+
+TEST(EvaluateRankingTest, DistractorTiedWithTrueScoresMidRank) {
+  // A distractor identical to pair 0's right ties it at inner 1: mid-rank
+  // convention gives 1 + 0 + 0.5*1 = 1.5 for query 0.
+  DistractorFixture f = MakeDistractorFixture();
+  f.model.emb2.At(4, 1) = 0.0f;  // Repurpose row 4 ...
+  f.model.emb2.At(4, 0) = 1.0f;  // ... as an exact copy of right 0.
+  CandidateSourceConfig config;
+  config.metric = DistanceMetric::kInner;
+  auto source = CreateCandidateSourceOrDie(config);
+  const eval::RankingMetrics m =
+      eval::EvaluateRanking(f.model, f.pairs, f.dangling, *source, 7);
+  EXPECT_DOUBLE_EQ(m.hits1, 0.75);  // Rank 1.5 > 1 for query 0.
+  EXPECT_DOUBLE_EQ(m.hits5, 1.0);
+  EXPECT_DOUBLE_EQ(m.mr, (1.5 + 1.0 + 1.0 + 1.0) / 4.0);
+  EXPECT_DOUBLE_EQ(m.mrr, (1.0 / 1.5 + 1.0 + 1.0 + 1.0) / 4.0);
+}
+
+TEST(EvaluateRankingTest, EmptyDanglingDelegatesToPlainCandidateOverload) {
+  core::AlignmentModel model;
+  model.emb1 = RandomMatrix(25, 16, 81);
+  model.emb2 = RandomMatrix(25, 16, 82);
+  kg::Alignment pairs;
+  for (int i = 0; i < 25; ++i) pairs.push_back({i, i});
+  CandidateSourceConfig config;
+  auto a = CreateCandidateSourceOrDie(config);
+  auto b = CreateCandidateSourceOrDie(config);
+  const eval::RankingMetrics plain = eval::EvaluateRanking(model, pairs, *a, 5);
+  const eval::RankingMetrics with_empty = eval::EvaluateRanking(
+      model, pairs, std::vector<kg::EntityId>(), *b, 5);
+  EXPECT_DOUBLE_EQ(plain.hits1, with_empty.hits1);
+  EXPECT_DOUBLE_EQ(plain.hits5, with_empty.hits5);
+  EXPECT_DOUBLE_EQ(plain.mr, with_empty.mr);
+  EXPECT_DOUBLE_EQ(plain.mrr, with_empty.mrr);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 //   --seed=N             master seed (default 7)
 //   --threads=N          compute-core threads (default 1)
 //   --checkpoint-dir=P   enable fold checkpoints under P
+//   --shard-dir=P        evaluate through shard-banked tables under P
 //   --resume             resume from an existing checkpoint
 //   --fault=SPEC         arm a fault point (point:n[:kill|fail][:repeat])
 //   --out=P              write the result serialization to P
@@ -87,6 +88,8 @@ int Run(int argc, char** argv) {
       threads = std::atoi(arg.c_str() + 10);
     } else if (StartsWith(arg, "--checkpoint-dir=")) {
       checkpoint_config.directory = arg.substr(17);
+    } else if (StartsWith(arg, "--shard-dir=")) {
+      checkpoint_config.shard_dir = arg.substr(12);
     } else if (arg == "--resume") {
       checkpoint_config.resume = true;
     } else if (StartsWith(arg, "--fault=")) {

@@ -141,6 +141,60 @@ TEST_F(FaultInjectionTest, KillAndResumeBitIdenticalEightThreads) {
   KillAndResumeBitIdentical(8);
 }
 
+/// Out-of-core variant of the tentpole claim, with a deliberately stronger
+/// reference: the uninterrupted run is the plain *in-RAM* eval path, while
+/// the killed-and-resumed run evaluates through shard-banked tables
+/// (--shard-dir). Byte equality therefore pins two contracts at once —
+/// sharded eval is bit-identical to in-RAM eval, and a kill between a
+/// fold's shard write and its checkpoint write resumes losslessly.
+void ShardedKillAndResumeMatchesInRamReference(int threads) {
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("openea_fault_injection_shard_t" + std::to_string(threads));
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+  const std::string ckpt_dir = (base / "ckpt").string();
+  const std::string shard_dir = (base / "shards").string();
+  const std::string reference_out = (base / "in_ram.bin").string();
+  const std::string resumed_out = (base / "resumed.bin").string();
+  const std::string common = "--approach=MTransE --folds=3 --epochs=10 "
+                             "--seed=7 --threads=" +
+                             std::to_string(threads) + " ";
+
+  // Reference: uninterrupted, in-RAM eval, no checkpointing.
+  ASSERT_EQ(RunDriver(common + "--out=" + reference_out), 0);
+
+  // Victim: sharded eval, killed at "shard/after_write" hit 2 — fold 1's
+  // eval shard is durable on disk but its fold checkpoint is not yet
+  // written, the mid-shard crash window. _exit(86) skips every destructor.
+  ASSERT_EQ(RunDriver(common + "--checkpoint-dir=" + ckpt_dir +
+                      " --shard-dir=" + shard_dir +
+                      " --fault=shard/after_write:2:kill"),
+            fault::kKillExitCode);
+
+  // Resume, still sharded: fold 0 restores from its checkpoint, folds 1-2
+  // recompute (overwriting fold 1's orphaned shard file).
+  ASSERT_EQ(RunDriver(common + "--checkpoint-dir=" + ckpt_dir +
+                      " --shard-dir=" + shard_dir + " --resume --out=" +
+                      resumed_out),
+            0);
+
+  const std::string reference = ReadAll(reference_out);
+  const std::string resumed = ReadAll(resumed_out);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(reference, resumed)
+      << "sharded killed-and-resumed run diverged from the in-RAM "
+      << "uninterrupted run at " << threads << " thread(s)";
+  std::filesystem::remove_all(base);
+}
+
+TEST_F(FaultInjectionTest, ShardedKillAndResumeBitIdenticalSingleThread) {
+  ShardedKillAndResumeMatchesInRamReference(1);
+}
+
+TEST_F(FaultInjectionTest, ShardedKillAndResumeBitIdenticalEightThreads) {
+  ShardedKillAndResumeMatchesInRamReference(8);
+}
+
 TEST_F(FaultInjectionTest, KillBeforeAnyCheckpointResumesFromScratch) {
   const std::string ckpt_dir = Path("ckpt_first");
   const std::string uninterrupted_out = Path("u.bin");
